@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickConsensusRun(t *testing.T) {
+	run, err := Run(RS, FloodSet(), []Value{4, 2, 7}, 1, NoFailures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range CheckConsensus(run) {
+		if !res.OK {
+			t.Fatalf("violation: %s", res)
+		}
+	}
+	if run.DecisionOf[1] != 2 {
+		t.Errorf("decided %d, want 2", run.DecisionOf[1])
+	}
+	if !strings.Contains(RenderRun(run), "latency degree") {
+		t.Error("RenderRun missing latency line")
+	}
+}
+
+func TestAlgorithmsSuite(t *testing.T) {
+	if len(Algorithms()) != 7 {
+		t.Errorf("suite size = %d, want 7", len(Algorithms()))
+	}
+	names := map[string]bool{}
+	for _, a := range Algorithms() {
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"FloodSet", "FloodSetWS", "C_OptFloodSet", "C_OptFloodSetWS", "F_OptFloodSet", "F_OptFloodSetWS", "A1"} {
+		if !names[want] {
+			t.Errorf("missing algorithm %q", want)
+		}
+	}
+}
+
+func TestLatencyAPI(t *testing.T) {
+	d, err := Latency(RS, A1(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lambda != 1 {
+		t.Errorf("Λ(A1) = %d, want 1", d.Lambda)
+	}
+}
+
+func TestExploreAPI(t *testing.T) {
+	count := 0
+	err := Explore(RS, FloodSet(), []Value{0, 1, 0}, 1, func(run *RoundRun) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 25 {
+		t.Errorf("explored %d runs, want 25", count)
+	}
+}
+
+func TestRefutersAPI(t *testing.T) {
+	ref, err := RefuteRoundOneRWS(A1(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Run == nil {
+		t.Error("no witness run")
+	}
+	for _, cand := range SDDCandidates() {
+		spRef, err := RefuteSDDInSP(cand, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spRef.Witness == nil {
+			t.Errorf("%s: no witness", cand.Name())
+		}
+	}
+}
+
+func TestNBACAPI(t *testing.T) {
+	rates, err := CommitRates(4, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.RSRate() <= rates.RWSRate() {
+		t.Errorf("rates: %s — expected the RS > RWS gap", rates)
+	}
+}
+
+func TestRunLiveAPI(t *testing.T) {
+	cr, err := RunLive(FloodSetWS(), ClusterConfig{
+		Kind: RWS, Initial: []Value{4, 2, 7}, T: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := cr.Agreement(); !ok || v != 2 {
+		t.Errorf("live agreement = (%d,%v), want (2,true)", v, ok)
+	}
+}
+
+func TestExperimentsAPI(t *testing.T) {
+	if len(Experiments()) != 13 {
+		t.Errorf("experiments = %d, want 13", len(Experiments()))
+	}
+}
+
+func TestAtomicBroadcastAPI(t *testing.T) {
+	bc, err := NewAtomicBroadcast(RWS, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(1); id <= 3; id++ {
+		if err := bc.Submit(ProcessID(id), MsgIDFor(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bc.Drain(nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 3; p++ {
+		if len(bc.Logs()[p]) != 3 {
+			t.Fatalf("p%d log = %v", p, bc.Logs()[p])
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Command ssfd-bench regenerates every table and figure of the paper —
+// experiments E1–E11 of DESIGN.md — and prints them with paper-vs-measured
+// verdicts. It exits nonzero if any reproduction fails.
+//
+// Usage:
+//
+//	ssfd-bench [-trials N] [-seed S] [-live] [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	trials := flag.Int("trials", 200, "trial count for randomized sweeps")
+	seed := flag.Int64("seed", 1, "base random seed")
+	live := flag.Bool("live", true, "include live goroutine-cluster measurements (adds wall-clock time)")
+	only := flag.String("only", "", "run a single experiment (e.g. E7)")
+	flag.Parse()
+
+	cfg := core.Config{Trials: *trials, Seed: *seed, Live: *live}
+	failed := 0
+	ran := 0
+	for _, e := range core.All() {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		ran++
+		report, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(report)
+		if !report.Pass {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches -only=%s\n", *only)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d experiments reproduced\n", ran)
+}

@@ -1,0 +1,127 @@
+// Command ssfd-explore drives the exhaustive machinery directly: enumerate
+// every admissible run of an algorithm, compute its latency degrees, or run
+// the lower-bound refuters.
+//
+// Usage:
+//
+//	ssfd-explore -alg FloodSetWS -model RWS -n 3 -t 1            # sweep + latency
+//	ssfd-explore -alg A1 -model RWS -refute                      # §5.3 refuter
+//	ssfd-explore -alg FloodSet -model RWS -counterexample        # find a violation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/latency"
+	"repro/internal/rounds"
+	"repro/internal/trace"
+)
+
+func algByName(name string) (rounds.Algorithm, bool) {
+	for _, a := range consensus.All() {
+		if strings.EqualFold(a.Name(), name) {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+func modelByName(name string) (rounds.ModelKind, bool) {
+	switch strings.ToUpper(name) {
+	case "RS":
+		return rounds.RS, true
+	case "RWS":
+		return rounds.RWS, true
+	default:
+		return 0, false
+	}
+}
+
+func main() {
+	algName := flag.String("alg", "FloodSet", "algorithm (FloodSet, FloodSetWS, C_OptFloodSet, C_OptFloodSetWS, F_OptFloodSet, F_OptFloodSetWS, A1)")
+	modelName := flag.String("model", "RS", "round model (RS or RWS)")
+	n := flag.Int("n", 3, "number of processes")
+	t := flag.Int("t", 1, "resilience bound")
+	refute := flag.Bool("refute", false, "run the §5.3 round-1 refuter against the algorithm")
+	counter := flag.Bool("counterexample", false, "search exhaustively for a uniform-consensus violation and print it")
+	flag.Parse()
+
+	alg, ok := algByName(*algName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+	kind, ok := modelByName(*modelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+
+	switch {
+	case *refute:
+		ref, err := explore.RefuteRoundOneRWS(alg, *n, *t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("refutation of %s (n=%d, t=%d): %v\n%s\n", alg.Name(), *n, *t, ref.Kind, ref.Detail)
+		fmt.Println(trace.RenderRun(ref.Run))
+	case *counter:
+		found := false
+		for _, cfg := range latency.Configurations(*n) {
+			if found {
+				break
+			}
+			_, err := explore.Runs(kind, alg, cfg, *t, explore.Options{}, func(run *rounds.Run) bool {
+				if run.Truncated {
+					return true
+				}
+				if bad := check.FirstViolation(run); bad != nil {
+					found = true
+					fmt.Printf("violation: %s\n%s", bad, trace.RenderRun(run))
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if !found {
+			fmt.Printf("%s in %v (n=%d, t=%d): no violation in any admissible run\n", alg.Name(), kind, *n, *t)
+		}
+	default:
+		total, viol := 0, 0
+		for _, cfg := range latency.Configurations(*n) {
+			_, err := explore.Runs(kind, alg, cfg, *t, explore.Options{}, func(run *rounds.Run) bool {
+				if run.Truncated {
+					return true
+				}
+				total++
+				if check.FirstViolation(run) != nil {
+					viol++
+				}
+				return true
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("%s in %v (n=%d, t=%d): %d runs explored, %d violations\n",
+			alg.Name(), kind, *n, *t, total, viol)
+		d, err := latency.Compute(kind, alg, *n, *t, explore.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(d)
+	}
+}

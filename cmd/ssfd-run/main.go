@@ -1,0 +1,167 @@
+// Command ssfd-run executes a single round-model scenario and prints the
+// run as a round-by-round narrative — handy for replaying the paper's
+// hand-built runs.
+//
+// Usage:
+//
+//	ssfd-run -alg A1 -model RS -values 3,1,2 -t 1
+//	ssfd-run -alg A1 -model RWS -values 3,1,2 -drop 1@1 -crash 1@2
+//	ssfd-run -alg FloodSet -model RS -values 0,5,9 -crash "1@1:2"   # p1 crashes at round 1 reaching p2
+//	ssfd-run -alg FloodSetWS -model RWS -values 0,1,2 -seed 7       # random adversary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/trace"
+)
+
+func parseValues(s string) ([]model.Value, error) {
+	parts := strings.Split(s, ",")
+	out := make([]model.Value, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, model.Value(v))
+	}
+	return out, nil
+}
+
+// parseEvent parses "P@R" or "P@R:D1,D2" into victim, round and a set.
+func parseEvent(s string) (model.ProcessID, int, model.ProcSet, error) {
+	head, tail, hasTargets := strings.Cut(s, ":")
+	pr := strings.Split(head, "@")
+	if len(pr) != 2 {
+		return 0, 0, 0, fmt.Errorf("expected P@R[:targets], got %q", s)
+	}
+	p, err := strconv.Atoi(pr[0])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad process in %q: %w", s, err)
+	}
+	r, err := strconv.Atoi(pr[1])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad round in %q: %w", s, err)
+	}
+	var set model.ProcSet
+	if hasTargets && tail != "" {
+		for _, d := range strings.Split(tail, ",") {
+			q, err := strconv.Atoi(strings.TrimSpace(d))
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("bad target in %q: %w", s, err)
+			}
+			set = set.Add(model.ProcessID(q))
+		}
+	}
+	return model.ProcessID(p), r, set, nil
+}
+
+func main() {
+	algName := flag.String("alg", "FloodSet", "algorithm name")
+	modelName := flag.String("model", "RS", "round model (RS or RWS)")
+	valuesStr := flag.String("values", "0,1,2", "comma-separated initial values (one per process)")
+	t := flag.Int("t", 1, "resilience bound")
+	crashSpec := flag.String("crash", "", "crash event P@R[:reached,...] (e.g. 1@2 or 1@1:2,3)")
+	dropSpec := flag.String("drop", "", "pending-message event P@R[:dropped,...] (RWS only; default drops to everyone)")
+	seed := flag.Int64("seed", -1, "if ≥ 0, use a seeded random adversary instead of the scripted events")
+	flag.Parse()
+
+	var alg rounds.Algorithm
+	for _, a := range consensus.All() {
+		if strings.EqualFold(a.Name(), *algName) {
+			alg = a
+		}
+	}
+	if alg == nil {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+		os.Exit(2)
+	}
+	var kind rounds.ModelKind
+	switch strings.ToUpper(*modelName) {
+	case "RS":
+		kind = rounds.RS
+	case "RWS":
+		kind = rounds.RWS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		os.Exit(2)
+	}
+	initial, err := parseValues(*valuesStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	n := len(initial)
+
+	var adv rounds.Adversary
+	if *seed >= 0 {
+		adv = rounds.NewRandomAdversary(*seed, 0.4, 0.4)
+	} else {
+		plans := map[int]*rounds.Plan{}
+		ensure := func(r int) *rounds.Plan {
+			if plans[r] == nil {
+				plans[r] = &rounds.Plan{}
+			}
+			return plans[r]
+		}
+		if *crashSpec != "" {
+			p, r, reach, err := parseEvent(*crashSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			pl := ensure(r)
+			pl.Crashes = map[model.ProcessID]model.ProcSet{p: reach.Remove(p)}
+		}
+		if *dropSpec != "" {
+			p, r, dropped, err := parseEvent(*dropSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if dropped.Empty() {
+				dropped = model.FullSet(n)
+			}
+			pl := ensure(r)
+			pl.Drops = map[model.ProcessID]model.ProcSet{p: dropped.Remove(p)}
+		}
+		maxRound := 0
+		for r := range plans {
+			if r > maxRound {
+				maxRound = r
+			}
+		}
+		script := &rounds.Script{Plans: make([]rounds.Plan, maxRound)}
+		for r, pl := range plans {
+			script.Plans[r-1] = *pl
+		}
+		adv = script
+	}
+
+	run, err := rounds.RunAlgorithm(kind, alg, initial, *t, adv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(trace.RenderRun(run))
+	fmt.Println("specification check:")
+	violated := false
+	for _, res := range check.Consensus(run) {
+		fmt.Printf("  %s\n", res)
+		if !res.OK {
+			violated = true
+		}
+	}
+	if violated {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestParseValues(t *testing.T) {
+	got, err := parseValues("3, 1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Value{3, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := parseValues("1,x"); err == nil {
+		t.Error("bad value accepted")
+	}
+}
+
+func TestParseEvent(t *testing.T) {
+	p, r, set, err := parseEvent("1@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 || r != 2 || !set.Empty() {
+		t.Errorf("got (%v, %d, %v)", p, r, set)
+	}
+	p, r, set, err = parseEvent("3@1:2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 3 || r != 1 || set != model.Singleton(2).Add(4) {
+		t.Errorf("got (%v, %d, %v)", p, r, set)
+	}
+	for _, bad := range []string{"1", "x@1", "1@y", "1@1:z"} {
+		if _, _, _, err := parseEvent(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

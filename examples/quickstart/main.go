@@ -1,0 +1,54 @@
+// Quickstart: run the paper's algorithms in both round models, inspect the
+// runs, and check the uniform consensus specification.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	// 1. FloodSet (the paper's Figure 1) in the synchronous round model RS:
+	// three processes propose 4, 2, 7; nobody crashes; everyone decides the
+	// minimum value after t+1 = 2 rounds.
+	run, err := repro.Run(repro.RS, repro.FloodSet(), []repro.Value{4, 2, 7}, 1, repro.NoFailures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- FloodSet, failure-free ---")
+	fmt.Print(repro.RenderRun(run))
+
+	// 2. The same algorithm under a crash: p1 (proposing the minimum)
+	// crashes during round 1, reaching only p2 — the value still floods.
+	crash := repro.Plan{Crashes: map[repro.ProcessID]repro.ProcSet{1: repro.Procs(2)}}
+	run, err = repro.Run(repro.RS, repro.FloodSet(), []repro.Value{0, 5, 9}, 1, repro.Script(crash))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- FloodSet, p1 crashes mid-broadcast ---")
+	fmt.Print(repro.RenderRun(run))
+	for _, res := range repro.CheckConsensus(run) {
+		fmt.Println(" ", res)
+	}
+
+	// 3. A1 (Figure 4): in a failure-free RS run every process decides at
+	// round 1 — the Λ(A1)=1 headline of §5.3.
+	run, err = repro.Run(repro.RS, repro.A1(), []repro.Value{9, 1, 5}, 1, repro.NoFailures)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- A1, failure-free: one round ---")
+	fmt.Print(repro.RenderRun(run))
+
+	// 4. Latency degrees, computed by exhaustive exploration.
+	d, err := repro.Latency(repro.RS, repro.A1(), 3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- latency degrees ---")
+	fmt.Println(d)
+}

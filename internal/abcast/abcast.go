@@ -1,0 +1,275 @@
+// Package abcast implements atomic broadcast — the paper's introduction
+// names it, with atomic commit, as the agreement protocol "at the heart" of
+// fault-tolerant systems — via the classic reduction to repeated uniform
+// consensus (Chandra & Toueg): slot by slot, the processes run a uniform
+// consensus instance to agree on the next message to deliver, yielding a
+// totally ordered log.
+//
+// The reduction inherits the model comparison wholesale: instantiated over
+// RS it uses FloodSet, over RWS it uses FloodSetWS, and every property of
+// the paper's §5 latency analysis translates into delivery latency. Because
+// each slot's decision satisfies *uniform* agreement, even a process that
+// crashes right after delivering has delivered a prefix of everyone else's
+// log — the uniform prefix property checked by CheckLogs.
+//
+// Specification (crash model):
+//
+//   - Validity: every delivered message was submitted by some process.
+//   - Uniform total order: the delivery logs of any two processes (correct
+//     or faulty) are prefix-comparable.
+//   - Integrity: no message is delivered twice by the same process.
+//   - Liveness: a message submitted to a correct process is eventually
+//     delivered by every correct process.
+package abcast
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// MsgID identifies a client message. The zero value is reserved as the
+// "nothing to propose" placeholder.
+type MsgID int64
+
+// noMsg is proposed by processes with empty pending sets. It orders after
+// every real message id, so min-based consensus prefers real messages.
+const noMsg = MsgID(1<<62 - 1)
+
+// Broadcaster runs the reduction: submit messages, then Deliver slots until
+// the logs drain. It is a deterministic single-threaded harness over the
+// rounds engines (the live runtime can run the same slots via the public
+// consensus API).
+type Broadcaster struct {
+	kind rounds.ModelKind
+	n, t int
+
+	// pending[p] holds the ids p has submitted locally but not delivered.
+	pending []map[MsgID]bool
+	// logs[p] is p's delivery sequence.
+	logs [][]MsgID
+	// crashed marks processes that crashed in some earlier slot; they are
+	// initially dead in every later slot.
+	crashed model.ProcSet
+
+	slots int
+}
+
+// New builds a broadcaster over n processes tolerating t crashes in the
+// given round model.
+func New(kind rounds.ModelKind, n, t int) (*Broadcaster, error) {
+	if n < 1 || n > model.MaxProcs {
+		return nil, fmt.Errorf("abcast: n=%d out of range", n)
+	}
+	if t < 0 || t >= n {
+		return nil, fmt.Errorf("abcast: t=%d out of range", t)
+	}
+	b := &Broadcaster{
+		kind:    kind,
+		n:       n,
+		t:       t,
+		pending: make([]map[MsgID]bool, n+1),
+		logs:    make([][]MsgID, n+1),
+	}
+	for p := 1; p <= n; p++ {
+		b.pending[p] = make(map[MsgID]bool)
+	}
+	return b, nil
+}
+
+// Submit hands a message to one process (the client contacted it). The same
+// id may be submitted to several processes.
+func (b *Broadcaster) Submit(p model.ProcessID, id MsgID) error {
+	if !p.Valid(b.n) {
+		return fmt.Errorf("abcast: Submit to invalid %v", p)
+	}
+	if id <= 0 || id >= noMsg {
+		return fmt.Errorf("abcast: message id %d out of range", id)
+	}
+	b.pending[p][id] = true
+	return nil
+}
+
+// Crash marks p as crashed from the next slot on (it proposes nothing and
+// is initially dead in subsequent consensus instances).
+func (b *Broadcaster) Crash(p model.ProcessID) {
+	b.crashed = b.crashed.Add(p)
+}
+
+// Logs returns each process's delivery sequence (index 1..n).
+func (b *Broadcaster) Logs() [][]MsgID { return b.logs }
+
+// Slots returns the number of consensus instances executed.
+func (b *Broadcaster) Slots() int { return b.slots }
+
+// algorithm picks the model's consensus algorithm.
+func (b *Broadcaster) algorithm() rounds.Algorithm {
+	if b.kind == rounds.RWS {
+		return consensus.FloodSetWS{}
+	}
+	return consensus.FloodSet{}
+}
+
+// proposal computes p's next-slot proposal: the smallest pending undelivered
+// id, or noMsg.
+func (b *Broadcaster) proposal(p model.ProcessID) MsgID {
+	best := noMsg
+	for id := range b.pending[p] {
+		if id < best {
+			best = id
+		}
+	}
+	return best
+}
+
+// DeliverSlot runs one consensus instance under the given adversary (the
+// crashed set is superimposed as initial crashes) and appends the decision
+// to every live process's log. It reports whether a real message was
+// delivered. Passing nil uses the failure-free adversary.
+func (b *Broadcaster) DeliverSlot(adv rounds.Adversary) (bool, error) {
+	if adv == nil {
+		adv = rounds.NoFailures
+	}
+	initial := make([]model.Value, b.n)
+	for p := 1; p <= b.n; p++ {
+		initial[p-1] = model.Value(b.proposal(model.ProcessID(p)))
+	}
+	// Processes crashed in earlier slots are initially dead here; their
+	// crashes do not count against this slot's budget, so the instance runs
+	// with the full t (the adversary may still spend the remainder).
+	full := adv
+	if !b.crashed.Empty() {
+		dead := &rounds.InitialCrashAdversary{Victims: b.crashed}
+		inner := adv
+		full = rounds.AdversaryFunc(func(v *rounds.View) rounds.Plan {
+			p := dead.Plan(v)
+			if len(p.Crashes) > 0 {
+				return p
+			}
+			return inner.Plan(v)
+		})
+	}
+	run, err := rounds.RunAlgorithm(b.kind, b.algorithm(), initial, b.t, full)
+	if err != nil {
+		return false, fmt.Errorf("abcast: slot %d: %w", b.slots, err)
+	}
+	if bad := check.FirstViolation(run); bad != nil {
+		return false, fmt.Errorf("abcast: slot %d consensus violated: %s", b.slots, bad)
+	}
+	b.slots++
+
+	delivered := false
+	for p := 1; p <= b.n; p++ {
+		if run.CrashRound[p] != 0 {
+			b.crashed = b.crashed.Add(model.ProcessID(p))
+		}
+		if run.DecidedAt[p] == 0 {
+			continue
+		}
+		id := MsgID(run.DecisionOf[p])
+		if id == noMsg {
+			continue
+		}
+		delivered = true
+		b.logs[p] = append(b.logs[p], id)
+		delete(b.pending[p], id)
+	}
+	// Gossip through consensus: survivors that had not heard of the decided
+	// message still delivered it; nothing remains pending for it anywhere.
+	return delivered, nil
+}
+
+// Drain runs slots until no real message is delivered (all logs caught up)
+// or maxSlots is hit.
+func (b *Broadcaster) Drain(adv rounds.Adversary, maxSlots int) error {
+	for i := 0; i < maxSlots; i++ {
+		delivered, err := b.DeliverSlot(adv)
+		if err != nil {
+			return err
+		}
+		if !delivered {
+			return nil
+		}
+	}
+	return fmt.Errorf("abcast: logs did not drain within %d slots", maxSlots)
+}
+
+// CheckLogs verifies the atomic broadcast specification over the final
+// state: uniform prefix consistency, integrity, validity against the
+// submitted set, and liveness for messages submitted to correct processes.
+func (b *Broadcaster) CheckLogs(submitted map[MsgID]model.ProcSet) []string {
+	var out []string
+
+	// Integrity: no duplicates per log.
+	for p := 1; p <= b.n; p++ {
+		seen := make(map[MsgID]bool, len(b.logs[p]))
+		for _, id := range b.logs[p] {
+			if seen[id] {
+				out = append(out, fmt.Sprintf("integrity: p%d delivered %d twice", p, id))
+			}
+			seen[id] = true
+		}
+	}
+
+	// Uniform total order: logs pairwise prefix-comparable (crashed
+	// processes included — their prefixes count).
+	for p := 1; p <= b.n; p++ {
+		for q := p + 1; q <= b.n; q++ {
+			a, c := b.logs[p], b.logs[q]
+			m := len(a)
+			if len(c) < m {
+				m = len(c)
+			}
+			for i := 0; i < m; i++ {
+				if a[i] != c[i] {
+					out = append(out, fmt.Sprintf(
+						"uniform total order: p%d and p%d diverge at slot %d (%d vs %d)",
+						p, q, i, a[i], c[i]))
+					break
+				}
+			}
+		}
+	}
+
+	// Validity: every delivered id was submitted somewhere.
+	for p := 1; p <= b.n; p++ {
+		for _, id := range b.logs[p] {
+			if _, ok := submitted[id]; !ok {
+				out = append(out, fmt.Sprintf("validity: p%d delivered unsubmitted %d", p, id))
+			}
+		}
+	}
+
+	// Liveness: a message submitted to a correct process appears in every
+	// correct process's log.
+	correct := model.FullSet(b.n).Minus(b.crashed)
+	ids := make([]MsgID, 0, len(submitted))
+	for id := range submitted {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		holders := submitted[id]
+		if holders.Intersect(correct).Empty() {
+			continue // submitted only to crashed processes: no obligation
+		}
+		correct.ForEach(func(p model.ProcessID) bool {
+			found := false
+			for _, got := range b.logs[p] {
+				if got == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, fmt.Sprintf("liveness: correct p%d never delivered %d", p, id))
+			}
+			return true
+		})
+	}
+	return out
+}

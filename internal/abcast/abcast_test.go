@@ -1,0 +1,185 @@
+package abcast
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+func submit(t *testing.T, b *Broadcaster, submitted map[MsgID]model.ProcSet, id MsgID, procs ...model.ProcessID) {
+	t.Helper()
+	var set model.ProcSet
+	for _, p := range procs {
+		if err := b.Submit(p, id); err != nil {
+			t.Fatal(err)
+		}
+		set = set.Add(p)
+	}
+	submitted[id] = set
+}
+
+func requireClean(t *testing.T, b *Broadcaster, submitted map[MsgID]model.ProcSet) {
+	t.Helper()
+	if viol := b.CheckLogs(submitted); len(viol) != 0 {
+		t.Fatalf("spec violated: %s\nlogs: %v", viol[0], b.Logs()[1:])
+	}
+}
+
+func TestFailureFreeTotalOrder(t *testing.T) {
+	for _, kind := range []rounds.ModelKind{rounds.RS, rounds.RWS} {
+		b, err := New(kind, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		submitted := map[MsgID]model.ProcSet{}
+		submit(t, b, submitted, 30, 3)
+		submit(t, b, submitted, 10, 1)
+		submit(t, b, submitted, 20, 2)
+		if err := b.Drain(nil, 10); err != nil {
+			t.Fatal(err)
+		}
+		requireClean(t, b, submitted)
+		// Min-first sequencing: global delivery order 10, 20, 30.
+		want := []MsgID{10, 20, 30}
+		for p := 1; p <= 3; p++ {
+			log := b.Logs()[p]
+			if len(log) != len(want) {
+				t.Fatalf("%v: p%d delivered %v, want %v", kind, p, log, want)
+			}
+			for i := range want {
+				if log[i] != want[i] {
+					t.Fatalf("%v: p%d delivered %v, want %v", kind, p, log, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMessageSubmittedToSingleProcessSpreads(t *testing.T) {
+	b, err := New(rounds.RS, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitted := map[MsgID]model.ProcSet{}
+	submit(t, b, submitted, 42, 2) // only p2 knows it
+	if err := b.Drain(nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, b, submitted)
+	for p := 1; p <= 4; p++ {
+		if len(b.Logs()[p]) != 1 || b.Logs()[p][0] != 42 {
+			t.Fatalf("p%d log = %v", p, b.Logs()[p])
+		}
+	}
+}
+
+func TestCrashBetweenSlots(t *testing.T) {
+	b, err := New(rounds.RS, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitted := map[MsgID]model.ProcSet{}
+	submit(t, b, submitted, 10, 1, 2) // survives p1's crash via p2
+	submit(t, b, submitted, 20, 3)
+	if _, err := b.DeliverSlot(nil); err != nil { // delivers 10 everywhere
+		t.Fatal(err)
+	}
+	b.Crash(1)
+	if err := b.Drain(nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, b, submitted)
+	// p1 delivered a strict prefix; survivors have both messages.
+	if len(b.Logs()[1]) != 1 || b.Logs()[1][0] != 10 {
+		t.Fatalf("p1 log = %v, want [10]", b.Logs()[1])
+	}
+	for p := 2; p <= 3; p++ {
+		if len(b.Logs()[p]) != 2 {
+			t.Fatalf("p%d log = %v, want [10 20]", p, b.Logs()[p])
+		}
+	}
+}
+
+func TestMessageLostWithItsOnlyHolder(t *testing.T) {
+	b, err := New(rounds.RS, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitted := map[MsgID]model.ProcSet{}
+	submit(t, b, submitted, 99, 1) // only the future crasher knows it
+	submit(t, b, submitted, 50, 2)
+	b.Crash(1)
+	if err := b.Drain(nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, b, submitted) // liveness exempts 99: no correct holder
+	for p := 2; p <= 3; p++ {
+		if len(b.Logs()[p]) != 1 || b.Logs()[p][0] != 50 {
+			t.Fatalf("p%d log = %v, want [50]", p, b.Logs()[p])
+		}
+	}
+}
+
+// TestCrashDuringSlotKeepsUniformPrefix injects a mid-instance crash: the
+// victim may deliver the slot's message before dying, and the logs must
+// stay prefix-consistent — the uniform half of the reduction.
+func TestCrashDuringSlotKeepsUniformPrefix(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		for _, kind := range []rounds.ModelKind{rounds.RS, rounds.RWS} {
+			b, err := New(kind, 3, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			submitted := map[MsgID]model.ProcSet{}
+			submit(t, b, submitted, 10, 1, 2, 3)
+			submit(t, b, submitted, 20, 2, 3)
+			submit(t, b, submitted, 30, 3)
+			drop := 0.0
+			if kind == rounds.RWS {
+				drop = 0.4
+			}
+			adv := rounds.NewRandomAdversary(seed, 0.4, drop)
+			if err := b.Drain(adv, 12); err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			requireClean(t, b, submitted)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	b, err := New(rounds.RS, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit(9, 1); err == nil {
+		t.Error("invalid process accepted")
+	}
+	if err := b.Submit(1, 0); err == nil {
+		t.Error("zero id accepted")
+	}
+	if err := b.Submit(1, noMsg); err == nil {
+		t.Error("sentinel id accepted")
+	}
+	if _, err := New(rounds.RS, 0, 0); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := New(rounds.RS, 2, 2); err == nil {
+		t.Error("t=n accepted")
+	}
+}
+
+func TestDrainGivesUpOnEndlessStream(t *testing.T) {
+	b, err := New(rounds.RS, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitted := map[MsgID]model.ProcSet{}
+	for id := MsgID(1); id <= 30; id++ {
+		submit(t, b, submitted, id, 1)
+	}
+	if err := b.Drain(nil, 5); err == nil {
+		t.Error("expected Drain to report the slot cap")
+	}
+}

@@ -1,0 +1,192 @@
+// Package check provides the specification predicates the experiments test
+// runs against: the uniform consensus conditions of §5.1 (uniform validity,
+// uniform agreement, termination), decision integrity, and helper reports.
+//
+// Predicates operate on completed rounds.Run records and return detailed
+// failure descriptions rather than bare booleans, so a violated property
+// doubles as a human-readable counterexample (the experiments print these
+// verbatim).
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// Result is the outcome of checking one property on one run.
+type Result struct {
+	Property string
+	OK       bool
+	Detail   string // human-readable explanation when violated
+}
+
+// String renders the result.
+func (r Result) String() string {
+	if r.OK {
+		return r.Property + ": ok"
+	}
+	return r.Property + ": VIOLATED — " + r.Detail
+}
+
+// UniformAgreement checks that no two processes — whether correct or faulty
+// — decide different values. This is the *uniform* agreement condition: a
+// decision by a process that later crashes counts.
+func UniformAgreement(run *rounds.Run) Result {
+	res := Result{Property: "uniform agreement", OK: true}
+	first := model.ProcessID(0)
+	var firstVal model.Value
+	for p := 1; p <= run.N; p++ {
+		if run.DecidedAt[p] == 0 {
+			continue
+		}
+		v := run.DecisionOf[p]
+		if first == 0 {
+			first, firstVal = model.ProcessID(p), v
+			continue
+		}
+		if v != firstVal {
+			res.OK = false
+			res.Detail = fmt.Sprintf("%v decided %d (round %d) but %v decided %d (round %d)",
+				first, int64(firstVal), run.DecidedAt[first],
+				model.ProcessID(p), int64(v), run.DecidedAt[p])
+			return res
+		}
+	}
+	return res
+}
+
+// Agreement checks the NON-uniform agreement condition: no two *correct*
+// processes decide differently. Decisions by processes that later crash are
+// exempt — the exact weakening the paper's §5.1 warns about, since an
+// algorithm may satisfy this while violating UniformAgreement.
+func Agreement(run *rounds.Run) Result {
+	res := Result{Property: "agreement (correct only)", OK: true}
+	first := model.ProcessID(0)
+	var firstVal model.Value
+	for p := 1; p <= run.N; p++ {
+		if run.DecidedAt[p] == 0 || run.CrashRound[p] != 0 {
+			continue
+		}
+		v := run.DecisionOf[p]
+		if first == 0 {
+			first, firstVal = model.ProcessID(p), v
+			continue
+		}
+		if v != firstVal {
+			res.OK = false
+			res.Detail = fmt.Sprintf("correct %v decided %d but correct %v decided %d",
+				first, int64(firstVal), model.ProcessID(p), int64(v))
+			return res
+		}
+	}
+	return res
+}
+
+// UniformValidity checks the paper's uniform validity condition: if all
+// processes start with the same initial value v, then v is the only
+// possible decision value.
+func UniformValidity(run *rounds.Run) Result {
+	res := Result{Property: "uniform validity", OK: true}
+	if run.N == 0 {
+		return res
+	}
+	v0 := run.Initial[1]
+	for p := 2; p <= run.N; p++ {
+		if run.Initial[p] != v0 {
+			return res // initial values differ: condition vacuous
+		}
+	}
+	for p := 1; p <= run.N; p++ {
+		if run.DecidedAt[p] != 0 && run.DecisionOf[p] != v0 {
+			res.OK = false
+			res.Detail = fmt.Sprintf("all processes proposed %d but %v decided %d",
+				int64(v0), model.ProcessID(p), int64(run.DecisionOf[p]))
+			return res
+		}
+	}
+	return res
+}
+
+// ValueOrigin checks the stronger (non-uniform-consensus) sanity property
+// that every decision is some process's initial value. All the paper's
+// algorithms satisfy it; a violation indicates an implementation bug rather
+// than a specification issue.
+func ValueOrigin(run *rounds.Run) Result {
+	res := Result{Property: "value origin", OK: true}
+	proposed := model.NewValueSet(run.Initial[1:]...)
+	for p := 1; p <= run.N; p++ {
+		if run.DecidedAt[p] != 0 && !proposed.Has(run.DecisionOf[p]) {
+			res.OK = false
+			res.Detail = fmt.Sprintf("%v decided %d, which no process proposed (proposals %v)",
+				model.ProcessID(p), int64(run.DecisionOf[p]), proposed)
+			return res
+		}
+	}
+	return res
+}
+
+// Termination checks that all correct processes eventually decide. A run
+// truncated at the engine's round limit fails termination by definition.
+func Termination(run *rounds.Run) Result {
+	res := Result{Property: "termination", OK: true}
+	if run.Truncated {
+		res.OK = false
+		res.Detail = fmt.Sprintf("run truncated after %d rounds with undecided live processes", len(run.Rounds))
+		return res
+	}
+	bad := model.ProcSet(0)
+	run.Correct().ForEach(func(p model.ProcessID) bool {
+		if run.DecidedAt[p] == 0 {
+			bad = bad.Add(p)
+		}
+		return true
+	})
+	if !bad.Empty() {
+		res.OK = false
+		res.Detail = fmt.Sprintf("correct processes %v never decided", bad)
+	}
+	return res
+}
+
+// Consensus bundles the three uniform consensus conditions of §5.1 plus
+// the value-origin sanity check and the model-admissibility validation of
+// the run itself.
+func Consensus(run *rounds.Run) []Result {
+	out := []Result{
+		UniformValidity(run),
+		UniformAgreement(run),
+		Termination(run),
+		ValueOrigin(run),
+	}
+	if viol := rounds.Admissible(run); len(viol) > 0 {
+		out = append(out, Result{
+			Property: "model admissibility",
+			OK:       false,
+			Detail:   fmt.Sprintf("%d violations, first: %s", len(viol), viol[0].Error()),
+		})
+	} else {
+		out = append(out, Result{Property: "model admissibility", OK: true})
+	}
+	return out
+}
+
+// AllOK reports whether every result passed, and returns the first failure.
+func AllOK(results []Result) (bool, *Result) {
+	for i := range results {
+		if !results[i].OK {
+			return false, &results[i]
+		}
+	}
+	return true, nil
+}
+
+// FirstViolation runs Consensus and returns the first violated property, or
+// nil if the run satisfies uniform consensus.
+func FirstViolation(run *rounds.Run) *Result {
+	if ok, bad := AllOK(Consensus(run)); !ok {
+		return bad
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// IntegrityAlgorithm wraps another algorithm and asserts, after every
+// transition, that decisions are irrevocable: once a process reports a
+// decision it must keep reporting the same value forever. Violations are
+// collected rather than panicking so tests can assert on them.
+//
+// Wrap an algorithm before handing it to an engine:
+//
+//	ia := check.NewIntegrityAlgorithm(consensus.FloodSet{})
+//	run, err := rounds.RunAlgorithm(rounds.RS, ia, initial, t, adv)
+//	// ia.Violations() lists any decision flips observed.
+type IntegrityAlgorithm struct {
+	inner      rounds.Algorithm
+	violations []string
+}
+
+var _ rounds.Algorithm = (*IntegrityAlgorithm)(nil)
+
+// NewIntegrityAlgorithm wraps inner with decision-irrevocability assertions.
+func NewIntegrityAlgorithm(inner rounds.Algorithm) *IntegrityAlgorithm {
+	return &IntegrityAlgorithm{inner: inner}
+}
+
+// Name implements rounds.Algorithm.
+func (a *IntegrityAlgorithm) Name() string { return a.inner.Name() }
+
+// New implements rounds.Algorithm.
+func (a *IntegrityAlgorithm) New(cfg rounds.ProcConfig) rounds.Process {
+	return &integrityProc{owner: a, id: cfg.ID, inner: a.inner.New(cfg)}
+}
+
+// Violations returns the decision flips observed across all wrapped
+// processes, in the order they occurred.
+func (a *IntegrityAlgorithm) Violations() []string {
+	return append([]string(nil), a.violations...)
+}
+
+type integrityProc struct {
+	owner *IntegrityAlgorithm
+	id    model.ProcessID
+	inner rounds.Process
+
+	decided  bool
+	decision model.Value
+}
+
+var (
+	_ rounds.Process = (*integrityProc)(nil)
+	_ rounds.Cloner  = (*integrityProc)(nil)
+)
+
+// Msgs implements rounds.Process.
+func (p *integrityProc) Msgs(round int) []rounds.Message { return p.inner.Msgs(round) }
+
+// Trans implements rounds.Process, recording any decision change.
+func (p *integrityProc) Trans(round int, received []rounds.Message) {
+	p.inner.Trans(round, received)
+	v, ok := p.inner.Decision()
+	switch {
+	case p.decided && !ok:
+		p.owner.violations = append(p.owner.violations,
+			fmt.Sprintf("%v retracted its decision at round %d", p.id, round))
+	case p.decided && v != p.decision:
+		p.owner.violations = append(p.owner.violations,
+			fmt.Sprintf("%v changed its decision from %d to %d at round %d",
+				p.id, int64(p.decision), int64(v), round))
+	case !p.decided && ok:
+		p.decided, p.decision = true, v
+	}
+}
+
+// Decision implements rounds.Process.
+func (p *integrityProc) Decision() (model.Value, bool) { return p.inner.Decision() }
+
+// CloneProcess implements rounds.Cloner. The clone reports violations to
+// the same owner; integrity state is copied.
+func (p *integrityProc) CloneProcess() rounds.Process {
+	cl, ok := p.inner.(rounds.Cloner)
+	if !ok {
+		panic(fmt.Sprintf("check: inner process of %v does not implement Cloner", p.id))
+	}
+	c := *p
+	c.inner = cl.CloneProcess()
+	return &c
+}

@@ -1,0 +1,151 @@
+package consensus
+
+import (
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// COptFloodSet is the configuration-optimized FloodSet of §5.2: identical
+// to FloodSet except that a process decides v already at round 1 if a
+// message arrived from *every* process and all carried the same value v
+// (|W| = 1 after the round-1 union). By uniform validity the decision is
+// then forced, so the fast path is safe; it witnesses
+// lat(C_OptFloodSet) = 1.
+type COptFloodSet struct{}
+
+var _ rounds.Algorithm = COptFloodSet{}
+
+// Name implements rounds.Algorithm.
+func (COptFloodSet) Name() string { return "C_OptFloodSet" }
+
+// New implements rounds.Algorithm.
+func (COptFloodSet) New(cfg rounds.ProcConfig) rounds.Process {
+	return &cOptProc{cfg: cfg, w: model.NewValueSet(cfg.Initial)}
+}
+
+type cOptProc struct {
+	cfg      rounds.ProcConfig
+	w        model.ValueSet
+	decision model.Value
+	decided  bool
+}
+
+var (
+	_ rounds.Process = (*cOptProc)(nil)
+	_ rounds.Cloner  = (*cOptProc)(nil)
+)
+
+// Msgs implements rounds.Process (unchanged from FloodSet).
+func (p *cOptProc) Msgs(round int) []rounds.Message {
+	if round > p.cfg.T+1 {
+		return nil
+	}
+	return broadcast(p.cfg.N, WMsg{W: p.w.Clone()})
+}
+
+// Trans implements rounds.Process with the §5.2 decision rule:
+//
+//	if rounds = 1 and a message has arrived from every process then
+//	    if |W| = 1 then decision := v, where W = {v}
+//	else if rounds = t+1 then decision := min(W)
+func (p *cOptProc) Trans(round int, received []rounds.Message) {
+	arrived := unionW(&p.w, received)
+	switch {
+	case round == 1 && arrived == model.FullSet(p.cfg.N):
+		if !p.decided && p.w.Len() == 1 {
+			v, _ := p.w.Min()
+			p.decision, p.decided = v, true
+		}
+	case round == p.cfg.T+1 && !p.decided:
+		if v, ok := p.w.Min(); ok {
+			p.decision, p.decided = v, true
+		}
+	}
+}
+
+// Decision implements rounds.Process.
+func (p *cOptProc) Decision() (model.Value, bool) { return p.decision, p.decided }
+
+// CloneProcess implements rounds.Cloner.
+func (p *cOptProc) CloneProcess() rounds.Process {
+	c := *p
+	c.w = p.w.Clone()
+	return &c
+}
+
+// COptFloodSetWS is the same configuration fast path grafted onto
+// FloodSetWS, witnessing lat(C_OptFloodSetWS) = 1 in RWS. The fast path
+// only fires when messages arrived from all n processes, in which case no
+// pending message exists this round and the RS argument carries over.
+type COptFloodSetWS struct{}
+
+var _ rounds.Algorithm = COptFloodSetWS{}
+
+// Name implements rounds.Algorithm.
+func (COptFloodSetWS) Name() string { return "C_OptFloodSetWS" }
+
+// New implements rounds.Algorithm.
+func (COptFloodSetWS) New(cfg rounds.ProcConfig) rounds.Process {
+	return &cOptWSProc{cfg: cfg, w: model.NewValueSet(cfg.Initial)}
+}
+
+type cOptWSProc struct {
+	cfg      rounds.ProcConfig
+	w        model.ValueSet
+	halt     model.ProcSet
+	decision model.Value
+	decided  bool
+}
+
+var (
+	_ rounds.Process = (*cOptWSProc)(nil)
+	_ rounds.Cloner  = (*cOptWSProc)(nil)
+)
+
+// Msgs implements rounds.Process.
+func (p *cOptWSProc) Msgs(round int) []rounds.Message {
+	if round > p.cfg.T+1 {
+		return nil
+	}
+	return broadcast(p.cfg.N, WMsg{W: p.w.Clone()})
+}
+
+// Trans implements rounds.Process: FloodSetWS's halt-filtered union with
+// the round-1 unanimity fast path.
+func (p *cOptWSProc) Trans(round int, received []rounds.Message) {
+	var arrived model.ProcSet
+	for j := 1; j <= p.cfg.N; j++ {
+		if received[j] == nil {
+			continue
+		}
+		arrived = arrived.Add(model.ProcessID(j))
+		if p.halt.Has(model.ProcessID(j)) {
+			continue
+		}
+		if m, ok := received[j].(WMsg); ok {
+			p.w.UnionWith(m.W)
+		}
+	}
+	p.halt = p.halt.Union(model.FullSet(p.cfg.N).Minus(arrived))
+	switch {
+	case round == 1 && arrived == model.FullSet(p.cfg.N):
+		if !p.decided && p.w.Len() == 1 {
+			v, _ := p.w.Min()
+			p.decision, p.decided = v, true
+		}
+	case round == p.cfg.T+1 && !p.decided:
+		if v, ok := p.w.Min(); ok {
+			p.decision, p.decided = v, true
+		}
+	}
+}
+
+// Decision implements rounds.Process.
+func (p *cOptWSProc) Decision() (model.Value, bool) { return p.decision, p.decided }
+
+// CloneProcess implements rounds.Cloner.
+func (p *cOptWSProc) CloneProcess() rounds.Process {
+	c := *p
+	c.w = p.w.Clone()
+	return &c
+}

@@ -1,0 +1,143 @@
+package consensus
+
+import (
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// FloodSet is the paper's Figure 1 (after Lynch): for t+1 rounds every
+// process broadcasts W, the set of all values it has ever seen, and unions
+// in everything it receives; at the end of round t+1 it decides min(W).
+// Among t+1 rounds at least one is failure-free, so all W sets coincide by
+// round t+1 and uniform consensus holds in RS.
+//
+// FloodSet is *not* correct in RWS: a pending message can smuggle a value
+// to a subset of processes one round too late (experiment E2 exhibits the
+// disagreement).
+type FloodSet struct{}
+
+var _ rounds.Algorithm = FloodSet{}
+
+// Name implements rounds.Algorithm.
+func (FloodSet) Name() string { return "FloodSet" }
+
+// New implements rounds.Algorithm.
+func (FloodSet) New(cfg rounds.ProcConfig) rounds.Process {
+	return &floodSetProc{cfg: cfg, w: model.NewValueSet(cfg.Initial)}
+}
+
+type floodSetProc struct {
+	cfg      rounds.ProcConfig
+	w        model.ValueSet
+	decision model.Value
+	decided  bool
+}
+
+var (
+	_ rounds.Process = (*floodSetProc)(nil)
+	_ rounds.Cloner  = (*floodSetProc)(nil)
+)
+
+// Msgs implements rounds.Process: "if rounds ≤ t then send W to all
+// processes" — with the paper's pre-increment counter this means rounds
+// 1..t+1 in engine numbering.
+func (p *floodSetProc) Msgs(round int) []rounds.Message {
+	if round > p.cfg.T+1 {
+		return nil
+	}
+	return broadcast(p.cfg.N, WMsg{W: p.w.Clone()})
+}
+
+// Trans implements rounds.Process: W := W ∪ ⋃ X_j; decide min(W) at round
+// t+1.
+func (p *floodSetProc) Trans(round int, received []rounds.Message) {
+	unionW(&p.w, received)
+	if round == p.cfg.T+1 && !p.decided {
+		if v, ok := p.w.Min(); ok {
+			p.decision, p.decided = v, true
+		}
+	}
+}
+
+// Decision implements rounds.Process.
+func (p *floodSetProc) Decision() (model.Value, bool) { return p.decision, p.decided }
+
+// CloneProcess implements rounds.Cloner.
+func (p *floodSetProc) CloneProcess() rounds.Process {
+	c := *p
+	c.w = p.w.Clone()
+	return &c
+}
+
+// FloodSetWS is the paper's Figure 2: FloodSet adapted to the RWS model.
+// Any process from which no message arrives at some round is added to a
+// halt set, and messages from halted processes are ignored forever after.
+// This neutralizes pending messages: a value that skips a round can no
+// longer leak into some W sets but not others, and uniform consensus holds
+// in RWS (the companion paper's result, checked exhaustively in E2).
+type FloodSetWS struct{}
+
+var _ rounds.Algorithm = FloodSetWS{}
+
+// Name implements rounds.Algorithm.
+func (FloodSetWS) Name() string { return "FloodSetWS" }
+
+// New implements rounds.Algorithm.
+func (FloodSetWS) New(cfg rounds.ProcConfig) rounds.Process {
+	return &floodSetWSProc{cfg: cfg, w: model.NewValueSet(cfg.Initial)}
+}
+
+type floodSetWSProc struct {
+	cfg      rounds.ProcConfig
+	w        model.ValueSet
+	halt     model.ProcSet
+	decision model.Value
+	decided  bool
+}
+
+var (
+	_ rounds.Process = (*floodSetWSProc)(nil)
+	_ rounds.Cloner  = (*floodSetWSProc)(nil)
+)
+
+// Msgs implements rounds.Process.
+func (p *floodSetWSProc) Msgs(round int) []rounds.Message {
+	if round > p.cfg.T+1 {
+		return nil
+	}
+	return broadcast(p.cfg.N, WMsg{W: p.w.Clone()})
+}
+
+// Trans implements rounds.Process: W := W ∪ ⋃_{pj ∉ halt} X_j, then halt
+// every process from which no message arrived.
+func (p *floodSetWSProc) Trans(round int, received []rounds.Message) {
+	var arrived model.ProcSet
+	for j := 1; j <= p.cfg.N; j++ {
+		if received[j] == nil {
+			continue
+		}
+		arrived = arrived.Add(model.ProcessID(j))
+		if p.halt.Has(model.ProcessID(j)) {
+			continue // ignore messages from halted processes
+		}
+		if m, ok := received[j].(WMsg); ok {
+			p.w.UnionWith(m.W)
+		}
+	}
+	p.halt = p.halt.Union(model.FullSet(p.cfg.N).Minus(arrived))
+	if round == p.cfg.T+1 && !p.decided {
+		if v, ok := p.w.Min(); ok {
+			p.decision, p.decided = v, true
+		}
+	}
+}
+
+// Decision implements rounds.Process.
+func (p *floodSetWSProc) Decision() (model.Value, bool) { return p.decision, p.decided }
+
+// CloneProcess implements rounds.Cloner.
+func (p *floodSetWSProc) CloneProcess() rounds.Process {
+	c := *p
+	c.w = p.w.Clone()
+	return &c
+}

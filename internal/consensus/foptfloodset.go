@@ -1,0 +1,209 @@
+package consensus
+
+import (
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// FOptFloodSet is the paper's Figure 3: the failure-optimized FloodSet. A
+// process that receives exactly n−t messages at round 1 knows (by round
+// synchrony) the exact set of faulty processes, so it can decide min(W)
+// immediately and force that decision on everyone at round 2 with a
+// (D, decision) message. In runs where t processes crash initially every
+// process decides at round 1, witnessing Lat(F_OptFloodSet) = 1 — the
+// paper's observation that minimal latency is *not* obtained in
+// failure-free runs.
+type FOptFloodSet struct{}
+
+var _ rounds.Algorithm = FOptFloodSet{}
+
+// Name implements rounds.Algorithm.
+func (FOptFloodSet) Name() string { return "F_OptFloodSet" }
+
+// New implements rounds.Algorithm.
+func (FOptFloodSet) New(cfg rounds.ProcConfig) rounds.Process {
+	return &fOptProc{cfg: cfg, w: model.NewValueSet(cfg.Initial)}
+}
+
+type fOptProc struct {
+	cfg      rounds.ProcConfig
+	w        model.ValueSet
+	decision model.Value
+	decided  bool
+}
+
+var (
+	_ rounds.Process = (*fOptProc)(nil)
+	_ rounds.Cloner  = (*fOptProc)(nil)
+)
+
+// Msgs implements rounds.Process:
+//
+//	if rounds ≤ t then
+//	    if decided = false then send W to all processes
+//	    else send (D, decision) to all processes
+func (p *fOptProc) Msgs(round int) []rounds.Message {
+	if round > p.cfg.T+1 {
+		return nil
+	}
+	if p.decided {
+		return broadcast(p.cfg.N, DMsg{V: p.decision})
+	}
+	return broadcast(p.cfg.N, WMsg{W: p.w.Clone()})
+}
+
+// Trans implements rounds.Process, Figure 3's transition:
+//
+//	if rounds = 1 and n−t messages have arrived then decide min(W)
+//	else if at least one X_j equals (D, v) then decide v
+//	else W := W ∪ ⋃_j X_j
+//	if rounds = t+1 and decided = false then decide min(W)
+func (p *fOptProc) Trans(round int, received []rounds.Message) {
+	arrived := arrivedSet(received)
+	forced := model.NoValue
+	forcedOK := false
+	for j := 1; j <= p.cfg.N; j++ {
+		if m, ok := received[j].(DMsg); ok {
+			forced, forcedOK = m.V, true
+			break
+		}
+	}
+	switch {
+	case round == 1 && arrived.Count() == p.cfg.N-p.cfg.T:
+		unionW(&p.w, received)
+		if !p.decided {
+			if v, ok := p.w.Min(); ok {
+				p.decision, p.decided = v, true
+			}
+		}
+	case forcedOK:
+		if !p.decided {
+			p.decision, p.decided = forced, true
+		}
+	default:
+		unionW(&p.w, received)
+	}
+	if round == p.cfg.T+1 && !p.decided {
+		if v, ok := p.w.Min(); ok {
+			p.decision, p.decided = v, true
+		}
+	}
+}
+
+// Decision implements rounds.Process.
+func (p *fOptProc) Decision() (model.Value, bool) { return p.decision, p.decided }
+
+// CloneProcess implements rounds.Cloner.
+func (p *fOptProc) CloneProcess() rounds.Process {
+	c := *p
+	c.w = p.w.Clone()
+	return &c
+}
+
+// FOptFloodSetWS grafts Figure 3's n−t fast path onto FloodSetWS, the RWS
+// adaptation the paper calls F_OptFloodSetWS (its code is not spelled out
+// in the paper; this is the natural translation with the halt mechanism).
+//
+// Why the fast path stays safe in RWS even though Theorem 5.1's case-2
+// argument leans on round synchrony: a round-1 fast decider misses exactly
+// t senders, and in RWS every missing sender is already doomed — it either
+// crashed during round 1 or made its message pending, which obliges it to
+// crash by round 2. The t missing processes therefore exhaust the entire
+// failure budget, so (i) every fast decider misses the same t processes and
+// computes the same W (round-1 messages are identical to all destinations),
+// and (ii) the fast deciders themselves are necessarily correct, so their
+// round-2 (D, v) forcing cannot be lost to pending messages. Experiment E3
+// checks this exhaustively for t = 1 and t = 2.
+type FOptFloodSetWS struct{}
+
+var _ rounds.Algorithm = FOptFloodSetWS{}
+
+// Name implements rounds.Algorithm.
+func (FOptFloodSetWS) Name() string { return "F_OptFloodSetWS" }
+
+// New implements rounds.Algorithm.
+func (FOptFloodSetWS) New(cfg rounds.ProcConfig) rounds.Process {
+	return &fOptWSProc{cfg: cfg, w: model.NewValueSet(cfg.Initial)}
+}
+
+type fOptWSProc struct {
+	cfg      rounds.ProcConfig
+	w        model.ValueSet
+	halt     model.ProcSet
+	decision model.Value
+	decided  bool
+}
+
+var (
+	_ rounds.Process = (*fOptWSProc)(nil)
+	_ rounds.Cloner  = (*fOptWSProc)(nil)
+)
+
+// Msgs implements rounds.Process.
+func (p *fOptWSProc) Msgs(round int) []rounds.Message {
+	if round > p.cfg.T+1 {
+		return nil
+	}
+	if p.decided {
+		return broadcast(p.cfg.N, DMsg{V: p.decision})
+	}
+	return broadcast(p.cfg.N, WMsg{W: p.w.Clone()})
+}
+
+// Trans implements rounds.Process: Figure 3's rule with FloodSetWS's
+// halt-filtered union.
+func (p *fOptWSProc) Trans(round int, received []rounds.Message) {
+	var arrived model.ProcSet
+	forced := model.NoValue
+	forcedOK := false
+	for j := 1; j <= p.cfg.N; j++ {
+		if received[j] == nil {
+			continue
+		}
+		arrived = arrived.Add(model.ProcessID(j))
+		if m, ok := received[j].(DMsg); ok && !p.halt.Has(model.ProcessID(j)) && !forcedOK {
+			forced, forcedOK = m.V, true
+		}
+	}
+	unionVisible := func() {
+		for j := 1; j <= p.cfg.N; j++ {
+			if received[j] == nil || p.halt.Has(model.ProcessID(j)) {
+				continue
+			}
+			if m, ok := received[j].(WMsg); ok {
+				p.w.UnionWith(m.W)
+			}
+		}
+	}
+	switch {
+	case round == 1 && arrived.Count() == p.cfg.N-p.cfg.T:
+		unionVisible()
+		if !p.decided {
+			if v, ok := p.w.Min(); ok {
+				p.decision, p.decided = v, true
+			}
+		}
+	case forcedOK:
+		if !p.decided {
+			p.decision, p.decided = forced, true
+		}
+	default:
+		unionVisible()
+	}
+	p.halt = p.halt.Union(model.FullSet(p.cfg.N).Minus(arrived))
+	if round == p.cfg.T+1 && !p.decided {
+		if v, ok := p.w.Min(); ok {
+			p.decision, p.decided = v, true
+		}
+	}
+}
+
+// Decision implements rounds.Process.
+func (p *fOptWSProc) Decision() (model.Value, bool) { return p.decision, p.decided }
+
+// CloneProcess implements rounds.Cloner.
+func (p *fOptWSProc) CloneProcess() rounds.Process {
+	c := *p
+	c.w = p.w.Clone()
+	return &c
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsPass(t *testing.T) {
+	cfg := Config{Trials: 60, Live: true}
+	reports, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 13 {
+		t.Fatalf("got %d reports, want 13", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("%s FAILED:\n%s", r.ID, r)
+		}
+		if r.Paper == "" || r.Measured == "" {
+			t.Errorf("%s: missing paper/measured fields", r.ID)
+		}
+		if !strings.HasPrefix(r.String(), "== "+r.ID) {
+			t.Errorf("%s: bad rendering", r.ID)
+		}
+	}
+}
+
+func TestExperimentIDsOrdered(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d experiments", len(all))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" {
+			t.Errorf("%s: empty title", e.ID)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.N != 3 || c.T != 1 || c.Trials != 200 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,312 @@
+// Package ctoueg implements Chandra and Toueg's rotating-coordinator
+// consensus algorithm for the ◇S failure detector class, on this
+// repository's step-level asynchronous engine. The DSN 2000 paper's
+// discussion calls for extending its SS-versus-SP comparison "to other
+// classes of timing-based models and other classes of failure detectors";
+// this package supplies the other end of that comparison: consensus that
+// needs only *eventual* weak accuracy, at the price of a majority of
+// correct processes (t < n/2) — against the paper's P-based world where
+// any minority of crashes is tolerated.
+//
+// The algorithm (Chandra & Toueg, JACM 1996, §6.2), per asynchronous round
+// r with coordinator c = ((r−1) mod n) + 1:
+//
+//	phase 1: every process sends its (estimate, timestamp) to c;
+//	phase 2: c gathers a majority of estimates and adopts the one with the
+//	         highest timestamp as the round's proposal;
+//	phase 3: every process waits for c's proposal OR suspects c (◇S
+//	         query); it replies ack (adopting the proposal, stamping it
+//	         with r) or nack;
+//	phase 4: c gathers a majority of replies; if all are acks it reliably
+//	         broadcasts decide(proposal).
+//
+// Reliable broadcast is implemented by relaying: a process that receives a
+// decision forwards it to everyone before halting. Uniform agreement comes
+// from majority intersection on timestamps: once some majority has adopted
+// a proposal with stamp r, every later coordinator's majority overlaps it
+// and must pick up that proposal.
+//
+// The step engine delivers the detector output via step.HistoryFD; package
+// fd generates adversarial ◇S histories (false suspicions before a
+// stabilization time, one immune correct process after).
+package ctoueg
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/step"
+)
+
+// Message kinds exchanged by the protocol.
+
+// EstimateMsg is phase 1: a participant's current estimate and the round it
+// was last adopted in (0 = initial value).
+type EstimateMsg struct {
+	Round int
+	Est   model.Value
+	TS    int
+}
+
+// ProposalMsg is phase 2: the coordinator's proposal for the round.
+type ProposalMsg struct {
+	Round int
+	Est   model.Value
+}
+
+// ReplyMsg is phase 3: ack (adopted) or nack (coordinator suspected).
+type ReplyMsg struct {
+	Round int
+	Ack   bool
+}
+
+// DecideMsg is the reliably broadcast decision.
+type DecideMsg struct {
+	Est model.Value
+}
+
+// Algorithm builds the ◇S consensus automata. It requires a majority of
+// correct processes: New panics if 2t ≥ n (a misconfiguration, not a
+// runtime condition).
+type Algorithm struct {
+	T int
+}
+
+var _ step.Algorithm = Algorithm{}
+
+// Name implements step.Algorithm.
+func (Algorithm) Name() string { return "CT-◇S-Consensus" }
+
+// New implements step.Algorithm.
+func (a Algorithm) New(cfg step.Config) step.Automaton {
+	if 2*a.T >= cfg.N {
+		panic(fmt.Sprintf("ctoueg: requires a majority of correct processes: t=%d, n=%d", a.T, cfg.N))
+	}
+	return &proc{
+		id:  cfg.ID,
+		n:   cfg.N,
+		maj: cfg.N/2 + 1,
+		est: cfg.Input,
+		// Round 1 starts in phase 1.
+		round: 1,
+		phase: phaseSendEstimate,
+
+		estimates: make(map[int][]EstimateMsg),
+		replies:   make(map[int][]ReplyMsg),
+		proposals: make(map[int]*ProposalMsg),
+	}
+}
+
+// coordinator returns round r's coordinator.
+func coordinator(r, n int) model.ProcessID {
+	return model.ProcessID((r-1)%n + 1)
+}
+
+// phase enumerates the participant's position in its current round.
+type phase int
+
+const (
+	phaseSendEstimate phase = iota + 1
+	phaseAwaitProposal
+	phaseRelayDecision
+	phaseHalted
+)
+
+type proc struct {
+	id    model.ProcessID
+	n     int
+	maj   int
+	est   model.Value
+	ts    int
+	round int
+	phase phase
+
+	// outbox holds queued sends; the step model allows one send per step.
+	outbox []step.Send
+
+	// Per-round message stores (messages can arrive ahead of our round).
+	estimates map[int][]EstimateMsg
+	replies   map[int][]ReplyMsg
+	proposals map[int]*ProposalMsg
+
+	// Coordinator bookkeeping for rounds this process coordinates.
+	proposed    map[int]bool
+	repliesDone map[int]bool
+
+	// replySent tracks whether this participant answered its current round.
+	replySent map[int]bool
+
+	decided  bool
+	decision model.Value
+}
+
+var (
+	_ step.Automaton = (*proc)(nil)
+	_ step.Decider   = (*proc)(nil)
+)
+
+// Decision implements step.Decider.
+func (p *proc) Decision() (model.Value, bool) { return p.decision, p.decided }
+
+// queue appends sends to the outbox.
+func (p *proc) queue(to model.ProcessID, payload any) {
+	if to == p.id {
+		return // self-interactions are handled internally
+	}
+	p.outbox = append(p.outbox, step.Send{To: to, Payload: payload})
+}
+
+// broadcastQueue queues a payload to every other process.
+func (p *proc) broadcastQueue(payload any) {
+	for j := 1; j <= p.n; j++ {
+		p.queue(model.ProcessID(j), payload)
+	}
+}
+
+// Step implements step.Automaton.
+func (p *proc) Step(in step.Input) *step.Send {
+	p.absorb(in.Received)
+	if p.phase != phaseHalted {
+		p.advance(in.Suspects)
+	}
+	if len(p.outbox) > 0 {
+		s := p.outbox[0]
+		p.outbox = p.outbox[1:]
+		return &s
+	}
+	return nil
+}
+
+// absorb files incoming messages and handles decisions.
+func (p *proc) absorb(received []step.Message) {
+	for _, m := range received {
+		switch msg := m.Payload.(type) {
+		case EstimateMsg:
+			p.estimates[msg.Round] = append(p.estimates[msg.Round], msg)
+		case ProposalMsg:
+			cp := msg
+			if p.proposals[msg.Round] == nil {
+				p.proposals[msg.Round] = &cp
+			}
+		case ReplyMsg:
+			p.replies[msg.Round] = append(p.replies[msg.Round], msg)
+		case DecideMsg:
+			if !p.decided {
+				p.decided, p.decision = true, msg.Est
+				p.outbox = nil // drop stale protocol messages
+				p.broadcastQueue(DecideMsg{Est: msg.Est})
+				p.phase = phaseRelayDecision
+			}
+		}
+	}
+	if p.phase == phaseRelayDecision && len(p.outbox) == 0 {
+		p.phase = phaseHalted
+	}
+}
+
+// advance runs the participant and (when applicable) coordinator state
+// machines for the current round.
+func (p *proc) advance(suspects model.ProcSet) {
+	if p.decided {
+		return
+	}
+	// Coordinator duties for any round we coordinate, driven by tallies.
+	p.coordinate()
+
+	switch p.phase {
+	case phaseSendEstimate:
+		c := coordinator(p.round, p.n)
+		if c == p.id {
+			// Tally our own estimate directly.
+			p.estimates[p.round] = append(p.estimates[p.round],
+				EstimateMsg{Round: p.round, Est: p.est, TS: p.ts})
+		} else {
+			p.queue(c, EstimateMsg{Round: p.round, Est: p.est, TS: p.ts})
+		}
+		p.phase = phaseAwaitProposal
+
+	case phaseAwaitProposal:
+		c := coordinator(p.round, p.n)
+		if prop := p.proposals[p.round]; prop != nil {
+			// Adopt and ack.
+			p.est, p.ts = prop.Est, p.round
+			p.reply(c, true)
+			p.nextRound()
+		} else if suspects.Has(c) && c != p.id {
+			p.reply(c, false)
+			p.nextRound()
+		}
+	}
+}
+
+// reply sends (or self-tallies) the phase-3 answer.
+func (p *proc) reply(c model.ProcessID, ack bool) {
+	if p.replySent == nil {
+		p.replySent = make(map[int]bool)
+	}
+	if p.replySent[p.round] {
+		return
+	}
+	p.replySent[p.round] = true
+	msg := ReplyMsg{Round: p.round, Ack: ack}
+	if c == p.id {
+		p.replies[p.round] = append(p.replies[p.round], msg)
+	} else {
+		p.queue(c, msg)
+	}
+}
+
+// nextRound advances the participant.
+func (p *proc) nextRound() {
+	p.round++
+	p.phase = phaseSendEstimate
+}
+
+// coordinate progresses the coordinator state machines of rounds this
+// process owns: propose once a majority of estimates arrived; decide once a
+// majority of replies arrived and all are acks.
+func (p *proc) coordinate() {
+	if p.proposed == nil {
+		p.proposed = make(map[int]bool)
+		p.repliesDone = make(map[int]bool)
+	}
+	for r, ests := range p.estimates {
+		if coordinator(r, p.n) != p.id || p.proposed[r] || len(ests) < p.maj {
+			continue
+		}
+		p.proposed[r] = true
+		best := ests[0]
+		for _, e := range ests[1:] {
+			if e.TS > best.TS {
+				best = e
+			}
+		}
+		prop := ProposalMsg{Round: r, Est: best.Est}
+		// Deliver to ourselves directly; broadcast to the rest.
+		if p.proposals[r] == nil {
+			cp := prop
+			p.proposals[r] = &cp
+		}
+		p.broadcastQueue(prop)
+	}
+	for r, reps := range p.replies {
+		if coordinator(r, p.n) != p.id || p.repliesDone[r] || !p.proposed[r] || len(reps) < p.maj {
+			continue
+		}
+		p.repliesDone[r] = true
+		allAck := true
+		for _, rep := range reps[:p.maj] {
+			if !rep.Ack {
+				allAck = false
+				break
+			}
+		}
+		if allAck {
+			v := p.proposals[r].Est
+			if !p.decided {
+				p.decided, p.decision = true, v
+			}
+			p.broadcastQueue(DecideMsg{Est: v})
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package ctoueg
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/step"
+)
+
+func vals(vs ...int64) []model.Value {
+	out := make([]model.Value, len(vs))
+	for i, v := range vs {
+		out[i] = model.Value(v)
+	}
+	return out
+}
+
+func TestCoordinatorRotation(t *testing.T) {
+	if coordinator(1, 3) != 1 || coordinator(2, 3) != 2 || coordinator(3, 3) != 3 || coordinator(4, 3) != 1 {
+		t.Error("rotation wrong")
+	}
+}
+
+func TestRejectsTooManyFaults(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("2t ≥ n accepted")
+		}
+	}()
+	Algorithm{T: 2}.New(step.Config{ID: 1, N: 4})
+}
+
+func TestFailureFreeConsensus(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		inputs := vals(4, 2, 7)
+		res, err := Run(inputs, RunConfig{T: 1, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if viol := CheckConsensus(res.Trace, inputs); len(viol) != 0 {
+			t.Fatalf("seed %d: %s", seed, viol[0])
+		}
+	}
+}
+
+func TestUnanimousValidity(t *testing.T) {
+	inputs := vals(9, 9, 9)
+	res, err := Run(inputs, RunConfig{T: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 1; p <= 3; p++ {
+		if !res.Trace.Decided[p] || res.Trace.DecidedValue[p] != 9 {
+			t.Fatalf("p%d decided (%v,%d), want (true,9)", p, res.Trace.Decided[p], res.Trace.DecidedValue[p])
+		}
+	}
+}
+
+// TestConsensusUnderCrashes sweeps crash timings of one process (t=1,
+// n=3): uniform consensus must hold in every run, under noisy ◇S
+// histories with false suspicions before stabilization.
+func TestConsensusUnderCrashes(t *testing.T) {
+	for _, victim := range []model.ProcessID{1, 2, 3} {
+		for _, crashStep := range []int{1, 5, 20, 80} {
+			for seed := int64(0); seed < 8; seed++ {
+				inputs := vals(3, 1, 2)
+				res, err := Run(inputs, RunConfig{
+					T: 1, Seed: seed,
+					CrashAt:            map[model.ProcessID]int{victim: crashStep},
+					FalseSuspicionRate: 0.8,
+				})
+				if err != nil {
+					t.Fatalf("victim=%v crash@%d seed=%d: %v", victim, crashStep, seed, err)
+				}
+				if viol := CheckConsensus(res.Trace, inputs); len(viol) != 0 {
+					t.Fatalf("victim=%v crash@%d seed=%d: %s", victim, crashStep, seed, viol[0])
+				}
+			}
+		}
+	}
+}
+
+// TestConsensusWithLargerSystem: n=5, t=2, two crashes.
+func TestConsensusWithLargerSystem(t *testing.T) {
+	inputs := vals(5, 3, 8, 1, 9)
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Run(inputs, RunConfig{
+			T: 2, Seed: seed,
+			CrashAt:            map[model.ProcessID]int{1: 10, 4: 40},
+			FalseSuspicionRate: 0.6,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if viol := CheckConsensus(res.Trace, inputs); len(viol) != 0 {
+			t.Fatalf("seed %d: %s", seed, viol[0])
+		}
+	}
+}
+
+// TestWorksUnderEventuallyPerfectToo: ◇P histories are a subset of ◇S
+// behaviour, so the algorithm must also work there.
+func TestWorksUnderEventuallyPerfectToo(t *testing.T) {
+	inputs := vals(4, 2, 7)
+	for seed := int64(0); seed < 10; seed++ {
+		res, err := Run(inputs, RunConfig{T: 1, Seed: seed, Class: fd.EventuallyP, FalseSuspicionRate: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viol := CheckConsensus(res.Trace, inputs); len(viol) != 0 {
+			t.Fatalf("seed %d: %s", seed, viol[0])
+		}
+	}
+}
+
+// TestHistoryIsGenuinelyNoisy confirms the runs above actually endured
+// false suspicions (otherwise the ◇S claim is untested).
+func TestHistoryIsGenuinelyNoisy(t *testing.T) {
+	noisy := false
+	for seed := int64(0); seed < 10 && !noisy; seed++ {
+		res, err := Run(vals(3, 1, 2), RunConfig{T: 1, Seed: seed, FalseSuspicionRate: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A false suspicion = some correct process suspected at some time.
+		res.Pattern.Correct().ForEach(func(c model.ProcessID) bool {
+			for o := 1; o <= res.Trace.N; o++ {
+				if model.ProcessID(o) != c && res.History.Suspects(model.ProcessID(o), c, 10) {
+					noisy = true
+				}
+			}
+			return true
+		})
+	}
+	if !noisy {
+		t.Error("no false suspicion in any generated ◇S history; the sweep does not exercise eventual accuracy")
+	}
+}

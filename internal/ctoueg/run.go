@@ -1,0 +1,162 @@
+package ctoueg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fd"
+	"repro/internal/model"
+	"repro/internal/step"
+)
+
+// RunConfig tunes one ◇S consensus execution.
+type RunConfig struct {
+	T       int
+	Seed    int64
+	CrashAt map[model.ProcessID]int // victim → global step
+	// Class selects the detector class driving the run (default ◇S).
+	Class fd.Class
+	// Stabilization is the global step by which false suspicions stop
+	// (default 150); FalseSuspicionRate drives pre-stabilization noise.
+	Stabilization      int
+	FalseSuspicionRate float64
+	// Horizon bounds the execution (default 60000 global steps).
+	Horizon int
+}
+
+// Result reports one execution.
+type Result struct {
+	Trace   *step.Trace
+	History *fd.History
+	Pattern *model.FailurePattern
+}
+
+// Run executes the protocol under a seeded asynchronous scheduler and a
+// generated detector history of the configured class. The crash pattern is
+// fixed up front so the history generator and the scheduler agree on it.
+func Run(inputs []model.Value, cfg RunConfig) (*Result, error) {
+	n := len(inputs)
+	if cfg.Class == 0 {
+		cfg.Class = fd.EventuallyS
+	}
+	if cfg.Stabilization == 0 {
+		cfg.Stabilization = 150
+	}
+	if cfg.FalseSuspicionRate == 0 {
+		cfg.FalseSuspicionRate = 0.5
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 60000
+	}
+
+	fp := model.NewFailurePattern(n)
+	for victim, at := range cfg.CrashAt {
+		if err := fp.SetCrash(victim, model.Time(at)); err != nil {
+			return nil, fmt.Errorf("ctoueg: %w", err)
+		}
+	}
+	if fp.NumFaulty() > cfg.T {
+		return nil, fmt.Errorf("ctoueg: %d crashes exceed t=%d", fp.NumFaulty(), cfg.T)
+	}
+	hist, err := fd.Generate(cfg.Class, fp, fd.GenOptions{
+		Horizon:            model.Time(cfg.Horizon),
+		MaxDetectionDelay:  10,
+		Seed:               cfg.Seed,
+		FalseSuspicionRate: cfg.FalseSuspicionRate,
+		Stabilization:      model.Time(cfg.Stabilization),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	eng, err := step.NewEngineWithHistoryFD(Algorithm{T: cfg.T}, inputs,
+		func(obs model.ProcessID, g int) model.ProcSet { return hist.At(obs, model.Time(g)) })
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 99))
+	crashAt := make(map[model.ProcessID]int, len(cfg.CrashAt))
+	for k, v := range cfg.CrashAt {
+		crashAt[k] = v
+	}
+	sched := step.SchedulerFunc(func(v *step.View) step.Decision {
+		for victim, at := range crashAt {
+			if at <= v.GlobalStep && v.Alive.Has(victim) {
+				delete(crashAt, victim)
+				return step.Decision{Crash: victim}
+			}
+		}
+		// Stop once every live process has decided and drained its outbox
+		// influence — decisions relay quickly, so "all alive decided" is a
+		// sufficient stop here.
+		done := true
+		v.Alive.ForEach(func(q model.ProcessID) bool {
+			if !v.Decided[q] {
+				done = false
+				return false
+			}
+			return true
+		})
+		if done {
+			return step.Decision{Suspend: true}
+		}
+		members := v.Alive.Members()
+		p := members[rng.Intn(len(members))]
+		d := step.Decision{Proc: p}
+		for i, m := range v.Buffers[p] {
+			if v.GlobalStep-m.SentStep >= 10 || rng.Float64() < 0.6 {
+				d.Deliver = append(d.Deliver, i)
+			}
+		}
+		return d
+	})
+	tr, err := eng.Run(sched, cfg.Horizon)
+	if err != nil {
+		return nil, fmt.Errorf("ctoueg: %w", err)
+	}
+	return &Result{Trace: tr, History: hist, Pattern: fp}, nil
+}
+
+// CheckConsensus evaluates uniform consensus on the trace: uniform
+// agreement (all deciders equal, faulty included), uniform validity
+// (unanimous input forces the decision), termination (every live process
+// decided), and value origin.
+func CheckConsensus(tr *step.Trace, inputs []model.Value) []string {
+	var out []string
+	var first model.Value
+	seen := false
+	for p := 1; p <= tr.N; p++ {
+		if !tr.Decided[p] {
+			continue
+		}
+		if !seen {
+			first, seen = tr.DecidedValue[p], true
+		} else if tr.DecidedValue[p] != first {
+			out = append(out, fmt.Sprintf("uniform agreement: p%d decided %d, others %d",
+				p, int64(tr.DecidedValue[p]), int64(first)))
+		}
+	}
+	unanimous := true
+	for _, v := range inputs[1:] {
+		if v != inputs[0] {
+			unanimous = false
+			break
+		}
+	}
+	if unanimous && seen && first != inputs[0] {
+		out = append(out, fmt.Sprintf("uniform validity: unanimous %d decided %d",
+			int64(inputs[0]), int64(first)))
+	}
+	proposed := model.NewValueSet(inputs...)
+	for p := 1; p <= tr.N; p++ {
+		if tr.Decided[p] && !proposed.Has(tr.DecidedValue[p]) {
+			out = append(out, fmt.Sprintf("value origin: p%d decided unproposed %d",
+				p, int64(tr.DecidedValue[p])))
+		}
+		if tr.Alive(model.ProcessID(p)) && !tr.Decided[p] {
+			out = append(out, fmt.Sprintf("termination: correct p%d undecided", p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package emul
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/step"
+)
+
+// RSEmulation adapts a round-based algorithm to the SS step model (§4.1).
+// Construct with NewRSEmulation, run with RunRS.
+type RSEmulation struct {
+	inner      rounds.Algorithm
+	t          int
+	phi, delta int
+	maxRounds  int
+	nProcs     int
+	result     *Result
+}
+
+var _ step.Algorithm = (*RSEmulation)(nil)
+
+// NewRSEmulation prepares an emulation of inner (resilience t) in SS with
+// bounds Φ and Δ, running at most maxRounds rounds.
+func NewRSEmulation(inner rounds.Algorithm, t, phi, delta, maxRounds int) *RSEmulation {
+	return &RSEmulation{inner: inner, t: t, phi: phi, delta: delta, maxRounds: maxRounds}
+}
+
+// Name implements step.Algorithm.
+func (e *RSEmulation) Name() string { return "RS⟨" + e.inner.Name() + "⟩" }
+
+// New implements step.Algorithm.
+func (e *RSEmulation) New(cfg step.Config) step.Automaton {
+	p := &rsProc{
+		owner:     e,
+		id:        cfg.ID,
+		n:         cfg.N,
+		deadlines: DeadlineSchedule(cfg.N, e.phi, e.delta, e.maxRounds),
+		round:     1,
+		inner: e.inner.New(rounds.ProcConfig{
+			ID: cfg.ID, N: cfg.N, T: e.t, Initial: cfg.Input,
+		}),
+		got: make([]map[model.ProcessID]rounds.Message, e.maxRounds+2),
+	}
+	return p
+}
+
+// newResult initializes the shared result record; called by RunRS.
+func (e *RSEmulation) newResult(n int) {
+	e.nProcs = n
+	e.result = &Result{
+		Algorithm:       e.Name(),
+		N:               n,
+		T:               e.t,
+		DecidedAtRound:  make([]int, n+1),
+		DecisionOf:      make([]model.Value, n+1),
+		Decided:         make([]bool, n+1),
+		CompletedRounds: make([]int, n+1),
+		SentThrough:     make([]int, n+1),
+		Crashed:         make([]bool, n+1),
+		ReceivedFrom:    make([][]model.ProcSet, n+1),
+	}
+	for p := 1; p <= n; p++ {
+		e.result.ReceivedFrom[p] = make([]model.ProcSet, e.maxRounds+2)
+	}
+}
+
+type rsProc struct {
+	owner     *RSEmulation
+	id        model.ProcessID
+	n         int
+	deadlines []int
+
+	inner rounds.Process
+	round int
+	msgs  []rounds.Message
+	got   []map[model.ProcessID]rounds.Message
+	done  bool
+}
+
+var (
+	_ step.Automaton = (*rsProc)(nil)
+	_ step.Decider   = (*rsProc)(nil)
+)
+
+// destFor maps a 1-based send offset to the destination process, skipping
+// the sender itself.
+func destFor(self model.ProcessID, n, offset int) model.ProcessID {
+	d := model.ProcessID(offset)
+	if d >= self {
+		d++
+	}
+	_ = n
+	return d
+}
+
+// Step implements step.Automaton: absorb arrivals, then act according to
+// the position of this local step inside the current round's window.
+func (p *rsProc) Step(in step.Input) *step.Send {
+	for _, m := range in.Received {
+		rm, ok := m.Payload.(roundMsg)
+		if !ok {
+			continue
+		}
+		if rm.Round < p.round {
+			p.owner.result.PendingObserved = append(p.owner.result.PendingObserved,
+				PendingMessage{Sender: m.From, Receiver: p.id, Round: rm.Round})
+			continue
+		}
+		if rm.Round < len(p.got) {
+			if p.got[rm.Round] == nil {
+				p.got[rm.Round] = make(map[model.ProcessID]rounds.Message, p.n)
+			}
+			p.got[rm.Round][m.From] = rm.Payload
+			if rm.Round < len(p.owner.result.ReceivedFrom[p.id]) {
+				p.owner.result.ReceivedFrom[p.id][rm.Round] =
+					p.owner.result.ReceivedFrom[p.id][rm.Round].Add(m.From)
+			}
+		}
+	}
+	if p.done || p.round > p.owner.maxRounds {
+		return nil
+	}
+
+	base := p.deadlines[p.round-1]
+	offset := in.Local - base
+	var send *step.Send
+	switch {
+	case offset >= 1 && offset <= p.n-1:
+		if offset == 1 {
+			p.msgs = p.inner.Msgs(p.round)
+		}
+		if offset == p.n-1 {
+			p.owner.result.SentThrough[p.id] = p.round
+		}
+		dest := destFor(p.id, p.n, offset)
+		var payload rounds.Message
+		if p.msgs != nil {
+			payload = p.msgs[dest]
+		}
+		// Null messages are transmitted explicitly so receivers can record
+		// liveness; the payload stays nil.
+		send = &step.Send{To: dest, Payload: roundMsg{Round: p.round, Payload: payload}}
+	}
+	if in.Local == p.deadlines[p.round] {
+		p.closeRound()
+	}
+	return send
+}
+
+// closeRound applies the round's transition from the collected messages.
+func (p *rsProc) closeRound() {
+	received := make([]rounds.Message, p.n+1)
+	for from, payload := range p.got[p.round] {
+		received[from] = payload
+	}
+	// Self-delivery: the process always sees its own non-null message.
+	if p.msgs != nil {
+		received[p.id] = p.msgs[p.id]
+	}
+	p.inner.Trans(p.round, received)
+	res := p.owner.result
+	res.CompletedRounds[p.id] = p.round
+	if !res.Decided[p.id] {
+		if v, ok := p.inner.Decision(); ok {
+			res.Decided[p.id] = true
+			res.DecisionOf[p.id] = v
+			res.DecidedAtRound[p.id] = p.round
+		}
+	}
+	p.got[p.round] = nil
+	p.round++
+	p.msgs = nil
+	if p.round > p.owner.maxRounds {
+		p.done = true
+	}
+}
+
+// Decision implements step.Decider.
+func (p *rsProc) Decision() (model.Value, bool) { return p.inner.Decision() }
+
+// RunRS emulates the algorithm over the SS step engine under a seeded
+// SS-admissible scheduler, with optional crash injection (global step →
+// victim). It validates the produced schedule against the Φ/Δ conditions
+// and returns the round-level result.
+func RunRS(inner rounds.Algorithm, initial []model.Value, t, phi, delta, maxRounds int, seed int64, crashAt map[model.ProcessID]int) (*Result, error) {
+	n := len(initial)
+	e := NewRSEmulation(inner, t, phi, delta, maxRounds)
+	e.newResult(n)
+	eng, err := step.NewEngine(e, initial)
+	if err != nil {
+		return nil, err
+	}
+	stop := func(v *step.View) bool {
+		done := true
+		v.Alive.ForEach(func(q model.ProcessID) bool {
+			if !v.Decided[q] {
+				done = false
+				return false
+			}
+			return true
+		})
+		return done
+	}
+	sched := step.NewSSScheduler(phi, delta, seed, stop)
+	sched.CrashAtStep = crashAt
+	// Horizon: every process takes at most K_max local steps; the global
+	// step count is bounded by n times that (plus crashes).
+	horizon := (n+1)*e.deadlineMax() + 16
+	tr, err := eng.Run(sched, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("emul: RunRS(%s): %w", e.Name(), err)
+	}
+	if v := step.CheckProcessSynchrony(tr, phi); len(v) != 0 {
+		return nil, fmt.Errorf("emul: RunRS: schedule violates process synchrony: %s", v[0].Error())
+	}
+	if v := step.CheckMessageSynchrony(tr, delta); len(v) != 0 {
+		return nil, fmt.Errorf("emul: RunRS: schedule violates message synchrony: %s", v[0].Error())
+	}
+	for q := 1; q <= n; q++ {
+		e.result.Crashed[q] = tr.CrashedAt[q] != 0
+	}
+	e.result.Steps = len(tr.Events)
+	return e.result, nil
+}
+
+// deadlineMax returns K_maxRounds for the configured system size.
+func (e *RSEmulation) deadlineMax() int {
+	ks := DeadlineSchedule(e.nProcs, e.phi, e.delta, e.maxRounds)
+	return ks[e.maxRounds]
+}

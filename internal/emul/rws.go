@@ -1,0 +1,218 @@
+package emul
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/step"
+)
+
+// RWSEmulation adapts a round-based algorithm to the SP step model (§4.2):
+// send the round's messages, then keep stepping until every peer has either
+// delivered its round message or is suspected by the perfect failure
+// detector. Construct with NewRWSEmulation, run with RunRWS.
+type RWSEmulation struct {
+	inner     rounds.Algorithm
+	t         int
+	maxRounds int
+	result    *Result
+}
+
+var _ step.Algorithm = (*RWSEmulation)(nil)
+
+// NewRWSEmulation prepares an emulation of inner (resilience t) in SP,
+// running at most maxRounds rounds.
+func NewRWSEmulation(inner rounds.Algorithm, t, maxRounds int) *RWSEmulation {
+	return &RWSEmulation{inner: inner, t: t, maxRounds: maxRounds}
+}
+
+// Name implements step.Algorithm.
+func (e *RWSEmulation) Name() string { return "RWS⟨" + e.inner.Name() + "⟩" }
+
+// New implements step.Algorithm.
+func (e *RWSEmulation) New(cfg step.Config) step.Automaton {
+	return &rwsProc{
+		owner: e,
+		id:    cfg.ID,
+		n:     cfg.N,
+		round: 1,
+		inner: e.inner.New(rounds.ProcConfig{
+			ID: cfg.ID, N: cfg.N, T: e.t, Initial: cfg.Input,
+		}),
+		got: make([]map[model.ProcessID]rounds.Message, e.maxRounds+2),
+	}
+}
+
+// newResult initializes the shared result record; called by RunRWS.
+func (e *RWSEmulation) newResult(n int) {
+	e.result = &Result{
+		Algorithm:       e.Name(),
+		N:               n,
+		T:               e.t,
+		DecidedAtRound:  make([]int, n+1),
+		DecisionOf:      make([]model.Value, n+1),
+		Decided:         make([]bool, n+1),
+		CompletedRounds: make([]int, n+1),
+		SentThrough:     make([]int, n+1),
+		Crashed:         make([]bool, n+1),
+		ReceivedFrom:    make([][]model.ProcSet, n+1),
+	}
+	for p := 1; p <= n; p++ {
+		e.result.ReceivedFrom[p] = make([]model.ProcSet, e.maxRounds+2)
+	}
+}
+
+type rwsProc struct {
+	owner *RWSEmulation
+	id    model.ProcessID
+	n     int
+
+	inner   rounds.Process
+	round   int
+	msgs    []rounds.Message
+	sendIdx int // next send offset (1..n−1); n−1 completed means receiving
+	got     []map[model.ProcessID]rounds.Message
+	done    bool
+}
+
+var (
+	_ step.Automaton = (*rwsProc)(nil)
+	_ step.Decider   = (*rwsProc)(nil)
+)
+
+// Step implements step.Automaton: the paper's send-then-receive-or-suspect
+// loop.
+func (p *rwsProc) Step(in step.Input) *step.Send {
+	for _, m := range in.Received {
+		rm, ok := m.Payload.(roundMsg)
+		if !ok {
+			continue
+		}
+		if rm.Round < p.round {
+			// The paper's pending message: its round is already closed.
+			p.owner.result.PendingObserved = append(p.owner.result.PendingObserved,
+				PendingMessage{Sender: m.From, Receiver: p.id, Round: rm.Round})
+			continue
+		}
+		if rm.Round < len(p.got) {
+			if p.got[rm.Round] == nil {
+				p.got[rm.Round] = make(map[model.ProcessID]rounds.Message, p.n)
+			}
+			p.got[rm.Round][m.From] = rm.Payload
+			if rm.Round < len(p.owner.result.ReceivedFrom[p.id]) {
+				p.owner.result.ReceivedFrom[p.id][rm.Round] =
+					p.owner.result.ReceivedFrom[p.id][rm.Round].Add(m.From)
+			}
+		}
+	}
+	if p.done {
+		return nil
+	}
+
+	// Send phase: one message per step.
+	if p.sendIdx < p.n-1 {
+		if p.sendIdx == 0 {
+			p.msgs = p.inner.Msgs(p.round)
+		}
+		p.sendIdx++
+		if p.sendIdx == p.n-1 {
+			p.owner.result.SentThrough[p.id] = p.round
+		}
+		dest := destFor(p.id, p.n, p.sendIdx)
+		var payload rounds.Message
+		if p.msgs != nil {
+			payload = p.msgs[dest]
+		}
+		return &step.Send{To: dest, Payload: roundMsg{Round: p.round, Payload: payload}}
+	}
+
+	// Receive phase: wait until every peer has delivered or is suspected.
+	for j := 1; j <= p.n; j++ {
+		pj := model.ProcessID(j)
+		if pj == p.id {
+			continue
+		}
+		if _, got := p.got[p.round][pj]; !got && !in.Suspects.Has(pj) {
+			return nil // keep waiting
+		}
+	}
+	p.closeRound()
+	return nil
+}
+
+// closeRound applies the round's transition and opens the next round.
+func (p *rwsProc) closeRound() {
+	received := make([]rounds.Message, p.n+1)
+	for from, payload := range p.got[p.round] {
+		received[from] = payload
+	}
+	if p.msgs != nil {
+		received[p.id] = p.msgs[p.id]
+	}
+	p.inner.Trans(p.round, received)
+	res := p.owner.result
+	res.CompletedRounds[p.id] = p.round
+	if !res.Decided[p.id] {
+		if v, ok := p.inner.Decision(); ok {
+			res.Decided[p.id] = true
+			res.DecisionOf[p.id] = v
+			res.DecidedAtRound[p.id] = p.round
+		}
+	}
+	p.got[p.round] = nil
+	p.round++
+	p.msgs = nil
+	p.sendIdx = 0
+	if p.round > p.owner.maxRounds {
+		p.done = true
+	}
+}
+
+// Decision implements step.Decider.
+func (p *rwsProc) Decision() (model.Value, bool) { return p.inner.Decision() }
+
+// RunRWS emulates the algorithm over the SP step engine under a seeded SP
+// scheduler with crash injection. The trace's detector axioms are verified
+// and the result's Lemma 4.1 property is checked before returning.
+func RunRWS(inner rounds.Algorithm, initial []model.Value, t, maxRounds int, seed int64, crashAt map[model.ProcessID]int, tune ...func(*step.SPScheduler)) (*Result, error) {
+	n := len(initial)
+	e := NewRWSEmulation(inner, t, maxRounds)
+	e.newResult(n)
+	eng, err := step.NewEngineWithFD(e, initial)
+	if err != nil {
+		return nil, err
+	}
+	stop := func(v *step.View) bool {
+		done := true
+		v.Alive.ForEach(func(q model.ProcessID) bool {
+			if !v.Decided[q] {
+				done = false
+				return false
+			}
+			return true
+		})
+		return done
+	}
+	sched := step.NewSPScheduler(seed, stop)
+	sched.CrashAtStep = crashAt
+	for _, f := range tune {
+		f(sched)
+	}
+	horizon := 200 * n * (maxRounds + 2)
+	tr, err := eng.Run(sched, horizon)
+	if err != nil {
+		return nil, fmt.Errorf("emul: RunRWS(%s): %w", e.Name(), err)
+	}
+	if v := step.CheckStrongAccuracy(tr); len(v) != 0 {
+		return nil, fmt.Errorf("emul: RunRWS: accuracy violated: %s", v[0].Error())
+	}
+	for q := 1; q <= n; q++ {
+		e.result.Crashed[q] = tr.CrashedAt[q] != 0
+	}
+	e.result.Steps = len(tr.Events)
+	if v := e.result.CheckWeakRoundSynchrony(); len(v) != 0 {
+		return nil, fmt.Errorf("emul: RunRWS: Lemma 4.1 violated: %s", v[0])
+	}
+	return e.result, nil
+}

@@ -1,0 +1,310 @@
+// Package explore enumerates every admissible run of a round-based
+// algorithm over a bounded horizon: every crash pattern, every partial
+// broadcast and (in RWS) every pending-message choice the model's adversary
+// may make. Exhaustiveness over small systems is how this repository turns
+// the paper's universally quantified claims — worst-case latencies, the
+// impossibility of round-1 decisions in RWS, disagreement counterexamples —
+// into mechanically checked facts.
+//
+// The enumeration is canonical: choices that no surviving process can
+// observe (deliveries to a process crashing in the same round, drops
+// addressed to same-round crashers) are not branched on, which prunes the
+// space without losing any distinguishable behaviour.
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// Options bounds an exploration.
+type Options struct {
+	// MaxRounds bounds the horizon (0 means the engine's default limit).
+	MaxRounds int
+	// MaxCrashesPerRound caps how many *new* crashes a single round may
+	// introduce (0 means no cap beyond the budget t). The paper's scenarios
+	// never need more than t simultaneous crashes, but capping to 1 can
+	// shrink large searches.
+	MaxCrashesPerRound int
+	// MaxRuns aborts the exploration after this many complete runs
+	// (0 = unlimited). ErrBudget is returned when the cap is hit.
+	MaxRuns int
+}
+
+// ErrBudget is returned when Options.MaxRuns stops an exploration early.
+var ErrBudget = errors.New("explore: run budget exhausted before the space was covered")
+
+// Stats summarizes an exploration.
+type Stats struct {
+	Runs    int // complete runs visited
+	Plans   int // adversary plans expanded
+	Clones  int // engine forks performed
+	Aborted bool
+}
+
+// String renders the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d runs, %d plans, %d forks", s.Runs, s.Plans, s.Clones)
+}
+
+// Visit is called for every complete run. Returning false stops the
+// exploration immediately (used to stop at the first counterexample).
+type Visit func(*rounds.Run) bool
+
+// Runs enumerates every admissible run of alg from the given initial
+// configuration and invokes visit on each. The algorithm's processes must
+// implement rounds.Cloner.
+func Runs(kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value, t int, opts Options, visit Visit) (Stats, error) {
+	var engineOpts []rounds.Option
+	if opts.MaxRounds > 0 {
+		engineOpts = append(engineOpts, rounds.WithRoundLimit(opts.MaxRounds))
+	}
+	root, err := rounds.NewEngine(kind, alg, initial, t, engineOpts...)
+	if err != nil {
+		return Stats{}, err
+	}
+	e := &explorer{opts: opts, visit: visit}
+	err = e.dfs(root)
+	if errors.Is(err, errStopped) {
+		err = nil
+	}
+	return e.stats, err
+}
+
+// errStopped signals that the visitor requested an early stop.
+var errStopped = errors.New("explore: stopped by visitor")
+
+type explorer struct {
+	opts  Options
+	stats Stats
+	visit Visit
+}
+
+func (e *explorer) dfs(eng *rounds.Engine) error {
+	// A run is complete when every live process has decided and no
+	// weak-round-synchrony obligation is outstanding. (An obligated process
+	// still has to crash, which future rounds handle, so we must not stop
+	// while obligations remain.)
+	if eng.Done() && eng.Obligated().Empty() {
+		return e.emit(eng)
+	}
+	limit := eng.Round() >= e.roundLimit(eng)
+	if limit {
+		return e.emit(eng)
+	}
+
+	view := eng.NextView()
+	plans := EnumeratePlans(view, e.opts.MaxCrashesPerRound)
+	e.stats.Plans += len(plans)
+	for i, plan := range plans {
+		var branch *rounds.Engine
+		if i == len(plans)-1 {
+			branch = eng // reuse the engine for the last branch
+		} else {
+			var err error
+			branch, err = eng.Clone()
+			if err != nil {
+				return err
+			}
+			e.stats.Clones++
+		}
+		scripted := plan
+		if err := branch.Step(rounds.AdversaryFunc(func(*rounds.View) rounds.Plan { return scripted })); err != nil {
+			return fmt.Errorf("explore: enumerated an illegal plan %v at round %d: %w", plan, view.Round, err)
+		}
+		if err := e.dfs(branch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *explorer) roundLimit(eng *rounds.Engine) int {
+	if e.opts.MaxRounds > 0 {
+		return e.opts.MaxRounds
+	}
+	return rounds.DefaultRoundLimit(eng.T())
+}
+
+func (e *explorer) emit(eng *rounds.Engine) error {
+	run, err := eng.Execute(rounds.NoFailures, 0) // freeze: engine is already done or at limit
+	if err != nil {
+		return err
+	}
+	if !eng.Obligated().Empty() {
+		// The horizon cut the run before a pending-message obligation was
+		// discharged: this is an unfinishable prefix, not an admissible
+		// run. Mark it truncated so visitors can ignore it.
+		run.Truncated = true
+	}
+	e.stats.Runs++
+	if e.visit != nil && !e.visit(run) {
+		return errStopped
+	}
+	if e.opts.MaxRuns > 0 && e.stats.Runs >= e.opts.MaxRuns {
+		e.stats.Aborted = true
+		return ErrBudget
+	}
+	return nil
+}
+
+// EnumeratePlans returns every canonical legal plan for the round described
+// by v: all crash sets within budget (capped by maxCrashes if > 0), all
+// observable reach subsets for each crasher, and — in RWS — all observable
+// pending-message patterns within the remaining budget.
+func EnumeratePlans(v *rounds.View, maxCrashes int) []rounds.Plan {
+	budget := v.Budget()
+
+	// 1. Enumerate crash sets: subsets of Alive containing Obligated, of
+	// size ≤ budget (and ≤ maxCrashes + |Obligated| when capped).
+	crashSets := subsetsWithin(v.Alive.Minus(v.Obligated), budget-v.Obligated.Count(), maxCrashes)
+	var plans []rounds.Plan
+	for _, extra := range crashSets {
+		crashing := extra.Union(v.Obligated)
+		completers := v.Alive.Minus(crashing)
+
+		// 2. For each crasher, enumerate reach subsets over *observable*
+		// destinations: addressees that complete the round.
+		reachChoices := make([][]model.ProcSet, 0, crashing.Count())
+		crashers := crashing.Members()
+		for _, q := range crashers {
+			targets := v.Sending[q].Intersect(completers).Remove(q)
+			reachChoices = append(reachChoices, allSubsets(targets))
+		}
+
+		// 3. In RWS, enumerate pending-message patterns: a set of droppers
+		// among the completers (respecting the future budget), each with a
+		// nonempty observable drop set.
+		dropPatterns := []map[model.ProcessID]model.ProcSet{nil}
+		if v.Model == rounds.RWS {
+			futureBudget := budget - crashing.Count()
+			dropPatterns = enumerateDrops(completers, v, futureBudget)
+		}
+
+		// Cartesian product: reach choices × drop patterns.
+		forEachProduct(reachChoices, func(reaches []model.ProcSet) {
+			for _, drops := range dropPatterns {
+				p := rounds.Plan{}
+				if len(crashers) > 0 {
+					p.Crashes = make(map[model.ProcessID]model.ProcSet, len(crashers))
+					for i, q := range crashers {
+						p.Crashes[q] = reaches[i]
+					}
+				}
+				if len(drops) > 0 {
+					p.Drops = drops
+				}
+				plans = append(plans, p)
+			}
+		})
+	}
+	return plans
+}
+
+// subsetsWithin returns all subsets of s with size ≤ max (and ≤ cap if
+// cap > 0), including the empty set.
+func subsetsWithin(s model.ProcSet, max, cap int) []model.ProcSet {
+	if cap > 0 && cap < max {
+		max = cap
+	}
+	if max < 0 {
+		max = 0
+	}
+	members := s.Members()
+	var out []model.ProcSet
+	var rec func(i int, cur model.ProcSet, size int)
+	rec = func(i int, cur model.ProcSet, size int) {
+		if i == len(members) {
+			out = append(out, cur)
+			return
+		}
+		rec(i+1, cur, size)
+		if size < max {
+			rec(i+1, cur.Add(members[i]), size+1)
+		}
+	}
+	rec(0, 0, 0)
+	return out
+}
+
+// allSubsets returns every subset of s (2^|s| sets).
+func allSubsets(s model.ProcSet) []model.ProcSet {
+	members := s.Members()
+	n := len(members)
+	out := make([]model.ProcSet, 0, 1<<uint(n))
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var sub model.ProcSet
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				sub = sub.Add(members[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+// enumerateDrops returns every observable pending-message pattern among the
+// completers: every choice of ≤ futureBudget droppers, each dropping a
+// nonempty subset of its completer-addressees. The nil pattern (no drops)
+// is always first.
+func enumerateDrops(completers model.ProcSet, v *rounds.View, futureBudget int) []map[model.ProcessID]model.ProcSet {
+	out := []map[model.ProcessID]model.ProcSet{nil}
+	if futureBudget <= 0 {
+		return out
+	}
+	candidates := completers.Members()
+	// dropTargets[q] = observable addressees q could drop to.
+	var rec func(i int, current map[model.ProcessID]model.ProcSet, used int)
+	rec = func(i int, current map[model.ProcessID]model.ProcSet, used int) {
+		if i == len(candidates) {
+			if len(current) > 0 {
+				cp := make(map[model.ProcessID]model.ProcSet, len(current))
+				for k, val := range current {
+					cp[k] = val
+				}
+				out = append(out, cp)
+			}
+			return
+		}
+		q := candidates[i]
+		// Choice 1: q drops nothing.
+		rec(i+1, current, used)
+		if used >= futureBudget {
+			return
+		}
+		targets := v.Sending[q].Intersect(completers).Remove(q)
+		for _, sub := range allSubsets(targets) {
+			if sub.Empty() {
+				continue
+			}
+			current[q] = sub
+			rec(i+1, current, used+1)
+			delete(current, q)
+		}
+	}
+	rec(0, make(map[model.ProcessID]model.ProcSet), 0)
+	return out
+}
+
+// forEachProduct invokes fn for every element of the cartesian product of
+// the given choice lists. With no choice lists, fn is called once with an
+// empty selection.
+func forEachProduct(choices [][]model.ProcSet, fn func([]model.ProcSet)) {
+	selection := make([]model.ProcSet, len(choices))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(choices) {
+			fn(selection)
+			return
+		}
+		for _, c := range choices[i] {
+			selection[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,199 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// RefutationKind classifies how a candidate fast RWS algorithm fails.
+type RefutationKind int
+
+const (
+	// NotRoundOne: the algorithm has a failure-free run in which some
+	// process does not decide at round 1, so Λ(A) ≥ 2 holds directly.
+	NotRoundOne RefutationKind = iota + 1
+	// AgreementViolation: a concrete RWS-admissible run in which two
+	// processes decide differently.
+	AgreementViolation
+	// ValidityViolation: a concrete failure-free run in which a unanimous
+	// initial configuration does not decide its common value.
+	ValidityViolation
+)
+
+// String names the refutation kind.
+func (k RefutationKind) String() string {
+	switch k {
+	case NotRoundOne:
+		return "not-round-1 (Λ ≥ 2 directly)"
+	case AgreementViolation:
+		return "uniform agreement violation"
+	case ValidityViolation:
+		return "uniform validity violation"
+	default:
+		return fmt.Sprintf("RefutationKind(%d)", int(k))
+	}
+}
+
+// Refutation is the constructive outcome of RefuteRoundOneRWS: a concrete
+// witness run demonstrating that the candidate algorithm cannot combine
+// "decide at round 1 of every failure-free run" with uniform consensus in
+// RWS.
+type Refutation struct {
+	Kind   RefutationKind
+	Run    *rounds.Run
+	Detail string
+}
+
+// String renders the refutation.
+func (r *Refutation) String() string {
+	return fmt.Sprintf("%v: %s\n  witness: %s", r.Kind, r.Detail, r.Run)
+}
+
+// RefuteRoundOneRWS mechanizes the lower-bound argument behind the paper's
+// §5.3 claim (from the companion paper [7]) that no uniform consensus
+// algorithm in RWS decides at round 1 of all failure-free runs: for every
+// *deterministic* algorithm it produces a concrete witness run, found as
+// follows.
+//
+//  1. Run the failure-free run from every binary initial configuration C
+//     and record the common round-1 decision d(C). If some process fails
+//     to decide at round 1, the algorithm already has Λ ≥ 2 (NotRoundOne).
+//     If a failure-free run itself disagrees or breaks validity, return it.
+//  2. Otherwise d is a total function on {0,1}^n. The pending-message
+//     scenario X_i(C) — p_i's round-1 broadcast entirely pending, p_i
+//     crashing silently during round 2 — leaves p_i's own round-1 view
+//     unchanged, so p_i still decides d(C) at round 1, while the survivors
+//     observe only (C_j)_{j≠i} and hence decide a value independent of C_i.
+//     Uniform agreement would force d(C) to be independent of its i-th
+//     coordinate, for every i; but then d is constant, contradicting
+//     d(0,…,0)=0 and d(1,…,1)=1 (validity). So either d depends on some
+//     coordinate i — and running X_i on the two configs that differ at i
+//     yields an explicit disagreement — or d is constant and a unanimous
+//     failure-free run breaks validity.
+//
+// The returned witness is always a complete, RWS-admissible run; callers
+// can re-validate it with rounds.Admissible and check.Consensus.
+func RefuteRoundOneRWS(alg rounds.Algorithm, n, t int) (*Refutation, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("explore: RefuteRoundOneRWS needs n ≥ 2, got %d", n)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("explore: RefuteRoundOneRWS needs t ≥ 1, got %d", t)
+	}
+
+	// Step 1: tabulate the round-1 decision d(C) over binary configs.
+	nConfigs := 1 << uint(n)
+	d := make([]model.Value, nConfigs)
+	for mask := 0; mask < nConfigs; mask++ {
+		initial := binaryConfig(mask, n)
+		run, err := rounds.RunAlgorithm(rounds.RWS, alg, initial[1:], t, rounds.NoFailures)
+		if err != nil {
+			return nil, fmt.Errorf("explore: failure-free run from %v: %w", initial, err)
+		}
+		if res := check.UniformValidity(run); !res.OK {
+			return &Refutation{Kind: ValidityViolation, Run: run, Detail: res.Detail}, nil
+		}
+		if res := check.UniformAgreement(run); !res.OK {
+			return &Refutation{Kind: AgreementViolation, Run: run, Detail: res.Detail}, nil
+		}
+		for p := 1; p <= n; p++ {
+			if run.DecidedAt[p] != 1 {
+				return &Refutation{
+					Kind: NotRoundOne,
+					Run:  run,
+					Detail: fmt.Sprintf("in the failure-free run from %v, %v decides at round %d, not round 1",
+						initial[1:], model.ProcessID(p), run.DecidedAt[p]),
+				}, nil
+			}
+		}
+		d[mask] = run.DecisionOf[1]
+	}
+
+	// Step 2: find a coordinate d depends on.
+	for i := 1; i <= n; i++ {
+		bit := 1 << uint(i-1)
+		for mask := 0; mask < nConfigs; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			lo, hi := mask, mask|bit
+			if d[lo] == d[hi] {
+				continue
+			}
+			// d depends on coordinate i between configs lo and hi. Run the
+			// pending scenario on both; the survivors decide identically
+			// (they cannot see coordinate i), so one of the two runs
+			// disagrees with p_i's round-1 decision.
+			runLo, err := pendingScenario(alg, binaryConfig(lo, n), t, model.ProcessID(i))
+			if err != nil {
+				return nil, err
+			}
+			runHi, err := pendingScenario(alg, binaryConfig(hi, n), t, model.ProcessID(i))
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range []*rounds.Run{runLo, runHi} {
+				if res := check.UniformAgreement(w); !res.OK {
+					return &Refutation{Kind: AgreementViolation, Run: w, Detail: res.Detail}, nil
+				}
+			}
+			// Defensive: the indistinguishability argument guarantees one
+			// of the two runs above disagrees; reaching here means the
+			// algorithm behaved non-deterministically.
+			return nil, fmt.Errorf("explore: RefuteRoundOneRWS: both pending scenarios agreed "+
+				"(d(%v)=%d, d(%v)=%d) — algorithm is not deterministic?",
+				binaryConfig(lo, n)[1:], int64(d[lo]), binaryConfig(hi, n)[1:], int64(d[hi]))
+		}
+	}
+
+	// d is constant: validity must already be broken on some unanimous run.
+	allZero := binaryConfig(0, n)
+	allOne := binaryConfig(nConfigs-1, n)
+	if d[0] != 0 {
+		run, err := rounds.RunAlgorithm(rounds.RWS, alg, allZero[1:], t, rounds.NoFailures)
+		if err != nil {
+			return nil, err
+		}
+		return &Refutation{
+			Kind:   ValidityViolation,
+			Run:    run,
+			Detail: fmt.Sprintf("unanimous 0 decides %d", int64(d[0])),
+		}, nil
+	}
+	run, err := rounds.RunAlgorithm(rounds.RWS, alg, allOne[1:], t, rounds.NoFailures)
+	if err != nil {
+		return nil, err
+	}
+	return &Refutation{
+		Kind:   ValidityViolation,
+		Run:    run,
+		Detail: fmt.Sprintf("unanimous 1 decides %d", int64(d[nConfigs-1])),
+	}, nil
+}
+
+// pendingScenario runs alg in RWS with p_i's round-1 broadcast entirely
+// pending and p_i crashing silently during round 2 — the §5.3 scenario.
+func pendingScenario(alg rounds.Algorithm, initial []model.Value, t int, victim model.ProcessID) (*rounds.Run, error) {
+	n := len(initial) - 1
+	script := &rounds.Script{Plans: []rounds.Plan{
+		{Drops: map[model.ProcessID]model.ProcSet{victim: model.FullSet(n).Remove(victim)}},
+		{Crashes: map[model.ProcessID]model.ProcSet{victim: 0}},
+	}}
+	return rounds.RunAlgorithm(rounds.RWS, alg, initial[1:], t, script)
+}
+
+// binaryConfig expands a bitmask into an initial configuration with a
+// leading unused slot (index 0), matching the package convention:
+// bit i-1 of mask is p_i's initial value.
+func binaryConfig(mask, n int) []model.Value {
+	out := make([]model.Value, n+1)
+	for i := 1; i <= n; i++ {
+		if mask&(1<<uint(i-1)) != 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package explore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// TestEnumeratedPlansAllLegal cross-checks the enumerator against the
+// engine's validator: every plan EnumeratePlans emits for a live engine
+// view must be accepted by Step. The views are produced by driving engines
+// under random adversaries first, so obligations, partial alive-sets and
+// exhausted budgets all occur.
+func TestEnumeratedPlansAllLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		kind := rounds.RS
+		if trial%2 == 1 {
+			kind = rounds.RWS
+		}
+		n := 3 + trial%3
+		tol := 1 + trial%2
+		initial := make([]model.Value, n)
+		for i := range initial {
+			initial[i] = model.Value(rng.Intn(3))
+		}
+		eng, err := rounds.NewEngine(kind, consensus.FloodSetWS{}, initial, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random prefix of 0..2 rounds.
+		adv := rounds.NewRandomAdversary(int64(trial), 0.4, 0.4)
+		for k := rng.Intn(3); k > 0 && !eng.Done(); k-- {
+			if err := eng.Step(adv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		view := eng.NextView()
+		plans := EnumeratePlans(view, 0)
+		if len(plans) == 0 {
+			t.Fatalf("trial %d: no plans enumerated", trial)
+		}
+		for _, plan := range plans {
+			branch, err := eng.Clone()
+			if err != nil {
+				t.Fatal(err)
+			}
+			scripted := plan
+			if err := branch.Step(rounds.AdversaryFunc(func(*rounds.View) rounds.Plan { return scripted })); err != nil {
+				t.Fatalf("trial %d: enumerated plan %v rejected: %v", trial, plan, err)
+			}
+		}
+	}
+}
+
+// TestExploreAgreesWithRandomSampling: any behaviour a random adversary can
+// produce must appear in the exhaustive enumeration — checked via the
+// decision-vector fingerprints of runs.
+func TestExploreAgreesWithRandomSampling(t *testing.T) {
+	initial := []model.Value{0, 1, 2}
+	fingerprint := func(run *rounds.Run) [8]int64 {
+		var fp [8]int64
+		for p := 1; p <= run.N; p++ {
+			fp[p] = int64(run.DecisionOf[p])
+			if run.DecidedAt[p] == 0 {
+				fp[p] = -999
+			}
+			fp[p+run.N] = int64(run.CrashRound[p])
+		}
+		return fp
+	}
+	enumerated := make(map[[8]int64]bool)
+	_, err := Runs(rounds.RWS, consensus.FloodSetWS{}, initial, 1, Options{}, func(run *rounds.Run) bool {
+		if !run.Truncated {
+			enumerated[fingerprint(run)] = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		adv := rounds.NewRandomAdversary(seed, 0.5, 0.5)
+		run, err := rounds.RunAlgorithm(rounds.RWS, consensus.FloodSetWS{}, initial, 1, adv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !enumerated[fingerprint(run)] {
+			t.Fatalf("seed %d produced a run outside the exhaustive space: %s", seed, run)
+		}
+	}
+}
+
+// TestLargeSystemStress: the engines handle n = 32 and n = 64 with many
+// simultaneous crashes; the spec holds and the run completes promptly.
+func TestLargeSystemStress(t *testing.T) {
+	for _, n := range []int{32, 64} {
+		initial := make([]model.Value, n)
+		for i := range initial {
+			initial[i] = model.Value(i % 7)
+		}
+		tol := n/4 - 1
+		for seed := int64(0); seed < 5; seed++ {
+			for _, kind := range []rounds.ModelKind{rounds.RS, rounds.RWS} {
+				alg := rounds.Algorithm(consensus.FloodSet{})
+				if kind == rounds.RWS {
+					alg = consensus.FloodSetWS{}
+				}
+				adv := rounds.NewRandomAdversary(seed, 0.6, 0.4)
+				run, err := rounds.RunAlgorithm(kind, alg, initial, tol, adv)
+				if err != nil {
+					t.Fatalf("n=%d %v seed=%d: %v", n, kind, seed, err)
+				}
+				if bad := check.FirstViolation(run); bad != nil {
+					t.Fatalf("n=%d %v seed=%d: %s", n, kind, seed, bad)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package fd
+
+import (
+	"repro/internal/model"
+)
+
+// The axiom checkers below evaluate a history against a failure pattern
+// over the horizon [0, horizon]. The "eventually …" axioms are liveness
+// conditions on infinite histories; over a finite horizon they are read as
+// "holds at the horizon and is stable from some earlier point on", which is
+// exact for histories whose suspicion sets stop changing before the horizon
+// (all generators in this package guarantee that).
+
+// CheckStrongCompleteness: every crashed process is permanently suspected
+// by every correct process (from some time on).
+func CheckStrongCompleteness(fp *model.FailurePattern, h *History, horizon model.Time) []Violation {
+	var out []Violation
+	faulty := fp.Faulty()
+	correct := fp.Correct()
+	faulty.ForEach(func(s model.ProcessID) bool {
+		correct.ForEach(func(o model.ProcessID) bool {
+			if from := h.PermanentlySuspectedFrom(o, s); from == model.TimeNever || from > horizon {
+				out = append(out, violationf(
+					"strong completeness: correct %v never permanently suspects crashed %v by horizon %v", o, s, horizon))
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// CheckWeakCompleteness: every crashed process is permanently suspected by
+// some correct process.
+func CheckWeakCompleteness(fp *model.FailurePattern, h *History, horizon model.Time) []Violation {
+	var out []Violation
+	faulty := fp.Faulty()
+	correct := fp.Correct()
+	faulty.ForEach(func(s model.ProcessID) bool {
+		found := false
+		correct.ForEach(func(o model.ProcessID) bool {
+			if from := h.PermanentlySuspectedFrom(o, s); from != model.TimeNever && from <= horizon {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			out = append(out, violationf(
+				"weak completeness: no correct process permanently suspects crashed %v by horizon %v", s, horizon))
+		}
+		return true
+	})
+	return out
+}
+
+// CheckStrongAccuracy: no process is suspected before it crashes. The
+// quantification is over all observers (including ones that later crash)
+// and all times.
+func CheckStrongAccuracy(fp *model.FailurePattern, h *History, horizon model.Time) []Violation {
+	var out []Violation
+	n := fp.N()
+	for o := 1; o <= n; o++ {
+		for s := 1; s <= n; s++ {
+			obs, sub := model.ProcessID(o), model.ProcessID(s)
+			for _, iv := range h.suspicions[o-1][s-1] {
+				if iv.Start <= horizon && fp.Alive(sub, iv.Start) {
+					out = append(out, violationf(
+						"strong accuracy: %v suspects %v at %v but %v is alive until %v",
+						obs, sub, iv.Start, sub, fp.CrashTime(sub)))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckWeakAccuracy: some correct process is never suspected by anyone.
+func CheckWeakAccuracy(fp *model.FailurePattern, h *History, horizon model.Time) []Violation {
+	n := fp.N()
+	ok := false
+	fp.Correct().ForEach(func(c model.ProcessID) bool {
+		suspectedEver := false
+		for o := 1; o <= n; o++ {
+			for _, iv := range h.suspicions[o-1][c-1] {
+				if iv.Start <= horizon {
+					suspectedEver = true
+				}
+			}
+		}
+		if !suspectedEver {
+			ok = true
+			return false
+		}
+		return true
+	})
+	if ok {
+		return nil
+	}
+	return []Violation{violationf("weak accuracy: every correct process is suspected at some time")}
+}
+
+// CheckEventualStrongAccuracy: there is a time after which no correct
+// process is suspected by any correct process — read at the horizon.
+func CheckEventualStrongAccuracy(fp *model.FailurePattern, h *History, horizon model.Time) []Violation {
+	var out []Violation
+	correct := fp.Correct()
+	correct.ForEach(func(o model.ProcessID) bool {
+		correct.ForEach(func(s model.ProcessID) bool {
+			if h.Suspects(o, s, horizon) {
+				out = append(out, violationf(
+					"eventual strong accuracy: correct %v still suspects correct %v at horizon %v", o, s, horizon))
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// CheckEventualWeakAccuracy: there is a time after which some correct
+// process is not suspected by any correct process — read at the horizon.
+func CheckEventualWeakAccuracy(fp *model.FailurePattern, h *History, horizon model.Time) []Violation {
+	correct := fp.Correct()
+	ok := false
+	correct.ForEach(func(s model.ProcessID) bool {
+		clean := true
+		correct.ForEach(func(o model.ProcessID) bool {
+			if h.Suspects(o, s, horizon) {
+				clean = false
+				return false
+			}
+			return true
+		})
+		if clean {
+			ok = true
+			return false
+		}
+		return true
+	})
+	if ok || correct.Empty() {
+		return nil
+	}
+	return []Violation{violationf("eventual weak accuracy: every correct process is still suspected by some correct process at the horizon")}
+}
+
+// Satisfies checks a history against all axioms of the given class.
+func Satisfies(c Class, fp *model.FailurePattern, h *History, horizon model.Time) []Violation {
+	var out []Violation
+	if c.StrongCompleteness() {
+		out = append(out, CheckStrongCompleteness(fp, h, horizon)...)
+	} else {
+		out = append(out, CheckWeakCompleteness(fp, h, horizon)...)
+	}
+	switch AccuracyOf(c) {
+	case StrongAccuracy:
+		out = append(out, CheckStrongAccuracy(fp, h, horizon)...)
+	case WeakAccuracy:
+		out = append(out, CheckWeakAccuracy(fp, h, horizon)...)
+	case EventualStrongAccuracy:
+		out = append(out, CheckEventualStrongAccuracy(fp, h, horizon)...)
+	case EventualWeakAccuracy:
+		out = append(out, CheckEventualWeakAccuracy(fp, h, horizon)...)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package fd
+
+import (
+	"repro/internal/model"
+	"repro/internal/step"
+)
+
+// FromTrace reconstructs the failure-detector history and failure pattern
+// embedded in a step-level trace: each step event's suspicion set becomes
+// an observation at that global time, and crash events fix the failure
+// pattern. The reconstruction lets the Chandra-Toueg axiom checkers audit
+// real SP executions — experiment E8 uses it to certify that the runs the
+// Theorem 3.1 adversary builds use a genuinely *perfect* detector.
+//
+// Suspicion sets are only sampled when a process steps; between two
+// samples the history is taken to hold the earlier observation, which is
+// exact for the monotone detectors the step engine enforces.
+func FromTrace(tr *step.Trace) (*model.FailurePattern, *History) {
+	fp := model.NewFailurePattern(tr.N)
+	h := NewHistory(tr.N)
+	// first time each (observer, subject) suspicion was seen
+	type key struct{ o, s model.ProcessID }
+	seen := make(map[key]model.Time)
+	for _, ev := range tr.Events {
+		switch ev.Kind {
+		case step.CrashEvent:
+			_ = fp.SetCrash(ev.Proc, model.Time(ev.Global))
+		case step.StepEvent:
+			ev.Suspects.ForEach(func(s model.ProcessID) bool {
+				k := key{ev.Proc, s}
+				if _, ok := seen[k]; !ok {
+					seen[k] = model.Time(ev.Global)
+				}
+				return true
+			})
+		}
+	}
+	for k, start := range seen {
+		// The engine's detectors never retract, so every observed
+		// suspicion extends to infinity.
+		_ = h.AddInterval(k.o, k.s, start, model.TimeNever)
+	}
+	return fp, h
+}
+
+// AuditPerfect checks a step-level trace against the perfect detector's
+// axioms: strong accuracy over the whole trace and strong completeness at
+// the horizon (the trace's last global step). It returns the violations.
+func AuditPerfect(tr *step.Trace) []Violation {
+	fp, h := FromTrace(tr)
+	horizon := model.Time(0)
+	for _, ev := range tr.Events {
+		if model.Time(ev.Global) > horizon {
+			horizon = model.Time(ev.Global)
+		}
+	}
+	var out []Violation
+	out = append(out, CheckStrongAccuracy(fp, h, horizon)...)
+	out = append(out, CheckStrongCompleteness(fp, h, horizon)...)
+	return out
+}

@@ -1,0 +1,212 @@
+package fd
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// GenOptions tunes the adversarial history generators.
+type GenOptions struct {
+	// Horizon bounds the generated history; liveness axioms are realized by
+	// this time.
+	Horizon model.Time
+	// MaxDetectionDelay bounds how long after a crash a suspicion may begin
+	// (the generators draw the delay uniformly per observer/subject pair).
+	// In the SP model the delay is finite but *unbounded*; experiments
+	// sweep this knob to emulate that.
+	MaxDetectionDelay model.Time
+	// Seed drives the adversary's random choices.
+	Seed int64
+	// FalseSuspicionRate (◇ classes only): the probability that an observer
+	// wrongly suspects a correct process for a while before the
+	// stabilization time.
+	FalseSuspicionRate float64
+	// Stabilization (◇ classes only): the time by which wrong suspicions
+	// are revoked. Defaults to Horizon/2.
+	Stabilization model.Time
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.Horizon <= 0 {
+		o.Horizon = 100
+	}
+	if o.MaxDetectionDelay <= 0 {
+		o.MaxDetectionDelay = 10
+	}
+	if o.Stabilization <= 0 {
+		o.Stabilization = o.Horizon / 2
+	}
+	return o
+}
+
+// GeneratePerfect generates an adversarial history of the perfect detector
+// P from a failure pattern: each correct (and even faulty) observer starts
+// suspecting each crashed subject at crash time plus a random delay, and
+// never before (strong accuracy) — the paper's point being that this delay,
+// while bounded here by MaxDetectionDelay, is unbounded across the SP
+// model's histories.
+func GeneratePerfect(fp *model.FailurePattern, opts GenOptions) (*History, error) {
+	opts = opts.withDefaults()
+	rng := rngFrom(opts.Seed)
+	h := NewHistory(fp.N())
+	for o := 1; o <= fp.N(); o++ {
+		for s := 1; s <= fp.N(); s++ {
+			if o == s {
+				continue
+			}
+			sub := model.ProcessID(s)
+			ct := fp.CrashTime(sub)
+			if ct == model.TimeNever {
+				continue
+			}
+			delay := model.Time(rng.Int63n(int64(opts.MaxDetectionDelay) + 1))
+			start := ct + delay
+			if start > opts.Horizon {
+				start = opts.Horizon // completeness must be realized by the horizon
+			}
+			if err := h.AddInterval(model.ProcessID(o), sub, start, model.TimeNever); err != nil {
+				return nil, fmt.Errorf("fd: GeneratePerfect: %w", err)
+			}
+		}
+	}
+	return h, nil
+}
+
+// GenerateEventuallyPerfect generates a ◇P history: before the
+// stabilization time observers may wrongly suspect correct processes (each
+// wrong suspicion is revoked by stabilization); crashed processes are
+// eventually permanently suspected as in P.
+func GenerateEventuallyPerfect(fp *model.FailurePattern, opts GenOptions) (*History, error) {
+	opts = opts.withDefaults()
+	h, err := GeneratePerfect(fp, opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := rngFrom(opts.Seed + 1)
+	for o := 1; o <= fp.N(); o++ {
+		for s := 1; s <= fp.N(); s++ {
+			if o == s || rng.Float64() >= opts.FalseSuspicionRate {
+				continue
+			}
+			sub := model.ProcessID(s)
+			if fp.CrashTime(sub) != model.TimeNever {
+				continue // already handled by the P part
+			}
+			// A wrong suspicion of a correct process, revoked by stabilization.
+			if opts.Stabilization < 2 {
+				continue
+			}
+			start := model.Time(rng.Int63n(int64(opts.Stabilization - 1)))
+			end := start + 1 + model.Time(rng.Int63n(int64(opts.Stabilization-start)))
+			if end > opts.Stabilization {
+				end = opts.Stabilization
+			}
+			if end <= start {
+				continue
+			}
+			if err := h.AddInterval(model.ProcessID(o), sub, start, end); err != nil {
+				return nil, fmt.Errorf("fd: GenerateEventuallyPerfect: %w", err)
+			}
+		}
+	}
+	return h, nil
+}
+
+// GenerateStrong generates an S history: strong completeness plus weak
+// accuracy — one designated correct process is never suspected, while every
+// other process (correct or not) may be wrongly suspected forever.
+func GenerateStrong(fp *model.FailurePattern, opts GenOptions) (*History, error) {
+	opts = opts.withDefaults()
+	h, err := GeneratePerfect(fp, opts)
+	if err != nil {
+		return nil, err
+	}
+	correct := fp.Correct()
+	if correct.Empty() {
+		return h, nil
+	}
+	immune := correct.Members()[0]
+	rng := rngFrom(opts.Seed + 2)
+	for o := 1; o <= fp.N(); o++ {
+		for s := 1; s <= fp.N(); s++ {
+			sub := model.ProcessID(s)
+			if o == s || sub == immune || fp.CrashTime(sub) != model.TimeNever {
+				continue
+			}
+			if rng.Float64() < opts.FalseSuspicionRate {
+				start := model.Time(rng.Int63n(int64(opts.Horizon)))
+				if err := h.AddInterval(model.ProcessID(o), sub, start, model.TimeNever); err != nil {
+					return nil, fmt.Errorf("fd: GenerateStrong: %w", err)
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+// GenerateEventuallyStrong generates a ◇S history: strong completeness plus
+// eventual weak accuracy — after stabilization one designated correct
+// process is no longer suspected by correct processes; everything else is
+// fair game.
+func GenerateEventuallyStrong(fp *model.FailurePattern, opts GenOptions) (*History, error) {
+	opts = opts.withDefaults()
+	h, err := GeneratePerfect(fp, opts)
+	if err != nil {
+		return nil, err
+	}
+	correct := fp.Correct()
+	if correct.Empty() {
+		return h, nil
+	}
+	immune := correct.Members()[0]
+	rng := rngFrom(opts.Seed + 3)
+	for o := 1; o <= fp.N(); o++ {
+		for s := 1; s <= fp.N(); s++ {
+			sub := model.ProcessID(s)
+			if o == s || fp.CrashTime(sub) != model.TimeNever {
+				continue
+			}
+			if rng.Float64() >= opts.FalseSuspicionRate {
+				continue
+			}
+			// Wrong suspicions of the immune process are revoked by
+			// stabilization; wrong suspicions of other correct processes
+			// may persist forever — eventual *weak* accuracy protects only
+			// one process, which is exactly what separates ◇S from ◇P.
+			var end model.Time = model.TimeNever
+			if sub == immune {
+				end = opts.Stabilization
+			}
+			if opts.Stabilization < 2 {
+				continue
+			}
+			start := model.Time(rng.Int63n(int64(opts.Stabilization - 1)))
+			if end != model.TimeNever && end <= start {
+				continue
+			}
+			if err := h.AddInterval(model.ProcessID(o), sub, start, end); err != nil {
+				return nil, fmt.Errorf("fd: GenerateEventuallyStrong: %w", err)
+			}
+		}
+	}
+	return h, nil
+}
+
+// Generate dispatches on the class. Q/W/◇Q/◇W are generated from their
+// strong-completeness counterparts (any history with strong completeness
+// also has weak completeness).
+func Generate(c Class, fp *model.FailurePattern, opts GenOptions) (*History, error) {
+	switch c {
+	case P, Q:
+		return GeneratePerfect(fp, opts)
+	case EventuallyP, EventuallyQ:
+		return GenerateEventuallyPerfect(fp, opts)
+	case S, W:
+		return GenerateStrong(fp, opts)
+	case EventuallyS, EventuallyW:
+		return GenerateEventuallyStrong(fp, opts)
+	default:
+		return nil, fmt.Errorf("fd: Generate: unknown class %v", c)
+	}
+}

@@ -1,0 +1,148 @@
+// Package latency computes the time-complexity measures of the paper's
+// §5.2 for round-based uniform consensus algorithms, by exhaustively
+// exploring the run space of small systems:
+//
+//   - lat(A)   = min_{r ∈ Run(A,S,t)} |r|                (Schiper's latency degree)
+//   - lat(A,C) = min over runs starting from configuration C
+//   - Lat(A)   = max_C lat(A,C)
+//   - Lat(A,f) = max over runs with at most f crashes
+//   - Λ(A)     = min_{0 ≤ f ≤ t} Lat(A,f) = Lat(A,0)     (max over failure-free runs)
+//
+// |r| is the number of rounds until all correct processes decide.
+//
+// Initial configurations range over {0,1}^n plus the all-distinct
+// configuration (0,1,…,n−1). For every algorithm in this repository the
+// run-level behaviour depends only on the equality pattern and relative
+// order of the initial values, both of which this family of configurations
+// covers.
+package latency
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/check"
+	"repro/internal/explore"
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// Degrees aggregates every latency measure of one algorithm in one model.
+type Degrees struct {
+	Algorithm string
+	Model     rounds.ModelKind
+	N, T      int
+
+	// Lat is lat(A): the minimal latency over all runs.
+	Lat int
+	// LatMax is Lat(A): the max over initial configurations of the minimal
+	// latency from that configuration.
+	LatMax int
+	// LatByF[f] is Lat(A,f) for f = 0..T: the maximal latency over all runs
+	// with at most f crashes.
+	LatByF []int
+	// Lambda is Λ(A) = min_f Lat(A,f); the paper observes Λ(A) = Lat(A,0).
+	Lambda int
+
+	// Runs counts the runs explored; Violations counts runs on which the
+	// uniform consensus specification failed (0 for a correct algorithm —
+	// latency degrees of an incorrect algorithm are not meaningful, but the
+	// count makes the failure visible instead of silent).
+	Runs       int
+	Violations int
+}
+
+// String renders the degrees in a compact table-row style.
+func (d *Degrees) String() string {
+	byF := make([]string, len(d.LatByF))
+	for f, v := range d.LatByF {
+		byF[f] = fmt.Sprintf("Lat(A,%d)=%d", f, v)
+	}
+	return fmt.Sprintf("%s/%s n=%d t=%d: lat=%d Lat=%d Λ=%d %s [%d runs]",
+		d.Algorithm, d.Model, d.N, d.T, d.Lat, d.LatMax, d.Lambda,
+		strings.Join(byF, " "), d.Runs)
+}
+
+// Configurations returns the initial configurations the measures quantify
+// over: all binary configurations plus the all-distinct one.
+func Configurations(n int) [][]model.Value {
+	out := make([][]model.Value, 0, (1<<uint(n))+1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		cfg := make([]model.Value, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				cfg[i] = 1
+			}
+		}
+		out = append(out, cfg)
+	}
+	distinct := make([]model.Value, n)
+	for i := range distinct {
+		distinct[i] = model.Value(i)
+	}
+	out = append(out, distinct)
+	return out
+}
+
+// Compute explores every admissible run of alg (n processes, resilience t,
+// model kind) from every configuration and aggregates the latency measures.
+func Compute(kind rounds.ModelKind, alg rounds.Algorithm, n, t int, opts explore.Options) (*Degrees, error) {
+	d := &Degrees{
+		Algorithm: alg.Name(),
+		Model:     kind,
+		N:         n,
+		T:         t,
+		Lat:       -1,
+		LatByF:    make([]int, t+1),
+	}
+	maxByExactF := make([]int, t+1)
+	for _, cfg := range Configurations(n) {
+		latCfg := -1
+		_, err := explore.Runs(kind, alg, cfg, t, opts, func(run *rounds.Run) bool {
+			if run.Truncated {
+				return true // unfinishable horizon prefix, not a run
+			}
+			d.Runs++
+			if bad := check.FirstViolation(run); bad != nil {
+				d.Violations++
+				return true
+			}
+			lat, ok := run.Latency()
+			if !ok {
+				d.Violations++
+				return true
+			}
+			if latCfg == -1 || lat < latCfg {
+				latCfg = lat
+			}
+			f := run.NumFaulty()
+			if lat > maxByExactF[f] {
+				maxByExactF[f] = lat
+			}
+			return true
+		})
+		if err != nil {
+			return nil, fmt.Errorf("latency: exploring %s/%v from %v: %w", alg.Name(), kind, cfg, err)
+		}
+		if latCfg == -1 {
+			return nil, fmt.Errorf("latency: %s/%v produced no terminating run from %v", alg.Name(), kind, cfg)
+		}
+		if d.Lat == -1 || latCfg < d.Lat {
+			d.Lat = latCfg
+		}
+		if latCfg > d.LatMax {
+			d.LatMax = latCfg
+		}
+	}
+	// Lat(A,f) is monotone in f: max over runs with at most f crashes.
+	running := 0
+	for f := 0; f <= t; f++ {
+		if maxByExactF[f] > running {
+			running = maxByExactF[f]
+		}
+		d.LatByF[f] = running
+	}
+	// Λ(A) = min_f Lat(A,f); by monotonicity this is Lat(A,0).
+	d.Lambda = d.LatByF[0]
+	return d, nil
+}

@@ -1,0 +1,103 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FDHistory is a failure detector history H: a function from Π × T to 2^Π,
+// where H(p,t) is the set of processes that p suspects at time t. Because
+// every detector studied here only ever *adds* suspicions after the real
+// crash (the perfect detector P never removes one), the history of P is
+// compactly represented by the instant at which each observer starts
+// suspecting each subject.
+//
+// The general Detector interface and the axiom checkers (strong/weak
+// completeness and accuracy) live in package fd; FDHistory is only the raw
+// material they are defined over.
+type FDHistory struct {
+	n         int
+	suspectAt [][]Time // suspectAt[i-1][j-1]: when p_i starts suspecting p_j (TimeNever = never)
+}
+
+// NewFDHistory returns the suspicion-free history over n processes.
+func NewFDHistory(n int) *FDHistory {
+	if n < 1 || n > MaxProcs {
+		panic(fmt.Sprintf("model: NewFDHistory(%d) out of range [1,%d]", n, MaxProcs))
+	}
+	h := &FDHistory{n: n, suspectAt: make([][]Time, n)}
+	for i := range h.suspectAt {
+		row := make([]Time, n)
+		for j := range row {
+			row[j] = TimeNever
+		}
+		h.suspectAt[i] = row
+	}
+	return h
+}
+
+// N returns the number of processes the history covers.
+func (h *FDHistory) N() int { return h.n }
+
+// SetSuspicion records that observer starts suspecting subject at time t
+// and never stops. Moving an existing suspicion earlier is allowed;
+// moving it later is rejected (monotone histories only).
+func (h *FDHistory) SetSuspicion(observer, subject ProcessID, t Time) error {
+	if !observer.Valid(h.n) || !subject.Valid(h.n) {
+		return fmt.Errorf("model: SetSuspicion(%v, %v): out of range for n=%d", observer, subject, h.n)
+	}
+	if t < 0 {
+		return fmt.Errorf("model: SetSuspicion(%v, %v, %v): negative time", observer, subject, t)
+	}
+	if cur := h.suspectAt[observer-1][subject-1]; cur != TimeNever && t > cur {
+		return fmt.Errorf("model: SetSuspicion(%v, %v, %v): suspicion already starts at %v (monotone histories only)",
+			observer, subject, t, cur)
+	}
+	h.suspectAt[observer-1][subject-1] = t
+	return nil
+}
+
+// SuspicionTime returns the instant at which observer starts suspecting
+// subject (TimeNever if it never does).
+func (h *FDHistory) SuspicionTime(observer, subject ProcessID) Time {
+	if !observer.Valid(h.n) || !subject.Valid(h.n) {
+		return TimeNever
+	}
+	return h.suspectAt[observer-1][subject-1]
+}
+
+// At returns H(observer, t): the set of processes observer suspects at time t.
+func (h *FDHistory) At(observer ProcessID, t Time) ProcSet {
+	var s ProcSet
+	if !observer.Valid(h.n) {
+		return s
+	}
+	for j, st := range h.suspectAt[observer-1] {
+		if st <= t {
+			s = s.Add(ProcessID(j + 1))
+		}
+	}
+	return s
+}
+
+// Clone returns an independent copy of the history.
+func (h *FDHistory) Clone() *FDHistory {
+	c := NewFDHistory(h.n)
+	for i := range h.suspectAt {
+		copy(c.suspectAt[i], h.suspectAt[i])
+	}
+	return c
+}
+
+// String renders the nontrivial suspicions, e.g. "H{p1→p2@4,p3→p2@5}".
+func (h *FDHistory) String() string {
+	var parts []string
+	for i := range h.suspectAt {
+		for j, st := range h.suspectAt[i] {
+			if st != TimeNever {
+				parts = append(parts, fmt.Sprintf("p%d→p%d@%v", i+1, j+1, st))
+			}
+		}
+	}
+	return "H{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,393 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessIDString(t *testing.T) {
+	tests := []struct {
+		id   ProcessID
+		want string
+	}{
+		{0, "p?"},
+		{1, "p1"},
+		{17, "p17"},
+	}
+	for _, tt := range tests {
+		if got := tt.id.String(); got != tt.want {
+			t.Errorf("ProcessID(%d).String() = %q, want %q", int(tt.id), got, tt.want)
+		}
+	}
+}
+
+func TestProcessIDValid(t *testing.T) {
+	tests := []struct {
+		id   ProcessID
+		n    int
+		want bool
+	}{
+		{1, 3, true},
+		{3, 3, true},
+		{0, 3, false},
+		{4, 3, false},
+		{-1, 3, false},
+	}
+	for _, tt := range tests {
+		if got := tt.id.Valid(tt.n); got != tt.want {
+			t.Errorf("ProcessID(%d).Valid(%d) = %v, want %v", int(tt.id), tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(7).String(); got != "7" {
+		t.Errorf("Time(7).String() = %q, want %q", got, "7")
+	}
+	if got := TimeNever.String(); got != "∞" {
+		t.Errorf("TimeNever.String() = %q, want ∞", got)
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{0, 0}, {1, 1}, {5, 5}, {64, 64},
+	}
+	for _, tt := range tests {
+		s := FullSet(tt.n)
+		if got := s.Count(); got != tt.want {
+			t.Errorf("FullSet(%d).Count() = %d, want %d", tt.n, got, tt.want)
+		}
+		for i := 1; i <= tt.n; i++ {
+			if !s.Has(ProcessID(i)) {
+				t.Errorf("FullSet(%d) missing p%d", tt.n, i)
+			}
+		}
+	}
+}
+
+func TestFullSetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FullSet(65) did not panic")
+		}
+	}()
+	FullSet(65)
+}
+
+func TestProcSetBasicOps(t *testing.T) {
+	s := Singleton(2).Add(5).Add(7)
+	if got := s.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if !s.Has(5) || s.Has(4) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	s = s.Remove(5)
+	if s.Has(5) || s.Count() != 2 {
+		t.Fatalf("Remove failed: %v", s)
+	}
+	if got, want := s.String(), "{p2,p7}"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := ProcSet(0).String(); got != "{}" {
+		t.Errorf("empty String = %q, want {}", got)
+	}
+}
+
+func TestProcSetAlgebra(t *testing.T) {
+	a := Singleton(1).Add(2).Add(3)
+	b := Singleton(3).Add(4)
+	if got, want := a.Union(b), Singleton(1).Add(2).Add(3).Add(4); got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), Singleton(3); got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Minus(b), Singleton(1).Add(2); got != want {
+		t.Errorf("Minus = %v, want %v", got, want)
+	}
+	if !Singleton(3).Subset(a) || b.Subset(a) {
+		t.Error("Subset results wrong")
+	}
+}
+
+func TestProcSetMembersOrdered(t *testing.T) {
+	s := Singleton(9).Add(1).Add(4)
+	got := s.Members()
+	want := []ProcessID{1, 4, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Members = %v, want %v", got, want)
+	}
+}
+
+func TestProcSetForEachEarlyStop(t *testing.T) {
+	s := FullSet(10)
+	var seen int
+	s.ForEach(func(p ProcessID) bool {
+		seen++
+		return p < 3
+	})
+	if seen != 3 {
+		t.Errorf("ForEach visited %d members, want 3 (early stop at p3)", seen)
+	}
+}
+
+// Property: set algebra laws hold for arbitrary bit patterns.
+func TestProcSetAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+
+	deMorgan := func(a, b uint64) bool {
+		x, y := ProcSet(a), ProcSet(b)
+		u := FullSet(MaxProcs)
+		return u.Minus(x.Union(y)) == u.Minus(x).Intersect(u.Minus(y))
+	}
+	if err := quick.Check(deMorgan, cfg); err != nil {
+		t.Errorf("De Morgan law failed: %v", err)
+	}
+
+	minusDef := func(a, b uint64) bool {
+		x, y := ProcSet(a), ProcSet(b)
+		return x.Minus(y).Intersect(y).Empty() && x.Minus(y).Union(x.Intersect(y)) == x
+	}
+	if err := quick.Check(minusDef, cfg); err != nil {
+		t.Errorf("Minus law failed: %v", err)
+	}
+
+	countAdd := func(a uint64, pRaw uint8) bool {
+		x := ProcSet(a)
+		p := ProcessID(int(pRaw)%MaxProcs + 1)
+		withP := x.Add(p)
+		if x.Has(p) {
+			return withP.Count() == x.Count()
+		}
+		return withP.Count() == x.Count()+1
+	}
+	if err := quick.Check(countAdd, cfg); err != nil {
+		t.Errorf("Count/Add law failed: %v", err)
+	}
+}
+
+func TestValueSetInsertAndMin(t *testing.T) {
+	s := NewValueSet(5, 3, 9, 3, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (dedup)", s.Len())
+	}
+	v, ok := s.Min()
+	if !ok || v != 3 {
+		t.Fatalf("Min = (%d,%v), want (3,true)", v, ok)
+	}
+	var empty ValueSet
+	if _, ok := empty.Min(); ok {
+		t.Fatal("empty Min reported ok")
+	}
+}
+
+func TestValueSetUnionWith(t *testing.T) {
+	a := NewValueSet(1, 2)
+	b := NewValueSet(2, 3)
+	a.UnionWith(b)
+	want := []Value{1, 2, 3}
+	if !reflect.DeepEqual(a.Values(), want) {
+		t.Errorf("UnionWith = %v, want %v", a.Values(), want)
+	}
+	if !a.Has(3) || a.Has(4) {
+		t.Error("Has wrong after union")
+	}
+}
+
+func TestValueSetCloneIndependent(t *testing.T) {
+	a := NewValueSet(1)
+	c := a.Clone()
+	c.Insert(2)
+	if a.Len() != 1 || c.Len() != 2 {
+		t.Errorf("Clone not independent: a=%v c=%v", a, c)
+	}
+	if !a.Equal(NewValueSet(1)) || a.Equal(c) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestValueSetString(t *testing.T) {
+	s := NewValueSet(2, 1)
+	if got := s.String(); got != "{1,2}" {
+		t.Errorf("String = %q, want {1,2}", got)
+	}
+}
+
+// Property: ValueSet stays sorted and deduplicated under arbitrary inserts.
+func TestValueSetSortedInvariant(t *testing.T) {
+	f := func(raw []int16) bool {
+		var s ValueSet
+		for _, r := range raw {
+			s.Insert(Value(r))
+		}
+		vs := s.Values()
+		for i := 1; i < len(vs); i++ {
+			if vs[i-1] >= vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Errorf("sorted/dedup invariant failed: %v", err)
+	}
+}
+
+func TestFailurePatternBasics(t *testing.T) {
+	f := NewFailurePattern(4)
+	if f.NumFaulty() != 0 || !f.Faulty().Empty() {
+		t.Fatal("fresh pattern should be failure-free")
+	}
+	if err := f.SetCrash(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if f.Alive(2, 3) {
+		t.Error("p2 should be crashed at its crash time")
+	}
+	if !f.Alive(2, 2) {
+		t.Error("p2 should be alive before its crash time")
+	}
+	if got := f.CrashedBy(10); got != Singleton(2) {
+		t.Errorf("CrashedBy(10) = %v, want {p2}", got)
+	}
+	if got := f.Correct(); got != FullSet(4).Remove(2) {
+		t.Errorf("Correct = %v", got)
+	}
+	if got := f.String(); got != "F{p2@3}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFailurePatternMonotonicity(t *testing.T) {
+	f := NewFailurePattern(3)
+	if err := f.SetCrash(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetCrash(1, 9); err == nil {
+		t.Error("moving a crash later should be rejected (no recovery)")
+	}
+	if err := f.SetCrash(1, 2); err != nil {
+		t.Errorf("tightening a crash earlier should be allowed: %v", err)
+	}
+	if err := f.SetCrash(7, 0); err == nil {
+		t.Error("out-of-range process accepted")
+	}
+	if err := f.SetCrash(2, -1); err == nil {
+		t.Error("negative time accepted")
+	}
+}
+
+// Property: F(t) ⊆ F(t+1) for arbitrary crash assignments (the paper's
+// no-recovery axiom).
+func TestFailurePatternCumulative(t *testing.T) {
+	f := func(crashTimes []uint8) bool {
+		n := 8
+		fp := NewFailurePattern(n)
+		for i, ct := range crashTimes {
+			if i >= n {
+				break
+			}
+			if ct < 200 { // some processes stay correct
+				_ = fp.SetCrash(ProcessID(i+1), Time(ct))
+			}
+		}
+		for tm := Time(0); tm < 210; tm++ {
+			if !fp.CrashedBy(tm).Subset(fp.CrashedBy(tm + 1)) {
+				return false
+			}
+		}
+		// Every finite crash happens by time 199, so the horizon 300
+		// captures exactly Faulty(F).
+		return fp.Faulty() == fp.CrashedBy(300)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Errorf("cumulative failure property failed: %v", err)
+	}
+}
+
+func TestFDHistoryBasics(t *testing.T) {
+	h := NewFDHistory(3)
+	if err := h.SetSuspicion(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.At(1, 3); !got.Empty() {
+		t.Errorf("At(p1,3) = %v, want empty", got)
+	}
+	if got := h.At(1, 4); got != Singleton(2) {
+		t.Errorf("At(p1,4) = %v, want {p2}", got)
+	}
+	if got := h.SuspicionTime(1, 2); got != 4 {
+		t.Errorf("SuspicionTime = %v, want 4", got)
+	}
+	if got := h.SuspicionTime(1, 3); got != TimeNever {
+		t.Errorf("SuspicionTime unsuspected = %v, want ∞", got)
+	}
+}
+
+func TestFDHistoryMonotone(t *testing.T) {
+	h := NewFDHistory(2)
+	if err := h.SetSuspicion(1, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetSuspicion(1, 2, 8); err == nil {
+		t.Error("delaying an existing suspicion should be rejected")
+	}
+	if err := h.SetSuspicion(1, 2, 2); err != nil {
+		t.Errorf("advancing a suspicion should be allowed: %v", err)
+	}
+	if err := h.SetSuspicion(0, 1, 0); err == nil {
+		t.Error("invalid observer accepted")
+	}
+}
+
+func TestFDHistoryCloneIndependent(t *testing.T) {
+	h := NewFDHistory(2)
+	if err := h.SetSuspicion(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := h.Clone()
+	if err := c.SetSuspicion(2, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if h.SuspicionTime(2, 1) != TimeNever {
+		t.Error("Clone not independent")
+	}
+	if c.SuspicionTime(1, 2) != 1 {
+		t.Error("Clone lost data")
+	}
+}
+
+// Property: suspicions are monotone in time — H(p,t) ⊆ H(p,t+1).
+func TestFDHistoryMonotoneInTime(t *testing.T) {
+	f := func(times []uint8) bool {
+		n := 5
+		h := NewFDHistory(n)
+		k := 0
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if k < len(times) && times[k] < 200 {
+					_ = h.SetSuspicion(ProcessID(i), ProcessID(j), Time(times[k]))
+				}
+				k++
+			}
+		}
+		for p := 1; p <= n; p++ {
+			for tm := Time(0); tm < 210; tm++ {
+				if !h.At(ProcessID(p), tm).Subset(h.At(ProcessID(p), tm+1)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Errorf("history monotone-in-time property failed: %v", err)
+	}
+}

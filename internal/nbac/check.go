@@ -1,0 +1,74 @@
+package nbac
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// CheckNBAC evaluates the atomic-commit specification on a completed run:
+// uniform agreement, commit-validity, abort-validity (non-triviality) and
+// termination.
+func CheckNBAC(run *rounds.Run) []check.Result {
+	out := []check.Result{
+		check.UniformAgreement(run),
+		check.Termination(run),
+	}
+
+	allYes := true
+	for p := 1; p <= run.N; p++ {
+		if run.Initial[p] == VoteNo {
+			allYes = false
+			break
+		}
+	}
+
+	cv := check.Result{Property: "commit-validity", OK: true}
+	av := check.Result{Property: "abort-validity", OK: true}
+	for p := 1; p <= run.N; p++ {
+		if run.DecidedAt[p] == 0 {
+			continue
+		}
+		switch run.DecisionOf[p] {
+		case Commit:
+			if !allYes {
+				cv.OK = false
+				cv.Detail = fmt.Sprintf("%v decided COMMIT although some process voted No", model.ProcessID(p))
+			}
+		case Abort:
+			if allYes && run.NumFaulty() == 0 {
+				av.OK = false
+				av.Detail = fmt.Sprintf("%v decided ABORT although all voted Yes and no process crashed", model.ProcessID(p))
+			}
+		default:
+			cv.OK = false
+			cv.Detail = fmt.Sprintf("%v decided the non-decision value %d", model.ProcessID(p), int64(run.DecisionOf[p]))
+		}
+	}
+	out = append(out, cv, av)
+	return out
+}
+
+// FirstViolation returns the first violated NBAC property, or nil.
+func FirstViolation(run *rounds.Run) *check.Result {
+	results := CheckNBAC(run)
+	for i := range results {
+		if !results[i].OK {
+			return &results[i]
+		}
+	}
+	return nil
+}
+
+// Committed reports whether the run's common decision was Commit (false
+// when no process decided, which termination-checked runs exclude).
+func Committed(run *rounds.Run) bool {
+	for p := 1; p <= run.N; p++ {
+		if run.DecidedAt[p] != 0 {
+			return run.DecisionOf[p] == Commit
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package nbac
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/explore"
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+func votes(vs ...model.Value) []model.Value { return vs }
+
+func TestAllYesFailureFreeCommits(t *testing.T) {
+	for _, tc := range []struct {
+		alg  rounds.Algorithm
+		kind rounds.ModelKind
+	}{
+		{ForRS(), rounds.RS},
+		{ForRWS(), rounds.RWS},
+	} {
+		run, err := rounds.RunAlgorithm(tc.kind, tc.alg, votes(VoteYes, VoteYes, VoteYes), 1, rounds.NoFailures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := FirstViolation(run); bad != nil {
+			t.Fatalf("%s: %s", tc.alg.Name(), bad)
+		}
+		if !Committed(run) {
+			t.Errorf("%s: all-Yes failure-free run aborted", tc.alg.Name())
+		}
+	}
+}
+
+func TestSingleNoVoteAborts(t *testing.T) {
+	for _, tc := range []struct {
+		alg  rounds.Algorithm
+		kind rounds.ModelKind
+	}{
+		{ForRS(), rounds.RS},
+		{ForRWS(), rounds.RWS},
+	} {
+		run, err := rounds.RunAlgorithm(tc.kind, tc.alg, votes(VoteYes, VoteNo, VoteYes), 1, rounds.NoFailures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := FirstViolation(run); bad != nil {
+			t.Fatalf("%s: %s", tc.alg.Name(), bad)
+		}
+		if Committed(run) {
+			t.Errorf("%s: committed despite a No vote", tc.alg.Name())
+		}
+	}
+}
+
+// TestExhaustiveNBACSpec verifies both protocol variants against every
+// admissible adversary of their model (n=3, t=1) over every vote vector.
+func TestExhaustiveNBACSpec(t *testing.T) {
+	cases := []struct {
+		alg  rounds.Algorithm
+		kind rounds.ModelKind
+	}{
+		{ForRS(), rounds.RS},
+		{ForRWS(), rounds.RWS},
+	}
+	for _, tc := range cases {
+		for mask := 0; mask < 8; mask++ {
+			vs := votes(
+				model.Value(mask&1),
+				model.Value(mask>>1&1),
+				model.Value(mask>>2&1),
+			)
+			_, err := explore.Runs(tc.kind, tc.alg, vs, 1, explore.Options{}, func(run *rounds.Run) bool {
+				if run.Truncated {
+					return true
+				}
+				if bad := FirstViolation(run); bad != nil {
+					t.Fatalf("%s/%v votes=%v: %s\nrun %s", tc.alg.Name(), tc.kind, vs, bad, run)
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestPlainNBACUnsafeInRWS shows the halt mechanism is necessary: the RS
+// variant run in RWS violates uniform agreement under some pending-message
+// adversary (found exhaustively).
+func TestPlainNBACUnsafeInRWS(t *testing.T) {
+	found := false
+	_, err := explore.Runs(rounds.RWS, ForRS(), votes(VoteYes, VoteYes, VoteYes), 1, explore.Options{}, func(run *rounds.Run) bool {
+		if run.Truncated {
+			return true
+		}
+		if !check.UniformAgreement(run).OK {
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Error("expected the explorer to find a disagreement for the halt-less protocol in RWS")
+	}
+}
+
+// TestWorstCaseScenarios is experiment E9's table: the commit gap appears
+// exactly in the crash-after-voting scenario.
+func TestWorstCaseScenarios(t *testing.T) {
+	want := map[Scenario]struct{ rs, rws bool }{
+		CrashBeforeVoting: {false, false},
+		CrashMidBroadcast: {true, true},
+		CrashAfterVoting:  {true, false}, // the paper's separation
+	}
+	for _, sc := range Scenarios() {
+		out, err := WorstCase(sc, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := want[sc]
+		if out.RSCommit != w.rs || out.RWSCommit != w.rws {
+			t.Errorf("%v: RS commit=%v RWS commit=%v, want %v/%v",
+				sc, out.RSCommit, out.RWSCommit, w.rs, w.rws)
+		}
+	}
+}
+
+// TestMeasuredCommitRateGap: under matched random adversaries, RS commits
+// strictly more often than RWS on all-Yes workloads.
+func TestMeasuredCommitRateGap(t *testing.T) {
+	rep, err := MeasureRates(4, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RSRate() <= rep.RWSRate() {
+		t.Errorf("commit rates RS=%.3f ≤ RWS=%.3f; the paper predicts a strict gap", rep.RSRate(), rep.RWSRate())
+	}
+	if rep.RSRate() == 0 {
+		t.Error("RS never committed; adversary too strong or protocol broken")
+	}
+}
+
+func TestWorstCaseValidation(t *testing.T) {
+	if _, err := WorstCase(CrashAfterVoting, 2); err == nil {
+		t.Error("n=2 accepted")
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if DecisionString(Commit) != "COMMIT" || DecisionString(Abort) != "ABORT" {
+		t.Error("decision strings wrong")
+	}
+	if DecisionString(7) == "" {
+		t.Error("unknown decision string empty")
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	for _, sc := range Scenarios() {
+		if sc.String() == "" {
+			t.Errorf("scenario %d has empty name", int(sc))
+		}
+	}
+	if Scenario(9).String() == "" {
+		t.Error("unknown scenario string empty")
+	}
+}

@@ -1,0 +1,190 @@
+package nbac
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// Scenario classifies a single-crash, all-Yes voting situation by when the
+// victim crashes relative to its vote broadcast — the axis along which the
+// paper's SS-versus-SP commit gap appears.
+type Scenario int
+
+const (
+	// CrashBeforeVoting: the victim crashes during round 1 reaching no one
+	// ("initially dead" from everyone else's viewpoint). Its vote is
+	// unknowable: both models abort.
+	CrashBeforeVoting Scenario = iota + 1
+	// CrashMidBroadcast: the victim crashes during round 1 after reaching a
+	// strict nonempty subset. The vote floods from the reached survivors:
+	// both models commit.
+	CrashMidBroadcast
+	// CrashAfterVoting: the victim completes round 1 and crashes in round
+	// 2. In RS its vote reached everyone (message synchrony) — Commit is
+	// guaranteed. In RWS the adversary can have made every copy pending, so
+	// Abort is forced at the adversary's whim: this is the paper's gap.
+	CrashAfterVoting
+)
+
+// String names the scenario.
+func (s Scenario) String() string {
+	switch s {
+	case CrashBeforeVoting:
+		return "crash before voting"
+	case CrashMidBroadcast:
+		return "crash mid-broadcast"
+	case CrashAfterVoting:
+		return "crash after voting"
+	default:
+		return fmt.Sprintf("Scenario(%d)", int(s))
+	}
+}
+
+// Scenarios lists the three crash-timing classes.
+func Scenarios() []Scenario {
+	return []Scenario{CrashBeforeVoting, CrashMidBroadcast, CrashAfterVoting}
+}
+
+// Outcome records what each model does in a scenario under the worst-case
+// admissible adversary of that model.
+type Outcome struct {
+	Scenario  Scenario
+	RSCommit  bool // decision in RS under its worst-case adversary
+	RWSCommit bool // decision in RWS under its worst-case adversary
+	RSRun     *rounds.Run
+	RWSRun    *rounds.Run
+}
+
+// WorstCase executes the scenario in both models with n processes (t = 1,
+// victim p1, all-Yes votes) under the adversary that most opposes Commit,
+// and returns the outcomes. Errors indicate misuse (n too small).
+func WorstCase(scenario Scenario, n int) (*Outcome, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("nbac: WorstCase needs n ≥ 3, got %d", n)
+	}
+	votes := make([]model.Value, n)
+	for i := range votes {
+		votes[i] = VoteYes
+	}
+	victim := model.ProcessID(1)
+
+	rsAdv, rwsAdv := scenarioAdversaries(scenario, victim, n)
+
+	rsRun, err := rounds.RunAlgorithm(rounds.RS, ForRS(), votes, 1, rsAdv)
+	if err != nil {
+		return nil, fmt.Errorf("nbac: RS scenario %v: %w", scenario, err)
+	}
+	rwsRun, err := rounds.RunAlgorithm(rounds.RWS, ForRWS(), votes, 1, rwsAdv)
+	if err != nil {
+		return nil, fmt.Errorf("nbac: RWS scenario %v: %w", scenario, err)
+	}
+	if bad := FirstViolation(rsRun); bad != nil {
+		return nil, fmt.Errorf("nbac: RS scenario %v violates the spec: %s", scenario, bad)
+	}
+	if bad := FirstViolation(rwsRun); bad != nil {
+		return nil, fmt.Errorf("nbac: RWS scenario %v violates the spec: %s", scenario, bad)
+	}
+	return &Outcome{
+		Scenario:  scenario,
+		RSCommit:  Committed(rsRun),
+		RWSCommit: Committed(rwsRun),
+		RSRun:     rsRun,
+		RWSRun:    rwsRun,
+	}, nil
+}
+
+// scenarioAdversaries builds the commit-opposing adversary of each model
+// for the given crash-timing scenario.
+func scenarioAdversaries(scenario Scenario, victim model.ProcessID, n int) (rs, rws rounds.Adversary) {
+	switch scenario {
+	case CrashBeforeVoting:
+		// Crash during round 1, reaching no one — expressible in both.
+		rs = &rounds.CrashOnceAdversary{Victim: victim, Round: 1, Reach: 0}
+		rws = &rounds.CrashOnceAdversary{Victim: victim, Round: 1, Reach: 0}
+	case CrashMidBroadcast:
+		// Crash during round 1 reaching exactly one survivor. The RWS
+		// adversary has no stronger move: the reached copy floods.
+		reach := model.Singleton(victim%model.ProcessID(n) + 1)
+		rs = &rounds.CrashOnceAdversary{Victim: victim, Round: 1, Reach: reach}
+		rws = &rounds.CrashOnceAdversary{Victim: victim, Round: 1, Reach: reach}
+	case CrashAfterVoting:
+		// The victim completes round 1. In RS, completing the round means
+		// everyone received the vote — the strongest admissible adversary
+		// can only crash it in round 2, too late to oppose Commit. In RWS,
+		// the adversary makes every round-1 copy pending and crashes the
+		// victim in round 2: the vote was *sent* but is never received.
+		rs = &rounds.CrashOnceAdversary{Victim: victim, Round: 2, Reach: 0}
+		rws = &rounds.Script{Plans: []rounds.Plan{
+			{Drops: map[model.ProcessID]model.ProcSet{victim: model.FullSet(n).Remove(victim)}},
+			{Crashes: map[model.ProcessID]model.ProcSet{victim: 0}},
+		}}
+	}
+	return rs, rws
+}
+
+// RateReport aggregates randomized commit rates: the fraction of all-Yes,
+// single-crash runs that commit under each model's seeded random adversary.
+type RateReport struct {
+	N, Trials             int
+	RSCommits, RWSCommits int
+}
+
+// Rate returns the commit fraction for the given counter.
+func rate(commits, trials int) float64 {
+	if trials == 0 {
+		return 0
+	}
+	return float64(commits) / float64(trials)
+}
+
+// RSRate returns the RS commit fraction.
+func (r *RateReport) RSRate() float64 { return rate(r.RSCommits, r.Trials) }
+
+// RWSRate returns the RWS commit fraction.
+func (r *RateReport) RWSRate() float64 { return rate(r.RWSCommits, r.Trials) }
+
+// String renders the report.
+func (r *RateReport) String() string {
+	return fmt.Sprintf("n=%d trials=%d: RS commit rate %.3f, RWS commit rate %.3f",
+		r.N, r.Trials, r.RSRate(), r.RWSRate())
+}
+
+// MeasureRates runs `trials` all-Yes executions with seeded random
+// adversaries in each model and counts commits. Every run is also checked
+// against the NBAC specification.
+func MeasureRates(n, trials int, seed int64) (*RateReport, error) {
+	votes := make([]model.Value, n)
+	for i := range votes {
+		votes[i] = VoteYes
+	}
+	report := &RateReport{N: n, Trials: trials}
+	for i := 0; i < trials; i++ {
+		s := seed + int64(i)
+		rsRun, err := rounds.RunAlgorithm(rounds.RS, ForRS(), votes, 1,
+			rounds.NewRandomAdversary(s, 0.5, 0))
+		if err != nil {
+			return nil, err
+		}
+		if bad := FirstViolation(rsRun); bad != nil {
+			return nil, fmt.Errorf("nbac: RS trial %d: %s", i, bad)
+		}
+		if Committed(rsRun) {
+			report.RSCommits++
+		}
+		rwsAdv := rounds.NewRandomAdversary(s, 0.5, 0.5)
+		rwsAdv.DropAll = true // the SP adversary's strongest move: the vote no one sees
+		rwsRun, err := rounds.RunAlgorithm(rounds.RWS, ForRWS(), votes, 1, rwsAdv)
+		if err != nil {
+			return nil, err
+		}
+		if bad := FirstViolation(rwsRun); bad != nil {
+			return nil, fmt.Errorf("nbac: RWS trial %d: %s", i, bad)
+		}
+		if Committed(rwsRun) {
+			report.RWSCommits++
+		}
+	}
+	return report, nil
+}

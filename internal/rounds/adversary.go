@@ -1,0 +1,148 @@
+package rounds
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// RandomAdversary draws crashes, partial broadcasts and (in RWS) pending
+// messages from a seeded source. It always produces legal plans, so it is
+// the workhorse of randomized property tests: whatever it does, a correct
+// algorithm must keep its specification.
+type RandomAdversary struct {
+	rng *rand.Rand
+
+	// CrashProb is the per-round probability that the adversary crashes one
+	// more process (while budget remains).
+	CrashProb float64
+	// DropProb is the per-round probability (RWS only) that one live
+	// process turns some of its messages into pending messages (which costs
+	// a unit of crash budget the next round).
+	DropProb float64
+	// DropAll makes every drop event withhold the sender's message from ALL
+	// addressees — the worst-case pending pattern (a vote or decision that
+	// no one ever sees). With DropAll false, drop sets are random subsets.
+	DropAll bool
+}
+
+var _ Adversary = (*RandomAdversary)(nil)
+
+// NewRandomAdversary returns a seeded adversary with the given crash and
+// drop probabilities.
+func NewRandomAdversary(seed int64, crashProb, dropProb float64) *RandomAdversary {
+	return &RandomAdversary{
+		rng:       rand.New(rand.NewSource(seed)),
+		CrashProb: crashProb,
+		DropProb:  dropProb,
+	}
+}
+
+// pick returns a uniformly random member of s (s must be nonempty).
+func (a *RandomAdversary) pick(s model.ProcSet) model.ProcessID {
+	members := s.Members()
+	return members[a.rng.Intn(len(members))]
+}
+
+// subset returns a uniformly random subset of s.
+func (a *RandomAdversary) subset(s model.ProcSet) model.ProcSet {
+	var out model.ProcSet
+	s.ForEach(func(p model.ProcessID) bool {
+		if a.rng.Intn(2) == 0 {
+			out = out.Add(p)
+		}
+		return true
+	})
+	return out
+}
+
+// Plan implements Adversary.
+func (a *RandomAdversary) Plan(v *View) Plan {
+	p := Plan{}
+	crashing := v.Obligated // obligations must be honored first
+	budget := v.Budget() - crashing.Count()
+
+	// Maybe crash additional processes.
+	candidates := v.Alive.Minus(crashing)
+	for budget > 0 && !candidates.Empty() && a.rng.Float64() < a.CrashProb {
+		q := a.pick(candidates)
+		crashing = crashing.Add(q)
+		candidates = candidates.Remove(q)
+		budget--
+	}
+	if !crashing.Empty() {
+		p.Crashes = make(map[model.ProcessID]model.ProcSet, crashing.Count())
+		crashing.ForEach(func(q model.ProcessID) bool {
+			// A crashing process reaches a random subset of its addressees.
+			p.Crashes[q] = a.subset(v.Sending[q].Remove(q))
+			return true
+		})
+	}
+
+	// Maybe create pending messages (RWS only; consumes future budget).
+	if v.Model == RWS {
+		droppers := 0
+		candidates = v.Alive.Minus(crashing)
+		for budget-droppers > 0 && !candidates.Empty() && a.rng.Float64() < a.DropProb {
+			q := a.pick(candidates)
+			candidates = candidates.Remove(q)
+			drop := v.Sending[q].Remove(q)
+			if !a.DropAll {
+				drop = a.subset(drop)
+			}
+			if drop.Empty() {
+				continue
+			}
+			if p.Drops == nil {
+				p.Drops = make(map[model.ProcessID]model.ProcSet)
+			}
+			p.Drops[q] = drop
+			droppers++
+		}
+	}
+	return p
+}
+
+// CrashOnceAdversary crashes a single designated process at a designated
+// round with a designated reach set, and nothing else. It is the building
+// block of the paper's hand-constructed scenarios.
+type CrashOnceAdversary struct {
+	Victim model.ProcessID
+	Round  int
+	Reach  model.ProcSet
+}
+
+var _ Adversary = (*CrashOnceAdversary)(nil)
+
+// Plan implements Adversary.
+func (a *CrashOnceAdversary) Plan(v *View) Plan {
+	if v.Round != a.Round || !v.Alive.Has(a.Victim) {
+		return FailureFree
+	}
+	return Plan{Crashes: map[model.ProcessID]model.ProcSet{a.Victim: a.Reach.Remove(a.Victim)}}
+}
+
+// InitialCrashAdversary crashes a set of processes "initially": during
+// round 1, reaching no one. The paper's F_OptFloodSet analysis considers
+// runs in which exactly t processes initially crash.
+type InitialCrashAdversary struct {
+	Victims model.ProcSet
+}
+
+var _ Adversary = (*InitialCrashAdversary)(nil)
+
+// Plan implements Adversary.
+func (a *InitialCrashAdversary) Plan(v *View) Plan {
+	if v.Round != 1 {
+		return FailureFree
+	}
+	crashes := make(map[model.ProcessID]model.ProcSet, a.Victims.Count())
+	a.Victims.Intersect(v.Alive).ForEach(func(q model.ProcessID) bool {
+		crashes[q] = 0 // reaches no one: crashed before taking any visible step
+		return true
+	})
+	if len(crashes) == 0 {
+		return FailureFree
+	}
+	return Plan{Crashes: crashes}
+}

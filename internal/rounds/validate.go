@@ -1,0 +1,145 @@
+package rounds
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Violation describes where a run record breaks a model's synchrony
+// property. It is both a test aid and the mechanism by which experiment E10
+// certifies the engines and emulations.
+type Violation struct {
+	Round    int
+	Sender   model.ProcessID
+	Receiver model.ProcessID
+	Reason   string
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("round %d: %v → %v: %s", v.Round, v.Sender, v.Receiver, v.Reason)
+}
+
+// CheckRoundSynchrony verifies the RS property over a run record: if pi is
+// alive at the end of round r and does not receive pj's round-r message
+// (which pj addressed to pi), then pj failed before sending to pi at round
+// r — i.e. pj crashed during round r (with pi outside its reach set) or
+// earlier. Additionally, in RS a message from a process that completes the
+// round must reach every addressee: pending messages are impossible.
+//
+// It returns all violations found (empty means the run is RS-admissible).
+func CheckRoundSynchrony(run *Run) []Violation {
+	var out []Violation
+	for idx := range run.Rounds {
+		rr := &run.Rounds[idx]
+		r := rr.Round
+		for j := 1; j <= run.N; j++ {
+			pj := model.ProcessID(j)
+			if !rr.AliveStart.Has(pj) {
+				continue
+			}
+			dropped := rr.dropped(pj)
+			if dropped.Empty() {
+				continue
+			}
+			if !rr.Crashed.Has(pj) {
+				// pj survived the round yet some addressee missed its
+				// message: impossible in RS.
+				dropped.ForEach(func(pi model.ProcessID) bool {
+					if pi != pj && run.AliveAtEnd(pi, r) {
+						out = append(out, Violation{
+							Round: r, Sender: pj, Receiver: pi,
+							Reason: "message from a surviving sender was not received (pending messages are impossible in RS)",
+						})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CheckWeakRoundSynchrony verifies the RWS property (Lemma 4.1) over a run
+// record: if pi is alive at the end of round r and does not receive pj's
+// round-r message (addressed to pi), then pj crashes by the end of round
+// r+1.
+func CheckWeakRoundSynchrony(run *Run) []Violation {
+	var out []Violation
+	for idx := range run.Rounds {
+		rr := &run.Rounds[idx]
+		r := rr.Round
+		for j := 1; j <= run.N; j++ {
+			pj := model.ProcessID(j)
+			if !rr.AliveStart.Has(pj) {
+				continue
+			}
+			dropped := rr.dropped(pj)
+			if dropped.Empty() {
+				continue
+			}
+			dropped.ForEach(func(pi model.ProcessID) bool {
+				if pi == pj || !run.AliveAtEnd(pi, r) {
+					return true // receiver crashed: no constraint
+				}
+				cr := run.CrashRound[pj]
+				if cr == 0 || cr > r+1 {
+					out = append(out, Violation{
+						Round: r, Sender: pj, Receiver: pi,
+						Reason: fmt.Sprintf("pending message but sender does not crash by the end of round %d (crash round %d, 0 = never)", r+1, cr),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// CheckCrashConsistency verifies the structural invariants every run must
+// satisfy regardless of model: crashes are permanent, at most T processes
+// crash, crashed processes neither send nor receive afterwards, and alive
+// sets shrink monotonically.
+func CheckCrashConsistency(run *Run) []Violation {
+	var out []Violation
+	if f := run.NumFaulty(); f > run.T {
+		out = append(out, Violation{Reason: fmt.Sprintf("%d crashes exceed t=%d", f, run.T)})
+	}
+	prevAlive := model.FullSet(run.N)
+	for idx := range run.Rounds {
+		rr := &run.Rounds[idx]
+		r := rr.Round
+		if rr.AliveStart != prevAlive {
+			out = append(out, Violation{Round: r, Reason: fmt.Sprintf(
+				"alive-at-start %v does not match survivors of previous round %v", rr.AliveStart, prevAlive)})
+		}
+		if !rr.Crashed.Subset(rr.AliveStart) {
+			out = append(out, Violation{Round: r, Reason: "a process crashed twice"})
+		}
+		for j := 1; j <= run.N; j++ {
+			pj := model.ProcessID(j)
+			if !rr.AliveStart.Has(pj) && !rr.Sent[j].Empty() {
+				out = append(out, Violation{Round: r, Sender: pj, Reason: "a crashed process sent a message"})
+			}
+			if !rr.Reached[j].Subset(rr.Sent[j]) {
+				out = append(out, Violation{Round: r, Sender: pj, Reason: "reached set is not a subset of sent set"})
+			}
+		}
+		prevAlive = rr.AliveStart.Minus(rr.Crashed)
+	}
+	return out
+}
+
+// Admissible reports whether the run satisfies the synchrony property of
+// its own model plus the structural invariants.
+func Admissible(run *Run) []Violation {
+	out := CheckCrashConsistency(run)
+	switch run.Model {
+	case RS:
+		out = append(out, CheckRoundSynchrony(run)...)
+	case RWS:
+		out = append(out, CheckWeakRoundSynchrony(run)...)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// ClusterConfig assembles a full live execution.
+type ClusterConfig struct {
+	Kind    rounds.ModelKind
+	Initial []model.Value // initial[i] is p_{i+1}'s value
+	T       int
+
+	// Network: either provide one (Endpoints), or leave nil to get a
+	// default in-process synchronous network.
+	Network interface {
+		Endpoint(model.ProcessID) Transport
+		Close() error
+	}
+
+	// RoundDuration paces RS rounds (default 25ms: comfortably above the
+	// default network's 1ms delay bound).
+	RoundDuration time.Duration
+
+	// HeartbeatPeriod and SuspectTimeout configure the RWS failure
+	// detectors (defaults 2ms / 30ms: perfect over the default network).
+	HeartbeatPeriod time.Duration
+	SuspectTimeout  time.Duration
+
+	MaxRounds int
+
+	// Crashes schedules crash plans per process.
+	Crashes map[model.ProcessID]CrashPlan
+}
+
+// ClusterResult aggregates the nodes' results.
+type ClusterResult struct {
+	Results []NodeResult // index 1..n
+	// FalseSuspicions sums detector retractions across nodes: 0 means
+	// failure detection was perfect in this run.
+	FalseSuspicions int64
+	Elapsed         time.Duration
+}
+
+// Decisions extracts (value, decided) pairs.
+func (cr *ClusterResult) Decisions() ([]model.Value, []bool) {
+	n := len(cr.Results) - 1
+	vals := make([]model.Value, n+1)
+	ok := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		vals[i] = cr.Results[i].Decision
+		ok[i] = cr.Results[i].Decided
+	}
+	return vals, ok
+}
+
+// Agreement reports whether all decided nodes agree, and the common value.
+func (cr *ClusterResult) Agreement() (model.Value, bool) {
+	var first model.Value
+	seen := false
+	for i := 1; i < len(cr.Results); i++ {
+		r := cr.Results[i]
+		if !r.Decided {
+			continue
+		}
+		if !seen {
+			first, seen = r.Decision, true
+		} else if r.Decision != first {
+			return 0, false
+		}
+	}
+	return first, seen
+}
+
+// RunCluster executes one live run of the algorithm and returns every
+// node's outcome. All goroutines are joined before it returns.
+func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error) {
+	n := len(cfg.Initial)
+	if n < 1 {
+		return nil, fmt.Errorf("runtime: empty cluster")
+	}
+	if cfg.RoundDuration <= 0 {
+		cfg.RoundDuration = 25 * time.Millisecond
+	}
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = 2 * time.Millisecond
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 30 * time.Millisecond
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = cfg.T + 2
+	}
+	network := cfg.Network
+	if network == nil {
+		network = NewChanNetwork(n, ChanConfig{MaxDelay: time.Millisecond})
+	}
+	defer func() { _ = network.Close() }()
+
+	epoch := time.Now().Add(10 * time.Millisecond)
+	nodes := make([]*Node, n+1)
+	fds := make([]*HeartbeatFD, n+1)
+	for i := 1; i <= n; i++ {
+		id := model.ProcessID(i)
+		transport := network.Endpoint(id)
+		var fd *HeartbeatFD
+		if cfg.Kind == rounds.RWS {
+			fd = NewHeartbeatFD(transport, n, cfg.HeartbeatPeriod, cfg.SuspectTimeout)
+		}
+		fds[i] = fd
+		node, err := NewNode(alg, NodeConfig{
+			ID: id, N: n, T: cfg.T, Initial: cfg.Initial[i-1],
+			Transport: transport, Kind: cfg.Kind,
+			RoundDuration: cfg.RoundDuration, Epoch: epoch,
+			FD: fd, MaxRounds: cfg.MaxRounds,
+			Crash: cfg.Crashes[id],
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+	}
+
+	start := time.Now()
+	results := make([]NodeResult, n+1)
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		if fds[i] != nil {
+			fds[i].Start()
+		}
+	}
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = nodes[i].Run()
+		}(i)
+	}
+	wg.Wait()
+	cr := &ClusterResult{Results: results, Elapsed: time.Since(start)}
+	for i := 1; i <= n; i++ {
+		if fds[i] != nil {
+			fds[i].Stop()
+			cr.FalseSuspicions += fds[i].FalseSuspicions()
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if results[i].Err != nil {
+			return cr, fmt.Errorf("runtime: node %d: %w", i, results[i].Err)
+		}
+	}
+	return cr, nil
+}

@@ -1,0 +1,138 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// HeartbeatFD is the timeout-based failure detector the paper's Section 3
+// alludes to ("a simple time-out mechanism with time-out periods that
+// depend on the Δ and Φ bounds [implements] a perfect failure detector" in
+// a synchronous system): every process broadcasts a heartbeat each Period,
+// and an observer suspects a peer once no traffic has arrived from it for
+// Timeout.
+//
+// Over a network with bounded delay D the detector is perfect when
+//
+//	Timeout > Period + D + scheduling jitter,
+//
+// because a live peer's next heartbeat always lands inside the window. Over
+// an unbounded network the same code is merely eventually perfect — the
+// experiments use exactly this to show which model a deployment actually
+// lives in.
+type HeartbeatFD struct {
+	id        model.ProcessID
+	n         int
+	period    time.Duration
+	timeout   time.Duration
+	transport Transport
+
+	lastHeard []atomic.Int64 // unix nanos of last traffic per peer
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	falseSuspicions atomic.Int64 // observed retractions (perfection counterexamples)
+	everSuspected   []atomic.Bool
+}
+
+// NewHeartbeatFD builds (but does not start) a detector for the endpoint.
+func NewHeartbeatFD(t Transport, n int, period, timeout time.Duration) *HeartbeatFD {
+	fd := &HeartbeatFD{
+		id:            t.LocalID(),
+		n:             n,
+		period:        period,
+		timeout:       timeout,
+		transport:     t,
+		lastHeard:     make([]atomic.Int64, n+1),
+		everSuspected: make([]atomic.Bool, n+1),
+		stop:          make(chan struct{}),
+	}
+	now := time.Now().UnixNano()
+	for i := 1; i <= n; i++ {
+		fd.lastHeard[i].Store(now)
+	}
+	return fd
+}
+
+// Start launches the heartbeat broadcaster.
+func (fd *HeartbeatFD) Start() {
+	fd.wg.Add(1)
+	go fd.broadcastLoop()
+}
+
+// Stop halts the broadcaster (the process "crashes" from the peers'
+// viewpoint once its last heartbeat ages out).
+func (fd *HeartbeatFD) Stop() {
+	fd.stopOnce.Do(func() { close(fd.stop) })
+	fd.wg.Wait()
+}
+
+func (fd *HeartbeatFD) broadcastLoop() {
+	defer fd.wg.Done()
+	ticker := time.NewTicker(fd.period)
+	defer ticker.Stop()
+	seq := 0
+	for {
+		select {
+		case <-fd.stop:
+			return
+		case <-ticker.C:
+			seq++
+			env := wire.Envelope{From: fd.id, Round: seq, Kind: wire.KindHeartbeat}
+			for j := 1; j <= fd.n; j++ {
+				dest := model.ProcessID(j)
+				if dest == fd.id {
+					continue
+				}
+				e := env
+				e.To = dest
+				data, err := wire.Encode(e)
+				if err != nil {
+					continue
+				}
+				_ = fd.transport.Send(dest, data) // best effort; closure races are benign
+			}
+		}
+	}
+}
+
+// Observe records liveness evidence from a peer. The node's demultiplexer
+// calls it for every packet (heartbeat or data): any traffic proves the
+// peer was recently alive.
+func (fd *HeartbeatFD) Observe(from model.ProcessID) {
+	if !from.Valid(fd.n) {
+		return
+	}
+	fd.lastHeard[from].Store(time.Now().UnixNano())
+}
+
+// Suspects returns the current suspicion set. It also tracks retractions:
+// if a previously suspected peer shows life again, the detector was not
+// perfect in this run (FalseSuspicions counts those events).
+func (fd *HeartbeatFD) Suspects() model.ProcSet {
+	var s model.ProcSet
+	now := time.Now().UnixNano()
+	for j := 1; j <= fd.n; j++ {
+		if model.ProcessID(j) == fd.id {
+			continue
+		}
+		if now-fd.lastHeard[j].Load() > int64(fd.timeout) {
+			s = s.Add(model.ProcessID(j))
+			fd.everSuspected[j].Store(true)
+		} else if fd.everSuspected[j].Load() {
+			fd.falseSuspicions.Add(1)
+			fd.everSuspected[j].Store(false)
+		}
+	}
+	return s
+}
+
+// FalseSuspicions reports how many suspicion retractions this observer went
+// through — zero in a run where the detector behaved perfectly.
+func (fd *HeartbeatFD) FalseSuspicions() int64 { return fd.falseSuspicions.Load() }

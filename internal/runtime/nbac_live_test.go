@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/nbac"
+	"repro/internal/rounds"
+	"repro/internal/wire"
+)
+
+// TestLiveNBACCommitsFailureFree: all-Yes votes over the live RS cluster
+// commit.
+func TestLiveNBACCommitsFailureFree(t *testing.T) {
+	cr, err := RunCluster(nbac.ForRS(), ClusterConfig{
+		Kind:          rounds.RS,
+		Initial:       []model.Value{nbac.VoteYes, nbac.VoteYes, nbac.VoteYes},
+		T:             1,
+		RoundDuration: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := cr.Agreement()
+	if !ok || v != nbac.Commit {
+		t.Fatalf("agreement = (%v,%v), want COMMIT", nbac.DecisionString(v), ok)
+	}
+}
+
+// TestLiveNBACAbortsOnNoVote: one No vote aborts, live.
+func TestLiveNBACAbortsOnNoVote(t *testing.T) {
+	cr, err := RunCluster(nbac.ForRWS(), ClusterConfig{
+		Kind:    rounds.RWS,
+		Initial: []model.Value{nbac.VoteYes, nbac.VoteNo, nbac.VoteYes},
+		T:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := cr.Agreement()
+	if !ok || v != nbac.Abort {
+		t.Fatalf("agreement = (%v,%v), want ABORT", nbac.DecisionString(v), ok)
+	}
+}
+
+// TestLiveNBACCommitGap reproduces E9's separating scenario on real
+// goroutines: p1 votes Yes and crashes right after its voting round.
+//
+//   - RS cluster: the bounded-delay network already delivered the vote —
+//     the survivors COMMIT.
+//   - RWS cluster with p1's vote messages crawling behind fast failure
+//     detection: the survivors suspect p1 before its vote arrives and must
+//     ABORT — the same physical crash, the opposite decision.
+func TestLiveNBACCommitGap(t *testing.T) {
+	votes := []model.Value{nbac.VoteYes, nbac.VoteYes, nbac.VoteYes}
+
+	rs, err := RunCluster(nbac.ForRS(), ClusterConfig{
+		Kind: rounds.RS, Initial: votes, T: 1,
+		RoundDuration: 15 * time.Millisecond,
+		Crashes:       map[model.ProcessID]CrashPlan{1: {Round: 2, Reach: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := rs.Agreement(); !ok || v != nbac.Commit {
+		t.Fatalf("RS: agreement = (%v,%v), want COMMIT (vote already delivered)", nbac.DecisionString(v), ok)
+	}
+
+	slowVotes := func(from, to model.ProcessID, data []byte) time.Duration {
+		env, err := wire.Decode(data)
+		if err == nil && from == 1 && env.Kind == wire.KindVotes {
+			return 300 * time.Millisecond
+		}
+		return 500 * time.Microsecond
+	}
+	nw := NewChanNetwork(3, ChanConfig{Delay: slowVotes})
+	rws, err := RunCluster(nbac.ForRWS(), ClusterConfig{
+		Kind: rounds.RWS, Initial: votes, T: 1,
+		Network: nw,
+		Crashes: map[model.ProcessID]CrashPlan{1: {Round: 2, Reach: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 3; i++ {
+		if !rws.Results[i].Decided || rws.Results[i].Decision != nbac.Abort {
+			t.Fatalf("RWS: p%d = %+v, want ABORT (vote pending behind suspicion)", i, rws.Results[i])
+		}
+	}
+}

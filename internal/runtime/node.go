@@ -1,0 +1,279 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/wire"
+)
+
+// CrashPlan injects a crash into a live node: during round Round the node
+// sends its messages to only the first Reach destinations (in increasing
+// id order, skipping itself) and then halts without applying the round's
+// transition — the live counterpart of the round engines' crash semantics.
+// A plan with Round 0 means "never crash".
+type CrashPlan struct {
+	Round int
+	Reach int
+}
+
+// NodeConfig configures a live node.
+type NodeConfig struct {
+	ID      model.ProcessID
+	N, T    int
+	Initial model.Value
+
+	Transport Transport
+	// Kind selects the round discipline: rounds.RS runs wall-clock
+	// lock-step rounds (requires a synchronous network and RoundDuration >
+	// worst-case round trip); rounds.RWS runs the receive-or-suspect loop
+	// over the failure detector.
+	Kind rounds.ModelKind
+
+	// RoundDuration paces RS rounds.
+	RoundDuration time.Duration
+	// Epoch anchors round deadlines so all nodes agree on round boundaries
+	// (RS only).
+	Epoch time.Time
+
+	// FD is required for RWS.
+	FD *HeartbeatFD
+
+	// MaxRounds bounds the execution (default t+2, every algorithm's worst
+	// case here).
+	MaxRounds int
+
+	Crash CrashPlan
+}
+
+// NodeResult is what a finished node reports.
+type NodeResult struct {
+	ID        model.ProcessID
+	Decided   bool
+	Decision  model.Value
+	DecidedAt int // round
+	Crashed   bool
+	Rounds    int // rounds completed
+	Err       error
+}
+
+// Node drives one rounds.Process over a live transport.
+type Node struct {
+	cfg  NodeConfig
+	proc rounds.Process
+
+	mu     sync.Mutex
+	byRnd  map[int]map[model.ProcessID]rounds.Message
+	arrive chan struct{} // pulsed on message arrival (RWS wakeups)
+
+	stopDemux chan struct{}
+	wg        sync.WaitGroup
+
+	result NodeResult
+}
+
+// NewNode builds a node for the algorithm.
+func NewNode(alg rounds.Algorithm, cfg NodeConfig) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("runtime: node %v: nil transport", cfg.ID)
+	}
+	if cfg.Kind == rounds.RWS && cfg.FD == nil {
+		return nil, fmt.Errorf("runtime: node %v: RWS requires a failure detector", cfg.ID)
+	}
+	if cfg.Kind == rounds.RS && cfg.RoundDuration <= 0 {
+		return nil, fmt.Errorf("runtime: node %v: RS requires a positive RoundDuration", cfg.ID)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = cfg.T + 2
+	}
+	return &Node{
+		cfg:       cfg,
+		proc:      alg.New(rounds.ProcConfig{ID: cfg.ID, N: cfg.N, T: cfg.T, Initial: cfg.Initial}),
+		byRnd:     make(map[int]map[model.ProcessID]rounds.Message),
+		arrive:    make(chan struct{}, 1),
+		stopDemux: make(chan struct{}),
+		result:    NodeResult{ID: cfg.ID},
+	}, nil
+}
+
+// demuxLoop decodes inbound packets, feeds the failure detector and files
+// round messages.
+func (n *Node) demuxLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopDemux:
+			return
+		case pkt, ok := <-n.cfg.Transport.Recv():
+			if !ok {
+				return
+			}
+			env, err := wire.Decode(pkt.Data)
+			if err != nil {
+				continue // corrupt frame: drop
+			}
+			if n.cfg.FD != nil {
+				n.cfg.FD.Observe(env.From)
+			}
+			if env.Kind == wire.KindHeartbeat {
+				continue
+			}
+			n.mu.Lock()
+			m := n.byRnd[env.Round]
+			if m == nil {
+				m = make(map[model.ProcessID]rounds.Message, n.cfg.N)
+				n.byRnd[env.Round] = m
+			}
+			m[env.From] = env.Payload
+			n.mu.Unlock()
+			select {
+			case n.arrive <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// sendRound transmits the round's messages; reach < n−1 sends a prefix only
+// (crash semantics). It returns the generated message slice.
+func (n *Node) sendRound(round, reach int) ([]rounds.Message, error) {
+	msgs := n.proc.Msgs(round)
+	sent := 0
+	for j := 1; j <= n.cfg.N; j++ {
+		dest := model.ProcessID(j)
+		if dest == n.cfg.ID {
+			continue
+		}
+		if sent >= reach {
+			break
+		}
+		sent++
+		var payload rounds.Message
+		if msgs != nil {
+			payload = msgs[dest]
+		}
+		env, err := wire.EnvelopeFor(n.cfg.ID, dest, round, payload)
+		if err != nil {
+			return nil, err
+		}
+		data, err := wire.Encode(env)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.cfg.Transport.Send(dest, data); err != nil {
+			return nil, err
+		}
+	}
+	return msgs, nil
+}
+
+// gather snapshots the messages received for a round.
+func (n *Node) gather(round int) map[model.ProcessID]rounds.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	src := n.byRnd[round]
+	out := make(map[model.ProcessID]rounds.Message, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// Run executes the node to completion in its own goroutine context; callers
+// usually invoke it via Cluster. It returns the node's result.
+func (n *Node) Run() NodeResult {
+	n.wg.Add(1)
+	go n.demuxLoop()
+	defer func() {
+		close(n.stopDemux)
+		n.wg.Wait()
+	}()
+
+	for round := 1; round <= n.cfg.MaxRounds; round++ {
+		reach := n.cfg.N - 1
+		crashing := n.cfg.Crash.Round == round
+		if crashing {
+			reach = n.cfg.Crash.Reach
+		}
+		msgs, err := n.sendRound(round, reach)
+		if err != nil {
+			n.result.Err = err
+			return n.result
+		}
+		if crashing {
+			// Crash: no transition, no further rounds; the heartbeat
+			// broadcaster (if any) dies with the node.
+			if n.cfg.FD != nil {
+				n.cfg.FD.Stop()
+			}
+			n.result.Crashed = true
+			return n.result
+		}
+
+		received, ok := n.waitRound(round)
+		if !ok {
+			n.result.Err = fmt.Errorf("runtime: node %v: round %d wait aborted", n.cfg.ID, round)
+			return n.result
+		}
+		in := make([]rounds.Message, n.cfg.N+1)
+		for from, payload := range received {
+			in[from] = payload
+		}
+		if msgs != nil {
+			in[n.cfg.ID] = msgs[n.cfg.ID] // self-delivery
+		}
+		n.proc.Trans(round, in)
+		n.result.Rounds = round
+		if !n.result.Decided {
+			if v, ok := n.proc.Decision(); ok {
+				n.result.Decided = true
+				n.result.Decision = v
+				n.result.DecidedAt = round
+			}
+		}
+	}
+	return n.result
+}
+
+// waitRound blocks until the round's reception condition holds: the RS
+// deadline passed, or (RWS) every peer has delivered or is suspected.
+func (n *Node) waitRound(round int) (map[model.ProcessID]rounds.Message, bool) {
+	switch n.cfg.Kind {
+	case rounds.RS:
+		deadline := n.cfg.Epoch.Add(time.Duration(round) * n.cfg.RoundDuration)
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		<-timer.C
+		return n.gather(round), true
+	case rounds.RWS:
+		ticker := time.NewTicker(500 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			got := n.gather(round)
+			suspects := n.cfg.FD.Suspects()
+			complete := true
+			for j := 1; j <= n.cfg.N; j++ {
+				pj := model.ProcessID(j)
+				if pj == n.cfg.ID {
+					continue
+				}
+				if _, ok := got[pj]; !ok && !suspects.Has(pj) {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				return got, true
+			}
+			select {
+			case <-n.arrive:
+			case <-ticker.C:
+			}
+		}
+	default:
+		return nil, false
+	}
+}

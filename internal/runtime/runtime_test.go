@@ -1,0 +1,321 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/wire"
+)
+
+func vals(vs ...int64) []model.Value {
+	out := make([]model.Value, len(vs))
+	for i, v := range vs {
+		out[i] = model.Value(v)
+	}
+	return out
+}
+
+func TestChanNetworkDelivers(t *testing.T) {
+	nw := NewChanNetwork(2, ChanConfig{MaxDelay: time.Millisecond})
+	defer func() { _ = nw.Close() }()
+	a, b := nw.Endpoint(1), nw.Endpoint(2)
+	if err := a.Send(2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-b.Recv():
+		if pkt.From != 1 || string(pkt.Data) != "hi" {
+			t.Errorf("got %+v", pkt)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestChanNetworkDelayHookDrops(t *testing.T) {
+	nw := NewChanNetwork(2, ChanConfig{
+		Delay: func(from, to model.ProcessID, data []byte) time.Duration { return -1 },
+	})
+	defer func() { _ = nw.Close() }()
+	if err := nw.Endpoint(1).Send(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-nw.Endpoint(2).Recv():
+		t.Fatalf("dropped message delivered: %+v", pkt)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestChanNetworkClosedSend(t *testing.T) {
+	nw := NewChanNetwork(2, ChanConfig{})
+	_ = nw.Close()
+	if err := nw.Endpoint(1).Send(2, []byte("x")); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPNetworkDelivers(t *testing.T) {
+	nw, err := NewTCPNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = nw.Close() }()
+	if err := nw.Endpoint(1).Send(3, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Endpoint(2).Send(3, []byte("too")); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]model.ProcessID{}
+	for i := 0; i < 2; i++ {
+		select {
+		case pkt := <-nw.Endpoint(3).Recv():
+			got[string(pkt.Data)] = pkt.From
+		case <-time.After(2 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+	if got["over tcp"] != 1 || got["too"] != 2 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestHeartbeatFDPerfectOverSynchronousNetwork(t *testing.T) {
+	nw := NewChanNetwork(2, ChanConfig{MaxDelay: time.Millisecond})
+	defer func() { _ = nw.Close() }()
+	fd1 := NewHeartbeatFD(nw.Endpoint(1), 2, 2*time.Millisecond, 40*time.Millisecond)
+	fd2 := NewHeartbeatFD(nw.Endpoint(2), 2, 2*time.Millisecond, 40*time.Millisecond)
+	fd1.Start()
+	fd2.Start()
+
+	// Pump p1's inbox into its detector, as a node's demux would.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case pkt := <-nw.Endpoint(1).Recv():
+				env, err := wire.Decode(pkt.Data)
+				if err == nil {
+					fd1.Observe(env.From)
+				}
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if s := fd1.Suspects(); !s.Empty() {
+			t.Fatalf("false suspicion of a live peer: %v", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// p2 "crashes": its heartbeats stop; p1 must suspect within the timeout.
+	fd2.Stop()
+	detected := false
+	deadline = time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if fd1.Suspects().Has(2) {
+			detected = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !detected {
+		t.Error("crash never detected")
+	}
+	if fd1.FalseSuspicions() != 0 {
+		t.Errorf("%d false suspicions over a synchronous network", fd1.FalseSuspicions())
+	}
+	close(stop)
+	<-done
+	fd1.Stop()
+}
+
+func requireAgreementValidity(t *testing.T, cr *ClusterResult, initial []model.Value, wantDecided int) {
+	t.Helper()
+	if _, ok := cr.Agreement(); !ok {
+		vals, _ := cr.Decisions()
+		t.Fatalf("agreement violated: decisions %v", vals[1:])
+	}
+	decided := 0
+	for i := 1; i < len(cr.Results); i++ {
+		if cr.Results[i].Decided {
+			decided++
+		}
+	}
+	if decided < wantDecided {
+		t.Fatalf("only %d nodes decided, want ≥ %d", decided, wantDecided)
+	}
+}
+
+func TestLiveRSFloodSet(t *testing.T) {
+	initial := vals(4, 2, 7, 5)
+	cr, err := RunCluster(consensus.FloodSet{}, ClusterConfig{
+		Kind: rounds.RS, Initial: initial, T: 1,
+		RoundDuration: 15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAgreementValidity(t, cr, initial, 4)
+	v, _ := cr.Agreement()
+	if v != 2 {
+		t.Errorf("decided %d, want 2", v)
+	}
+}
+
+func TestLiveRSA1DecidesRoundOne(t *testing.T) {
+	initial := vals(9, 1, 5)
+	cr, err := RunCluster(consensus.A1{}, ClusterConfig{
+		Kind: rounds.RS, Initial: initial, T: 1,
+		RoundDuration: 15 * time.Millisecond, MaxRounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAgreementValidity(t, cr, initial, 3)
+	for i := 1; i <= 3; i++ {
+		if cr.Results[i].DecidedAt != 1 {
+			t.Errorf("node %d decided at round %d, want 1 (Λ(A1)=1 live)", i, cr.Results[i].DecidedAt)
+		}
+		if cr.Results[i].Decision != 9 {
+			t.Errorf("node %d decided %d, want 9", i, cr.Results[i].Decision)
+		}
+	}
+}
+
+func TestLiveRSWithCrash(t *testing.T) {
+	initial := vals(0, 5, 9)
+	cr, err := RunCluster(consensus.FloodSet{}, ClusterConfig{
+		Kind: rounds.RS, Initial: initial, T: 1,
+		RoundDuration: 15 * time.Millisecond,
+		Crashes:       map[model.ProcessID]CrashPlan{1: {Round: 1, Reach: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAgreementValidity(t, cr, initial, 2)
+	if !cr.Results[1].Crashed {
+		t.Error("node 1 did not crash")
+	}
+	// p1 reached p2 only; 0 floods through p2 to everyone.
+	if v, _ := cr.Agreement(); v != 0 {
+		t.Errorf("decided %d, want 0", v)
+	}
+}
+
+func TestLiveRWSFloodSetWS(t *testing.T) {
+	initial := vals(4, 2, 7)
+	cr, err := RunCluster(consensus.FloodSetWS{}, ClusterConfig{
+		Kind: rounds.RWS, Initial: initial, T: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAgreementValidity(t, cr, initial, 3)
+	if cr.FalseSuspicions != 0 {
+		t.Errorf("%d false suspicions over a synchronous network", cr.FalseSuspicions)
+	}
+	if v, _ := cr.Agreement(); v != 2 {
+		t.Errorf("decided %d, want 2", v)
+	}
+}
+
+func TestLiveRWSWithCrash(t *testing.T) {
+	initial := vals(0, 5, 9)
+	cr, err := RunCluster(consensus.FloodSetWS{}, ClusterConfig{
+		Kind: rounds.RWS, Initial: initial, T: 1,
+		Crashes: map[model.ProcessID]CrashPlan{1: {Round: 1, Reach: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAgreementValidity(t, cr, initial, 2)
+	// p1's value 0 died with it: survivors decide 5.
+	if v, _ := cr.Agreement(); v != 5 {
+		t.Errorf("decided %d, want 5", v)
+	}
+}
+
+// TestLiveA1DisagreesInRWS is the flagship live demonstration: A1 run over
+// a real asynchronous network whose data messages from p1 are slow (150ms)
+// while failure detection is fast (25ms). p1 broadcasts, decides v1 via
+// self-delivery, and crashes; its A1Val messages are still in flight when
+// the survivors' detectors fire, so they fall back to p2's value — the
+// §5.3 disagreement, live.
+func TestLiveA1DisagreesInRWS(t *testing.T) {
+	slowP1Data := func(from, to model.ProcessID, data []byte) time.Duration {
+		env, err := wire.Decode(data)
+		if err == nil && from == 1 && env.Kind == wire.KindA1Val {
+			return 300 * time.Millisecond
+		}
+		return 500 * time.Microsecond
+	}
+	nw := NewChanNetwork(3, ChanConfig{Delay: slowP1Data})
+	cr, err := RunCluster(consensus.A1{}, ClusterConfig{
+		Kind: rounds.RWS, Initial: vals(3, 1, 2), T: 1,
+		Network: nw,
+		Crashes: map[model.ProcessID]CrashPlan{1: {Round: 2, Reach: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Results[1].Decided || cr.Results[1].Decision != 3 || cr.Results[1].DecidedAt != 1 {
+		t.Fatalf("p1 result %+v, want decision 3 at round 1", cr.Results[1])
+	}
+	for i := 2; i <= 3; i++ {
+		if !cr.Results[i].Decided || cr.Results[i].Decision != 1 {
+			t.Fatalf("p%d result %+v, want decision 1 (p2's value)", i, cr.Results[i])
+		}
+	}
+	if _, ok := cr.Agreement(); ok {
+		t.Error("expected live disagreement (the paper's §5.3 scenario)")
+	}
+}
+
+func TestLiveOverTCP(t *testing.T) {
+	nw, err := NewTCPNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := vals(4, 2, 7)
+	cr, err := RunCluster(consensus.FloodSet{}, ClusterConfig{
+		Kind: rounds.RS, Initial: initial, T: 1,
+		RoundDuration: 30 * time.Millisecond,
+		Network:       nw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAgreementValidity(t, cr, initial, 3)
+	if v, _ := cr.Agreement(); v != 2 {
+		t.Errorf("decided %d over TCP, want 2", v)
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := NewNode(consensus.FloodSet{}, NodeConfig{ID: 1, N: 2, T: 1}); err == nil {
+		t.Error("nil transport accepted")
+	}
+	nw := NewChanNetwork(2, ChanConfig{})
+	defer func() { _ = nw.Close() }()
+	if _, err := NewNode(consensus.FloodSetWS{}, NodeConfig{
+		ID: 1, N: 2, T: 1, Transport: nw.Endpoint(1), Kind: rounds.RWS,
+	}); err == nil {
+		t.Error("RWS without FD accepted")
+	}
+	if _, err := NewNode(consensus.FloodSet{}, NodeConfig{
+		ID: 1, N: 2, T: 1, Transport: nw.Endpoint(1), Kind: rounds.RS,
+	}); err == nil {
+		t.Error("RS without RoundDuration accepted")
+	}
+}

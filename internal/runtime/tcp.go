@@ -1,0 +1,207 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// TCPNetwork is a full-mesh TCP realization of Transport over localhost:
+// every endpoint listens on an ephemeral port; connections are dialed
+// lazily on first send and identified by a uvarint handshake carrying the
+// dialer's process id. Each frame is a uvarint length prefix followed by
+// the payload bytes.
+//
+// The live experiments default to ChanNetwork (deterministic delays); the
+// TCP transport exists to demonstrate the same protocols over a real
+// network stack and is exercised by the integration tests and the
+// livecluster example.
+type TCPNetwork struct {
+	n int
+
+	mu        sync.Mutex
+	closed    bool
+	listeners []net.Listener
+	addrs     []string
+	inboxes   []chan Packet
+	conns     []map[model.ProcessID]net.Conn // conns[i][j]: i's outgoing conn to j
+	wg        sync.WaitGroup
+	done      chan struct{}
+}
+
+// NewTCPNetwork starts n listeners on 127.0.0.1 and returns the mesh.
+func NewTCPNetwork(n int) (*TCPNetwork, error) {
+	nw := &TCPNetwork{
+		n:         n,
+		listeners: make([]net.Listener, n+1),
+		addrs:     make([]string, n+1),
+		inboxes:   make([]chan Packet, n+1),
+		conns:     make([]map[model.ProcessID]net.Conn, n+1),
+		done:      make(chan struct{}),
+	}
+	for i := 1; i <= n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = nw.Close()
+			return nil, fmt.Errorf("runtime: TCP listen: %w", err)
+		}
+		nw.listeners[i] = l
+		nw.addrs[i] = l.Addr().String()
+		nw.inboxes[i] = make(chan Packet, 1024)
+		nw.conns[i] = make(map[model.ProcessID]net.Conn)
+		nw.wg.Add(1)
+		go nw.acceptLoop(model.ProcessID(i), l)
+	}
+	return nw, nil
+}
+
+// acceptLoop accepts inbound connections for endpoint id and spawns reader
+// goroutines.
+func (nw *TCPNetwork) acceptLoop(id model.ProcessID, l net.Listener) {
+	defer nw.wg.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		nw.wg.Add(1)
+		go nw.readLoop(id, conn)
+	}
+}
+
+// readLoop reads the handshake then frames, delivering packets to the
+// endpoint's inbox.
+func (nw *TCPNetwork) readLoop(id model.ProcessID, conn net.Conn) {
+	defer nw.wg.Done()
+	defer func() { _ = conn.Close() }()
+	br := newByteReader(conn)
+	from64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return
+	}
+	from := model.ProcessID(from64)
+	for {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		select {
+		case nw.inboxes[id] <- Packet{From: from, Data: buf}:
+		case <-nw.done:
+			return
+		}
+	}
+}
+
+// Endpoint returns process id's transport.
+func (nw *TCPNetwork) Endpoint(id model.ProcessID) Transport {
+	return &tcpEndpoint{nw: nw, id: id}
+}
+
+// Close tears the mesh down.
+func (nw *TCPNetwork) Close() error {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.closed = true
+	close(nw.done)
+	for i := 1; i <= nw.n; i++ {
+		if nw.listeners[i] != nil {
+			_ = nw.listeners[i].Close()
+		}
+		for _, c := range nw.conns[i] {
+			_ = c.Close()
+		}
+	}
+	nw.mu.Unlock()
+	nw.wg.Wait()
+	return nil
+}
+
+// send dials lazily and writes one frame.
+func (nw *TCPNetwork) send(from, to model.ProcessID, data []byte) error {
+	if !to.Valid(nw.n) {
+		return fmt.Errorf("runtime: TCP send to invalid destination %v", to)
+	}
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return ErrClosed
+	}
+	conn, ok := nw.conns[from][to]
+	if !ok {
+		c, err := net.Dial("tcp", nw.addrs[to])
+		if err != nil {
+			nw.mu.Unlock()
+			return fmt.Errorf("runtime: TCP dial %v→%v: %w", from, to, err)
+		}
+		// Handshake: announce the dialer's identity.
+		hs := binary.AppendUvarint(nil, uint64(from))
+		if _, err := c.Write(hs); err != nil {
+			nw.mu.Unlock()
+			_ = c.Close()
+			return fmt.Errorf("runtime: TCP handshake %v→%v: %w", from, to, err)
+		}
+		nw.conns[from][to] = c
+		conn = c
+	}
+	frame := binary.AppendUvarint(nil, uint64(len(data)))
+	frame = append(frame, data...)
+	_, err := conn.Write(frame)
+	nw.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("runtime: TCP write %v→%v: %w", from, to, err)
+	}
+	return nil
+}
+
+type tcpEndpoint struct {
+	nw *TCPNetwork
+	id model.ProcessID
+}
+
+var _ Transport = (*tcpEndpoint)(nil)
+
+// LocalID implements Transport.
+func (e *tcpEndpoint) LocalID() model.ProcessID { return e.id }
+
+// Send implements Transport.
+func (e *tcpEndpoint) Send(to model.ProcessID, data []byte) error {
+	return e.nw.send(e.id, to, data)
+}
+
+// Recv implements Transport.
+func (e *tcpEndpoint) Recv() <-chan Packet { return e.nw.inboxes[e.id] }
+
+// Close implements Transport (endpoints share the mesh's lifetime).
+func (e *tcpEndpoint) Close() error { return nil }
+
+// byteReader adapts an io.Reader to io.ByteReader for ReadUvarint while
+// preserving io.Reader for ReadFull.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
+
+// ReadByte implements io.ByteReader.
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+// Read implements io.Reader.
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }

@@ -1,0 +1,194 @@
+// Package runtime is the live realization of the paper's models: processes
+// are goroutines, links are channels (or TCP connections), failure
+// detection is a real heartbeat timeout, and the round structures of RS and
+// RWS are driven by wall-clock deadlines and receive-or-suspect loops
+// respectively. Where the simulation packages (rounds, step, emul) give
+// exact adversarial control, this package shows the same algorithms — and
+// the same separations — running under real concurrency.
+//
+// Lifecycle discipline: every goroutine started by this package is owned by
+// a struct and joined on Close/Wait; nothing is fire-and-forget.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Packet is a raw message as seen by a transport.
+type Packet struct {
+	From model.ProcessID
+	Data []byte
+}
+
+// Transport is one endpoint of a network: a node sends encoded envelopes
+// and receives packets on a channel.
+type Transport interface {
+	// LocalID returns the endpoint's process identity.
+	LocalID() model.ProcessID
+	// Send transmits data to the destination. It never blocks on the
+	// receiver; delivery is asynchronous.
+	Send(to model.ProcessID, data []byte) error
+	// Recv returns the endpoint's delivery channel. The channel is closed
+	// when the transport closes.
+	Recv() <-chan Packet
+	// Close shuts the endpoint down and releases its goroutines.
+	Close() error
+}
+
+// ErrClosed is returned by Send after the network or endpoint closed.
+var ErrClosed = errors.New("runtime: transport closed")
+
+// DelayFunc decides the in-flight delay of one message. Returning a
+// negative duration drops the message (used to emulate link loss toward
+// crashed processes; the models here never lose messages between live
+// processes).
+type DelayFunc func(from, to model.ProcessID, data []byte) time.Duration
+
+// ChanConfig configures an in-process network.
+type ChanConfig struct {
+	// MinDelay and MaxDelay bound the uniform random per-message delay.
+	// The defaults (0, 1ms) model a fast synchronous network.
+	MinDelay, MaxDelay time.Duration
+	// Seed drives the random delays.
+	Seed int64
+	// Delay, if set, overrides the random delay entirely — the hook tests
+	// use to play the SP adversary against specific messages.
+	Delay DelayFunc
+	// Buffer is each endpoint's delivery queue capacity (default 1024).
+	Buffer int
+}
+
+// ChanNetwork is a fully connected in-process network with per-message
+// delivery delays.
+type ChanNetwork struct {
+	n   int
+	cfg ChanConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	closed bool
+
+	inboxes []chan Packet
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewChanNetwork builds an n-endpoint in-process network.
+func NewChanNetwork(n int, cfg ChanConfig) *ChanNetwork {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = time.Millisecond
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	nw := &ChanNetwork{
+		n:       n,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		inboxes: make([]chan Packet, n+1),
+		done:    make(chan struct{}),
+	}
+	for i := 1; i <= n; i++ {
+		nw.inboxes[i] = make(chan Packet, cfg.Buffer)
+	}
+	return nw
+}
+
+// Endpoint returns process id's transport.
+func (nw *ChanNetwork) Endpoint(id model.ProcessID) Transport {
+	return &chanEndpoint{nw: nw, id: id}
+}
+
+// MaxDelay returns the network's delivery bound — the Δ that timeout-based
+// failure detection builds on.
+func (nw *ChanNetwork) MaxDelay() time.Duration { return nw.cfg.MaxDelay }
+
+// send queues a delayed delivery.
+func (nw *ChanNetwork) send(from, to model.ProcessID, data []byte) error {
+	if !to.Valid(nw.n) {
+		return fmt.Errorf("runtime: send to invalid destination %v", to)
+	}
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return ErrClosed
+	}
+	var delay time.Duration
+	if nw.cfg.Delay != nil {
+		delay = nw.cfg.Delay(from, to, data)
+	} else {
+		span := nw.cfg.MaxDelay - nw.cfg.MinDelay
+		delay = nw.cfg.MinDelay
+		if span > 0 {
+			delay += time.Duration(nw.rng.Int63n(int64(span)))
+		}
+	}
+	nw.wg.Add(1)
+	nw.mu.Unlock()
+
+	if delay < 0 {
+		nw.wg.Done()
+		return nil // dropped by the delay hook
+	}
+	// One goroutine per in-flight message, owned by the network and joined
+	// in Close. Message counts in these experiments are small.
+	go func() {
+		defer nw.wg.Done()
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-nw.done:
+			return
+		}
+		pkt := Packet{From: from, Data: data}
+		select {
+		case nw.inboxes[to] <- pkt:
+		case <-nw.done:
+		}
+	}()
+	return nil
+}
+
+// Close shuts the network down and joins all in-flight deliveries.
+func (nw *ChanNetwork) Close() error {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return nil
+	}
+	nw.closed = true
+	close(nw.done)
+	nw.mu.Unlock()
+	nw.wg.Wait()
+	return nil
+}
+
+type chanEndpoint struct {
+	nw *ChanNetwork
+	id model.ProcessID
+}
+
+var _ Transport = (*chanEndpoint)(nil)
+
+// LocalID implements Transport.
+func (e *chanEndpoint) LocalID() model.ProcessID { return e.id }
+
+// Send implements Transport.
+func (e *chanEndpoint) Send(to model.ProcessID, data []byte) error {
+	return e.nw.send(e.id, to, data)
+}
+
+// Recv implements Transport.
+func (e *chanEndpoint) Recv() <-chan Packet { return e.nw.inboxes[e.id] }
+
+// Close implements Transport. Endpoints share the network's lifetime; a
+// single endpoint close is a no-op so that one crashing node does not tear
+// the network down for the others.
+func (e *chanEndpoint) Close() error { return nil }

@@ -1,0 +1,111 @@
+// Package sdd implements the Strongly Dependent Decision problem of the
+// paper's Section 3 — the time-free problem that separates the synchronous
+// model SS from the asynchronous-plus-perfect-failure-detector model SP.
+//
+// Two designated processes participate: a *sender* pi with an input value
+// in {0,1} and an *observer* pj that must output a decision, subject to:
+//
+//   - Integrity: pj decides at most once.
+//   - Validity: if pi has not initially crashed (it took at least one
+//     step), the only possible decision is pi's input value.
+//   - Termination: if pj is correct, pj eventually decides.
+//
+// In SS the problem has the paper's simple algorithm (SenderAlgorithm +
+// the Φ+1+Δ observer rule). In SP it is unsolvable (Theorem 3.1): package
+// function RefuteSP mechanizes the proof's indistinguishability adversary
+// against any deterministic candidate protocol.
+//
+// The paper motivates SDD through atomic commit: a solution lets processes
+// commit despite failures whenever all vote yes and no process is initially
+// dead; package nbac builds that protocol on top of this one.
+package sdd
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/step"
+)
+
+// Candidate is a step-level SDD protocol: any step.Algorithm whose p1 acts
+// as the sender and p2 as the observer. The root package re-exports the
+// name for its API surface.
+type Candidate = step.Algorithm
+
+// DefaultSender and DefaultObserver fix the conventional casting: p1 plays
+// pi (the sender), p2 plays pj (the observer).
+const (
+	DefaultSender   = model.ProcessID(1)
+	DefaultObserver = model.ProcessID(2)
+)
+
+// ValueMsg is the sender's value message.
+type ValueMsg struct {
+	V model.Value
+}
+
+// Spec describes one SDD instance for checking.
+type Spec struct {
+	Sender   model.ProcessID
+	Observer model.ProcessID
+	Input    model.Value // the sender's input value
+}
+
+// Result is the outcome of checking a trace against the SDD specification.
+type Result struct {
+	Property string
+	OK       bool
+	Detail   string
+}
+
+// String renders the result.
+func (r Result) String() string {
+	if r.OK {
+		return r.Property + ": ok"
+	}
+	return r.Property + ": VIOLATED — " + r.Detail
+}
+
+// Check evaluates the three SDD conditions on a complete trace. The
+// termination condition only applies when the observer never crashed; the
+// validity condition only constrains the decision when the sender took at
+// least one step ("has not initially crashed").
+func Check(tr *step.Trace, spec Spec) []Result {
+	var out []Result
+
+	// Integrity is structural: the engine records only the first decision
+	// and the automata in this package never retract; the recorded decision
+	// therefore stands for "decides at most once". We surface it as OK for
+	// completeness of the report.
+	out = append(out, Result{Property: "integrity", OK: true})
+
+	validity := Result{Property: "validity", OK: true}
+	if tr.TookStep(spec.Sender) && tr.Decided[spec.Observer] {
+		if got := tr.DecidedValue[spec.Observer]; got != spec.Input {
+			validity.OK = false
+			validity.Detail = fmt.Sprintf(
+				"%v took a step (not initially crashed) with input %d, but %v decided %d",
+				spec.Sender, int64(spec.Input), spec.Observer, int64(got))
+		}
+	}
+	out = append(out, validity)
+
+	termination := Result{Property: "termination", OK: true}
+	if tr.Alive(spec.Observer) && !tr.Decided[spec.Observer] {
+		termination.OK = false
+		termination.Detail = fmt.Sprintf("correct observer %v never decided", spec.Observer)
+	}
+	out = append(out, termination)
+	return out
+}
+
+// FirstViolation returns the first violated SDD condition, or nil.
+func FirstViolation(tr *step.Trace, spec Spec) *Result {
+	results := Check(tr, spec)
+	for i := range results {
+		if !results[i].OK {
+			return &results[i]
+		}
+	}
+	return nil
+}

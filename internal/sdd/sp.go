@@ -1,0 +1,191 @@
+package sdd
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/step"
+)
+
+// This file collects natural candidate protocols for SDD in the SP model —
+// the asynchronous model with a perfect failure detector. Theorem 3.1 says
+// all of them (and any other deterministic protocol) must fail; RefuteSP
+// produces the witness runs. Each candidate pairs the same first-step
+// sender with a different observer strategy.
+
+// ReceiveOrSuspect is the most natural candidate: the observer decides the
+// sender's value the moment it arrives, and decides 0 the moment the
+// perfect detector reports the sender crashed. Its flaw is the paper's
+// point: suspicion proves the crash but says nothing about messages still
+// in flight.
+type ReceiveOrSuspect struct {
+	Sender   model.ProcessID
+	Observer model.ProcessID
+}
+
+var _ step.Algorithm = ReceiveOrSuspect{}
+
+// NewReceiveOrSuspect returns the candidate with the conventional casting.
+func NewReceiveOrSuspect() ReceiveOrSuspect {
+	return ReceiveOrSuspect{Sender: DefaultSender, Observer: DefaultObserver}
+}
+
+// Name implements step.Algorithm.
+func (a ReceiveOrSuspect) Name() string { return "SDD-SP-ReceiveOrSuspect" }
+
+// New implements step.Algorithm.
+func (a ReceiveOrSuspect) New(cfg step.Config) step.Automaton {
+	switch cfg.ID {
+	case a.Sender:
+		return &ssSender{observer: a.Observer, value: cfg.Input}
+	case a.Observer:
+		return &rosObserver{sender: a.Sender}
+	default:
+		return idle{}
+	}
+}
+
+type rosObserver struct {
+	sender   model.ProcessID
+	decided  bool
+	decision model.Value
+}
+
+var (
+	_ step.Automaton = (*rosObserver)(nil)
+	_ step.Decider   = (*rosObserver)(nil)
+)
+
+// Step implements step.Automaton.
+func (o *rosObserver) Step(in step.Input) *step.Send {
+	if o.decided {
+		return nil
+	}
+	for _, m := range in.Received {
+		if vm, ok := m.Payload.(ValueMsg); ok && m.From == o.sender {
+			o.decision, o.decided = vm.V, true
+			return nil
+		}
+	}
+	if in.Suspects.Has(o.sender) {
+		o.decision, o.decided = 0, true
+	}
+	return nil
+}
+
+// Decision implements step.Decider.
+func (o *rosObserver) Decision() (model.Value, bool) { return o.decision, o.decided }
+
+// GracePeriod refines ReceiveOrSuspect: after first suspecting the sender,
+// the observer waits Grace further steps for a straggler message before
+// deciding 0. No finite grace period can help — the asynchronous model puts
+// no bound on delivery — but it is the obvious "fix" an engineer would try,
+// so the refuter targets it explicitly.
+type GracePeriod struct {
+	Sender   model.ProcessID
+	Observer model.ProcessID
+	Grace    int
+}
+
+var _ step.Algorithm = GracePeriod{}
+
+// NewGracePeriod returns the candidate with the conventional casting.
+func NewGracePeriod(grace int) GracePeriod {
+	return GracePeriod{Sender: DefaultSender, Observer: DefaultObserver, Grace: grace}
+}
+
+// Name implements step.Algorithm.
+func (a GracePeriod) Name() string { return fmt.Sprintf("SDD-SP-GracePeriod(%d)", a.Grace) }
+
+// New implements step.Algorithm.
+func (a GracePeriod) New(cfg step.Config) step.Automaton {
+	switch cfg.ID {
+	case a.Sender:
+		return &ssSender{observer: a.Observer, value: cfg.Input}
+	case a.Observer:
+		return &graceObserver{sender: a.Sender, grace: a.Grace}
+	default:
+		return idle{}
+	}
+}
+
+type graceObserver struct {
+	sender model.ProcessID
+	grace  int
+
+	suspectedAt int // observer-local step at which suspicion was first seen
+	decided     bool
+	decision    model.Value
+}
+
+var (
+	_ step.Automaton = (*graceObserver)(nil)
+	_ step.Decider   = (*graceObserver)(nil)
+)
+
+// Step implements step.Automaton.
+func (o *graceObserver) Step(in step.Input) *step.Send {
+	if o.decided {
+		return nil
+	}
+	for _, m := range in.Received {
+		if vm, ok := m.Payload.(ValueMsg); ok && m.From == o.sender {
+			o.decision, o.decided = vm.V, true
+			return nil
+		}
+	}
+	if in.Suspects.Has(o.sender) && o.suspectedAt == 0 {
+		o.suspectedAt = in.Local
+	}
+	if o.suspectedAt != 0 && in.Local >= o.suspectedAt+o.grace {
+		o.decision, o.decided = 0, true
+	}
+	return nil
+}
+
+// Decision implements step.Decider.
+func (o *graceObserver) Decision() (model.Value, bool) { return o.decision, o.decided }
+
+// StepCountTimeout transplants the SS algorithm into SP verbatim: the
+// observer waits a fixed number K of its own steps and then decides
+// received-or-0, ignoring the failure detector entirely. In SS the step
+// count carries information (process and message synchrony); in the
+// asynchronous model it carries none, so the refuter defeats any K.
+type StepCountTimeout struct {
+	Sender   model.ProcessID
+	Observer model.ProcessID
+	K        int
+}
+
+var _ step.Algorithm = StepCountTimeout{}
+
+// NewStepCountTimeout returns the candidate with the conventional casting.
+func NewStepCountTimeout(k int) StepCountTimeout {
+	return StepCountTimeout{Sender: DefaultSender, Observer: DefaultObserver, K: k}
+}
+
+// Name implements step.Algorithm.
+func (a StepCountTimeout) Name() string { return fmt.Sprintf("SDD-SP-StepCountTimeout(%d)", a.K) }
+
+// New implements step.Algorithm.
+func (a StepCountTimeout) New(cfg step.Config) step.Automaton {
+	switch cfg.ID {
+	case a.Sender:
+		return &ssSender{observer: a.Observer, value: cfg.Input}
+	case a.Observer:
+		return &ssObserver{deadline: a.K, sender: a.Sender}
+	default:
+		return idle{}
+	}
+}
+
+// Candidates returns the SP protocol suite the experiments refute.
+func Candidates() []step.Algorithm {
+	return []step.Algorithm{
+		NewReceiveOrSuspect(),
+		NewGracePeriod(3),
+		NewGracePeriod(10),
+		NewStepCountTimeout(5),
+		NewStepCountTimeout(50),
+	}
+}

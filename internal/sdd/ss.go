@@ -1,0 +1,113 @@
+package sdd
+
+import (
+	"repro/internal/model"
+	"repro/internal/step"
+)
+
+// SSAlgorithm is the paper's Section 3 algorithm solving SDD in the
+// synchronous model SS with known bounds Φ and Δ:
+//
+//   - pi (the sender) sends its input value to pj during its first step.
+//   - pj (the observer) executes Φ+1+Δ (possibly empty) steps. If a message
+//     from pi arrives during this period, pj decides the value sent;
+//     otherwise it decides 0.
+//
+// Why Φ+1+Δ: by process synchrony, within any window in which pj takes Φ+1
+// steps, a live pi has taken at least one step — its first, which sends the
+// value. By message synchrony the message is received by the end of pj's
+// first step at least Δ global steps later, and pj's next Δ own steps are
+// each a global step, so Φ+1+Δ of pj's own steps suffice. Silence past the
+// deadline therefore *proves* pi crashed before sending — exactly the
+// bounded-failure-detection power that SP lacks.
+//
+// Every other process idles (the problem involves only pi and pj).
+type SSAlgorithm struct {
+	Phi, Delta int
+	Sender     model.ProcessID
+	Observer   model.ProcessID
+}
+
+var _ step.Algorithm = SSAlgorithm{}
+
+// NewSS returns the SS algorithm for the conventional casting p1 → p2.
+func NewSS(phi, delta int) SSAlgorithm {
+	return SSAlgorithm{Phi: phi, Delta: delta, Sender: DefaultSender, Observer: DefaultObserver}
+}
+
+// Name implements step.Algorithm.
+func (a SSAlgorithm) Name() string { return "SDD-SS" }
+
+// New implements step.Algorithm.
+func (a SSAlgorithm) New(cfg step.Config) step.Automaton {
+	switch cfg.ID {
+	case a.Sender:
+		return &ssSender{observer: a.Observer, value: cfg.Input}
+	case a.Observer:
+		return &ssObserver{deadline: a.Phi + 1 + a.Delta, sender: a.Sender}
+	default:
+		return idle{}
+	}
+}
+
+// ssSender sends the input value to the observer in its first step and then
+// idles forever.
+type ssSender struct {
+	observer model.ProcessID
+	value    model.Value
+	sent     bool
+}
+
+var _ step.Automaton = (*ssSender)(nil)
+
+// Step implements step.Automaton.
+func (s *ssSender) Step(in step.Input) *step.Send {
+	if s.sent {
+		return nil
+	}
+	s.sent = true
+	return &step.Send{To: s.observer, Payload: ValueMsg{V: s.value}}
+}
+
+// ssObserver waits Φ+1+Δ of its own steps for the sender's value, deciding
+// the value on arrival or 0 at the deadline.
+type ssObserver struct {
+	deadline int
+	sender   model.ProcessID
+
+	decided  bool
+	decision model.Value
+}
+
+var (
+	_ step.Automaton = (*ssObserver)(nil)
+	_ step.Decider   = (*ssObserver)(nil)
+)
+
+// Step implements step.Automaton.
+func (o *ssObserver) Step(in step.Input) *step.Send {
+	if o.decided {
+		return nil
+	}
+	for _, m := range in.Received {
+		if vm, ok := m.Payload.(ValueMsg); ok && m.From == o.sender {
+			o.decision, o.decided = vm.V, true
+			return nil
+		}
+	}
+	if in.Local >= o.deadline {
+		o.decision, o.decided = 0, true
+	}
+	return nil
+}
+
+// Decision implements step.Decider.
+func (o *ssObserver) Decision() (model.Value, bool) { return o.decision, o.decided }
+
+// idle is the automaton of uninvolved processes.
+type idle struct{}
+
+var _ step.Automaton = idle{}
+
+// Step implements step.Automaton.
+func (idle) Step(step.Input) *step.Send { return nil }

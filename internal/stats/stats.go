@@ -1,0 +1,207 @@
+// Package stats provides the small numeric and table-rendering helpers the
+// experiment drivers use to print paper-shaped results: plain-text tables
+// with aligned columns, and summary statistics over integer samples
+// (latencies, message counts, steps).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if w := displayWidth(c); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			b.WriteString(cell)
+			if i < cols-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-displayWidth(cell)+2))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for i, w := range widths {
+		total += w
+		if i < cols-1 {
+			total += 2
+		}
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// displayWidth approximates terminal width: counts runes, not bytes, so the
+// Greek/arrow glyphs used in model names align correctly.
+func displayWidth(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// Summary holds order statistics of an integer sample.
+type Summary struct {
+	N             int
+	Min, Max      int
+	Mean          float64
+	P50, P90, P99 int
+	StdDev        float64
+}
+
+// Summarize computes order statistics. An empty sample yields a zero
+// Summary.
+func Summarize(sample []int) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	s := append([]int(nil), sample...)
+	sort.Ints(s)
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	mean := float64(sum) / float64(len(s))
+	varsum := 0.0
+	for _, v := range s {
+		d := float64(v) - mean
+		varsum += d * d
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		P50:    percentile(s, 50),
+		P90:    percentile(s, 90),
+		P99:    percentile(s, 99),
+		StdDev: math.Sqrt(varsum / float64(len(s))),
+	}
+}
+
+// percentile returns the p-th percentile of sorted s (nearest-rank).
+func percentile(sorted []int, p int) int {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.2f sd=%.2f",
+		s.N, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean, s.StdDev)
+}
+
+// Histogram counts occurrences of each value.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the occurrences of v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of observations equal to v.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// String renders the histogram in ascending value order.
+func (h *Histogram) String() string {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d:%d", k, h.counts[k])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("β", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Errorf("float formatting missing: %q", out)
+	}
+	// Columns must align: "alpha" and "β" rows put values at the same offset.
+	var alphaLine, betaLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") {
+			alphaLine = l
+		}
+		if strings.HasPrefix(l, "β") {
+			betaLine = l
+		}
+	}
+	if posOf(alphaLine, "1") != posOfRune(betaLine, "2.500") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+// posOf returns the rune index of sub in s.
+func posOf(s, sub string) int { return posOfRune(s, sub) }
+
+func posOfRune(s, sub string) int {
+	b := strings.Index(s, sub)
+	if b < 0 {
+		return -1
+	}
+	return len([]rune(s[:b]))
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty sample summary = %+v", z)
+	}
+}
+
+// Property: percentiles are monotone and bounded by min/max.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]int, len(raw))
+		for i, v := range raw {
+			sample[i] = int(v)
+		}
+		s := Summarize(sample)
+		sorted := append([]int(nil), sample...)
+		sort.Ints(sorted)
+		return s.Min == sorted[0] && s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max &&
+			float64(s.Min) <= s.Mean && s.Mean <= float64(s.Max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 2, 2, 3, 3, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 || h.Count(3) != 3 || h.Count(9) != 0 {
+		t.Errorf("histogram wrong: %s", h)
+	}
+	if f := h.Fraction(2); f != 2.0/6 {
+		t.Errorf("Fraction(2) = %f", f)
+	}
+	if got := h.String(); got != "{1:1 2:2 3:3}" {
+		t.Errorf("String = %q", got)
+	}
+	empty := NewHistogram()
+	if empty.Fraction(1) != 0 {
+		t.Error("empty fraction nonzero")
+	}
+}

@@ -1,0 +1,92 @@
+// Package trace renders run records as human-readable narratives: round
+// tables for rounds.Run, step listings for step.Trace. The cmd/ssfd-run
+// binary and the experiment drivers use it to show counterexample runs in
+// the form the paper describes them.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/step"
+)
+
+// RenderRun renders a round-model run.
+func RenderRun(run *rounds.Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s in %s: n=%d t=%d\n", run.Algorithm, run.Model, run.N, run.T)
+	fmt.Fprintf(&b, "initial values:")
+	for p := 1; p <= run.N; p++ {
+		fmt.Fprintf(&b, " %v=%d", model.ProcessID(p), int64(run.Initial[p]))
+	}
+	b.WriteByte('\n')
+	for i := range run.Rounds {
+		rr := &run.Rounds[i]
+		fmt.Fprintf(&b, "round %d: alive %v", rr.Round, rr.AliveStart)
+		if !rr.Crashed.Empty() {
+			fmt.Fprintf(&b, ", crashes %v", rr.Crashed)
+		}
+		b.WriteByte('\n')
+		for j := 1; j <= run.N; j++ {
+			pj := model.ProcessID(j)
+			if !rr.AliveStart.Has(pj) {
+				continue
+			}
+			dropped := rr.Sent[j].Minus(rr.Reached[j]).Remove(pj)
+			switch {
+			case rr.Sent[j].Empty():
+				// silent round: nothing to report
+			case dropped.Empty():
+				fmt.Fprintf(&b, "  %v → %v\n", pj, rr.Reached[j].Remove(pj))
+			default:
+				fmt.Fprintf(&b, "  %v → %v (NOT received by %v)\n", pj, rr.Reached[j].Remove(pj), dropped)
+			}
+		}
+	}
+	b.WriteString("decisions:")
+	for p := 1; p <= run.N; p++ {
+		pid := model.ProcessID(p)
+		switch {
+		case run.DecidedAt[p] != 0:
+			fmt.Fprintf(&b, " %v=%d@r%d", pid, int64(run.DecisionOf[p]), run.DecidedAt[p])
+		case run.CrashRound[p] != 0:
+			fmt.Fprintf(&b, " %v=✝r%d", pid, run.CrashRound[p])
+		default:
+			fmt.Fprintf(&b, " %v=⊥", pid)
+		}
+	}
+	b.WriteByte('\n')
+	if lat, ok := run.Latency(); ok {
+		fmt.Fprintf(&b, "latency degree |r| = %d\n", lat)
+	}
+	return b.String()
+}
+
+// RenderSteps renders a step-level trace, limiting output to maxEvents
+// events (0 = all).
+func RenderSteps(tr *step.Trace, maxEvents int) string {
+	var b strings.Builder
+	events := tr.Events
+	truncated := false
+	if maxEvents > 0 && len(events) > maxEvents {
+		events = events[:maxEvents]
+		truncated = true
+	}
+	for _, ev := range events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	if truncated {
+		fmt.Fprintf(&b, "… (%d more events)\n", len(tr.Events)-maxEvents)
+	}
+	for p := 1; p <= tr.N; p++ {
+		pid := model.ProcessID(p)
+		if tr.Decided[p] {
+			fmt.Fprintf(&b, "%v decided %d at its local step %d\n",
+				pid, int64(tr.DecidedValue[p]), tr.DecidedAtLocal[p])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/sdd"
+	"repro/internal/step"
+)
+
+func TestRenderRun(t *testing.T) {
+	script := &rounds.Script{Plans: []rounds.Plan{
+		{Crashes: map[model.ProcessID]model.ProcSet{1: model.Singleton(2)}},
+	}}
+	run, err := rounds.RunAlgorithm(rounds.RS, consensus.FloodSet{}, []model.Value{0, 5, 9}, 1, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderRun(run)
+	for _, want := range []string{
+		"FloodSet in RS: n=3 t=1",
+		"p1=0 p2=5 p3=9",
+		"crashes {p1}",
+		"NOT received by {p3}",
+		"p1=✝r1",
+		"latency degree |r| = 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderRun missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderRunUndecided(t *testing.T) {
+	// A1 in the §5.3 RWS scenario leaves nobody undecided, so craft a
+	// truncated run instead: FloodSet cut at round 1 with t=1.
+	eng, err := rounds.NewEngine(rounds.RS, consensus.FloodSet{}, []model.Value{1, 2}, 1, rounds.WithRoundLimit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := eng.Execute(rounds.NoFailures, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderRun(run)
+	if !strings.Contains(out, "⊥") {
+		t.Errorf("undecided marker missing:\n%s", out)
+	}
+	if strings.Contains(out, "latency degree") {
+		t.Errorf("truncated run should not report a latency:\n%s", out)
+	}
+}
+
+func TestRenderSteps(t *testing.T) {
+	alg := sdd.NewSS(1, 1)
+	eng, err := step.NewEngine(alg, []model.Value{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &step.FairScheduler{Stop: step.StopWhenDecided(model.Singleton(sdd.DefaultObserver))}
+	tr, err := eng.Run(sched, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSteps(tr, 0)
+	if !strings.Contains(out, "p1 steps") || !strings.Contains(out, "p2 decided 1") {
+		t.Errorf("RenderSteps output incomplete:\n%s", out)
+	}
+	// Truncation marker.
+	short := RenderSteps(tr, 1)
+	if !strings.Contains(short, "more events") {
+		t.Errorf("truncation marker missing:\n%s", short)
+	}
+}

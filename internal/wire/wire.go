@@ -1,0 +1,306 @@
+// Package wire defines the binary message format of the live runtime
+// (package runtime): a compact, self-describing encoding of the round-model
+// messages of packages consensus and nbac, plus the runtime's own control
+// messages (heartbeats). The format is hand-rolled on encoding/binary
+// varints — no reflection, no schema registry — so a frame is cheap to
+// encode and decode on the hot path of a round.
+//
+// Envelope layout (all integers unsigned varints unless noted):
+//
+//	from | to | round | kind | payload...
+//
+// TCP framing adds a uvarint length prefix in front of each envelope.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/nbac"
+	"repro/internal/rounds"
+)
+
+// Kind tags the payload type of an envelope.
+type Kind byte
+
+// Payload kinds.
+const (
+	// KindNull is a round message with a null payload (the round model's
+	// "no message", transmitted explicitly so receivers can distinguish
+	// silence from crash).
+	KindNull Kind = iota + 1
+	// KindW is consensus.WMsg: a set of values.
+	KindW
+	// KindD is consensus.DMsg: a forced decision.
+	KindD
+	// KindA1Val is consensus.A1Val.
+	KindA1Val
+	// KindA1Fwd is consensus.A1Fwd.
+	KindA1Fwd
+	// KindVotes is nbac.VotesMsg.
+	KindVotes
+	// KindHeartbeat is the failure detector's liveness beacon (round field
+	// carries the heartbeat sequence number).
+	KindHeartbeat
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindW:
+		return "W"
+	case KindD:
+		return "D"
+	case KindA1Val:
+		return "A1Val"
+	case KindA1Fwd:
+		return "A1Fwd"
+	case KindVotes:
+		return "Votes"
+	case KindHeartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("Kind(%d)", byte(k))
+	}
+}
+
+// Envelope is one framed message.
+type Envelope struct {
+	From, To model.ProcessID
+	Round    int
+	Kind     Kind
+	// Payload is the decoded round-model message (nil for KindNull and
+	// KindHeartbeat).
+	Payload rounds.Message
+}
+
+// Errors.
+var (
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrBadKind   = errors.New("wire: unknown payload kind")
+)
+
+// appendUvarint appends v to buf.
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// appendVarint appends a signed v to buf.
+func appendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+// Encode serializes an envelope.
+func Encode(e Envelope) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = appendUvarint(buf, uint64(e.From))
+	buf = appendUvarint(buf, uint64(e.To))
+	buf = appendUvarint(buf, uint64(e.Round))
+	buf = append(buf, byte(e.Kind))
+	switch e.Kind {
+	case KindNull, KindHeartbeat:
+		// no payload
+	case KindW:
+		m, ok := e.Payload.(consensus.WMsg)
+		if !ok {
+			return nil, fmt.Errorf("wire: kind W with payload %T", e.Payload)
+		}
+		vs := m.W.Values()
+		buf = appendUvarint(buf, uint64(len(vs)))
+		for _, v := range vs {
+			buf = appendVarint(buf, int64(v))
+		}
+	case KindD:
+		m, ok := e.Payload.(consensus.DMsg)
+		if !ok {
+			return nil, fmt.Errorf("wire: kind D with payload %T", e.Payload)
+		}
+		buf = appendVarint(buf, int64(m.V))
+	case KindA1Val:
+		m, ok := e.Payload.(consensus.A1Val)
+		if !ok {
+			return nil, fmt.Errorf("wire: kind A1Val with payload %T", e.Payload)
+		}
+		buf = appendVarint(buf, int64(m.V))
+	case KindA1Fwd:
+		m, ok := e.Payload.(consensus.A1Fwd)
+		if !ok {
+			return nil, fmt.Errorf("wire: kind A1Fwd with payload %T", e.Payload)
+		}
+		buf = appendVarint(buf, int64(m.V))
+	case KindVotes:
+		m, ok := e.Payload.(nbac.VotesMsg)
+		if !ok {
+			return nil, fmt.Errorf("wire: kind Votes with payload %T", e.Payload)
+		}
+		buf = appendUvarint(buf, uint64(len(m.Known)))
+		for _, v := range m.Known {
+			buf = appendVarint(buf, int64(v))
+		}
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrBadKind, e.Kind)
+	}
+	return buf, nil
+}
+
+// reader tracks a decode position.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrTruncated
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// Decode parses an envelope.
+func Decode(data []byte) (Envelope, error) {
+	r := &reader{buf: data}
+	var e Envelope
+	from, err := r.uvarint()
+	if err != nil {
+		return e, err
+	}
+	to, err := r.uvarint()
+	if err != nil {
+		return e, err
+	}
+	round, err := r.uvarint()
+	if err != nil {
+		return e, err
+	}
+	kb, err := r.byte()
+	if err != nil {
+		return e, err
+	}
+	e.From, e.To, e.Round, e.Kind = model.ProcessID(from), model.ProcessID(to), int(round), Kind(kb)
+	switch e.Kind {
+	case KindNull, KindHeartbeat:
+		// no payload
+	case KindW:
+		count, err := r.uvarint()
+		if err != nil {
+			return e, err
+		}
+		vals := make([]model.Value, 0, count)
+		for i := uint64(0); i < count; i++ {
+			v, err := r.varint()
+			if err != nil {
+				return e, err
+			}
+			vals = append(vals, model.Value(v))
+		}
+		e.Payload = consensus.WMsg{W: model.NewValueSet(vals...)}
+	case KindD:
+		v, err := r.varint()
+		if err != nil {
+			return e, err
+		}
+		e.Payload = consensus.DMsg{V: model.Value(v)}
+	case KindA1Val:
+		v, err := r.varint()
+		if err != nil {
+			return e, err
+		}
+		e.Payload = consensus.A1Val{V: model.Value(v)}
+	case KindA1Fwd:
+		v, err := r.varint()
+		if err != nil {
+			return e, err
+		}
+		e.Payload = consensus.A1Fwd{V: model.Value(v)}
+	case KindVotes:
+		count, err := r.uvarint()
+		if err != nil {
+			return e, err
+		}
+		known := make([]int8, 0, count)
+		for i := uint64(0); i < count; i++ {
+			v, err := r.varint()
+			if err != nil {
+				return e, err
+			}
+			known = append(known, int8(v))
+		}
+		e.Payload = nbac.VotesMsg{Known: known}
+	default:
+		return e, fmt.Errorf("%w: %d", ErrBadKind, kb)
+	}
+	return e, nil
+}
+
+// EnvelopeFor wraps a round-model payload, inferring the kind.
+func EnvelopeFor(from, to model.ProcessID, round int, payload rounds.Message) (Envelope, error) {
+	e := Envelope{From: from, To: to, Round: round, Payload: payload}
+	switch payload.(type) {
+	case nil:
+		e.Kind = KindNull
+		e.Payload = nil
+	case consensus.WMsg:
+		e.Kind = KindW
+	case consensus.DMsg:
+		e.Kind = KindD
+	case consensus.A1Val:
+		e.Kind = KindA1Val
+	case consensus.A1Fwd:
+		e.Kind = KindA1Fwd
+	case nbac.VotesMsg:
+		e.Kind = KindVotes
+	default:
+		return e, fmt.Errorf("wire: unsupported payload type %T", payload)
+	}
+	return e, nil
+}
+
+// AppendFrame appends a length-prefixed envelope to buf (the TCP framing).
+func AppendFrame(buf []byte, e Envelope) ([]byte, error) {
+	body, err := Encode(e)
+	if err != nil {
+		return nil, err
+	}
+	buf = appendUvarint(buf, uint64(len(body)))
+	return append(buf, body...), nil
+}
+
+// ReadFrame consumes one length-prefixed envelope from data, returning the
+// envelope and the remaining bytes. It returns ErrTruncated when data does
+// not hold a complete frame yet.
+func ReadFrame(data []byte) (Envelope, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return Envelope{}, data, ErrTruncated
+	}
+	e, err := Decode(data[n : n+int(l)])
+	if err != nil {
+		return Envelope{}, data, err
+	}
+	return e, data[n+int(l):], nil
+}

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/nbac"
+	"repro/internal/rounds"
+)
+
+func roundTrip(t *testing.T, e Envelope) Envelope {
+	t.Helper()
+	data, err := Encode(e)
+	if err != nil {
+		t.Fatalf("Encode(%+v): %v", e, err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	tests := []struct {
+		name    string
+		payload rounds.Message
+	}{
+		{"null", nil},
+		{"W", consensus.WMsg{W: model.NewValueSet(-3, 0, 42)}},
+		{"W empty", consensus.WMsg{W: model.NewValueSet()}},
+		{"D", consensus.DMsg{V: -7}},
+		{"A1Val", consensus.A1Val{V: 123456789}},
+		{"A1Fwd", consensus.A1Fwd{V: -1}},
+		{"Votes", nbac.VotesMsg{Known: []int8{-1, 0, 1, -1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e, err := EnvelopeFor(3, 5, 7, tt.payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := roundTrip(t, e)
+			if got.From != 3 || got.To != 5 || got.Round != 7 || got.Kind != e.Kind {
+				t.Errorf("header mismatch: %+v vs %+v", got, e)
+			}
+			if !reflect.DeepEqual(got.Payload, e.Payload) {
+				t.Errorf("payload mismatch: %#v vs %#v", got.Payload, e.Payload)
+			}
+		})
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	e := Envelope{From: 1, To: 2, Round: 99, Kind: KindHeartbeat}
+	got := roundTrip(t, e)
+	if got.Kind != KindHeartbeat || got.Round != 99 || got.Payload != nil {
+		t.Errorf("heartbeat mismatch: %+v", got)
+	}
+}
+
+func TestEnvelopeForUnsupported(t *testing.T) {
+	if _, err := EnvelopeFor(1, 2, 3, "bogus"); err == nil {
+		t.Error("unsupported payload accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty: err = %v, want ErrTruncated", err)
+	}
+	e, _ := EnvelopeFor(1, 2, 3, consensus.DMsg{V: 9})
+	data, err := Encode(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data[:len(data)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: err = %v, want ErrTruncated", err)
+	}
+	bad := append([]byte{}, data...)
+	bad[3] = 0xEE // corrupt the kind byte (from=1,to=2,round=3 are single bytes)
+	if _, err := Decode(bad); !errors.Is(err, ErrBadKind) {
+		t.Errorf("bad kind: err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestFrames(t *testing.T) {
+	var buf []byte
+	var err error
+	want := []Envelope{}
+	for i := 1; i <= 5; i++ {
+		e, ferr := EnvelopeFor(model.ProcessID(i), 1, i, consensus.DMsg{V: model.Value(i * 11)})
+		if ferr != nil {
+			t.Fatal(ferr)
+		}
+		want = append(want, e)
+		buf, err = AppendFrame(buf, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rest := buf
+	for i := 0; i < 5; i++ {
+		var e Envelope
+		e, rest, err = ReadFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(e, want[i]) {
+			t.Errorf("frame %d mismatch: %+v vs %+v", i, e, want[i])
+		}
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes", len(rest))
+	}
+	// A partial frame must report ErrTruncated and leave data untouched.
+	if _, _, err := ReadFrame(buf[:3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("partial frame: err = %v, want ErrTruncated", err)
+	}
+}
+
+// Property: W messages round-trip for arbitrary value sets.
+func TestWRoundTripProperty(t *testing.T) {
+	f := func(raw []int32, from, to uint8, round uint16) bool {
+		vals := make([]model.Value, len(raw))
+		for i, r := range raw {
+			vals[i] = model.Value(r)
+		}
+		e, err := EnvelopeFor(model.ProcessID(from%60+1), model.ProcessID(to%60+1), int(round),
+			consensus.WMsg{W: model.NewValueSet(vals...)})
+		if err != nil {
+			return false
+		}
+		data, err := Encode(e)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindNull; k <= KindHeartbeat; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind name empty")
+	}
+}
+
+// TestReadFrameChunked simulates a TCP stream arriving byte-by-byte: every
+// strict prefix reports ErrTruncated without consuming input, and the full
+// buffer yields the frame exactly once.
+func TestReadFrameChunked(t *testing.T) {
+	e, err := EnvelopeFor(2, 3, 9, consensus.WMsg{W: model.NewValueSet(7, -2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := AppendFrame(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, rest, err := ReadFrame(buf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix %d: err = %v, want ErrTruncated", cut, err)
+		} else if len(rest) != cut {
+			t.Fatalf("prefix %d consumed input", cut)
+		}
+	}
+	got, rest, err := ReadFrame(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("full frame: err=%v rest=%d", err, len(rest))
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Errorf("frame mismatch")
+	}
+}

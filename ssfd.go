@@ -1,0 +1,224 @@
+// Package repro is the public API of this reproduction of Charron-Bost,
+// Guerraoui and Schiper, "Synchronous System and Perfect Failure Detector:
+// solvability and efficiency issues" (DSN 2000).
+//
+// The paper compares the synchronous model SS with the asynchronous model
+// augmented by a perfect failure detector, SP, and proves that SS is
+// strictly stronger on both axes:
+//
+//   - Solvability: the Strongly Dependent Decision problem (SDD) is
+//     solvable in SS but not in SP (Theorem 3.1) — see RefuteSDDInSP and
+//     the sdd example.
+//   - Efficiency: in SS's round model RS, uniform consensus can decide at
+//     round 1 of every failure-free run (Λ(A1)=1), while in SP's round
+//     model RWS every algorithm needs at least two rounds — see Latency and
+//     RefuteRoundOneRWS.
+//
+// The package re-exports the layers a downstream user needs:
+//
+//   - round-model execution (Run, Explore) with exact adversarial control;
+//   - the algorithm suite (Algorithms, ForModel) of the paper's Figures 1–4
+//     and §5.2 variants;
+//   - specification checking (CheckConsensus) and latency analysis
+//     (Latency);
+//   - the live goroutine/channel runtime (RunLive) with heartbeat-based
+//     failure detection over in-process or TCP transports;
+//   - the paper's experiments E1–E11 (Experiments, RunExperiments).
+//
+// See examples/quickstart for a five-minute tour.
+package repro
+
+import (
+	"repro/internal/abcast"
+	"repro/internal/check"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/ctoueg"
+	"repro/internal/explore"
+	"repro/internal/latency"
+	"repro/internal/model"
+	"repro/internal/nbac"
+	"repro/internal/rounds"
+	"repro/internal/runtime"
+	"repro/internal/sdd"
+	"repro/internal/trace"
+)
+
+// Fundamental re-exported types.
+type (
+	// Value is a consensus proposal/decision value.
+	Value = model.Value
+	// ProcessID identifies a process (1-based, the paper's p1..pn).
+	ProcessID = model.ProcessID
+	// ProcSet is a set of processes.
+	ProcSet = model.ProcSet
+
+	// ModelKind selects the round-based computational model.
+	ModelKind = rounds.ModelKind
+	// Algorithm is a round-based algorithm (states, msgs, trans).
+	Algorithm = rounds.Algorithm
+	// Adversary controls crashes and pending messages per round.
+	Adversary = rounds.Adversary
+	// Plan is one round's adversary decision.
+	Plan = rounds.Plan
+	// RoundRun is a completed round-model execution record.
+	RoundRun = rounds.Run
+	// CheckResult reports one specification property on a run.
+	CheckResult = check.Result
+
+	// Degrees aggregates the paper's latency measures lat, Lat, Lat(·,f), Λ.
+	Degrees = latency.Degrees
+
+	// ClusterConfig configures a live goroutine cluster.
+	ClusterConfig = runtime.ClusterConfig
+	// ClusterResult is a live cluster's outcome.
+	ClusterResult = runtime.ClusterResult
+
+	// ExperimentReport is one reproduced paper artifact.
+	ExperimentReport = core.Report
+	// ExperimentConfig tunes the experiment drivers.
+	ExperimentConfig = core.Config
+)
+
+// The two round-based models (paper §4).
+const (
+	// RS is the synchronous round model induced by SS.
+	RS = rounds.RS
+	// RWS is the weakly synchronous round model induced by SP.
+	RWS = rounds.RWS
+)
+
+// NoFailures is the failure-free adversary.
+var NoFailures = rounds.NoFailures
+
+// Script returns an adversary that applies plans[i] at round i+1 and then
+// behaves benignly (discharging any weak-round-synchrony obligations).
+func Script(plans ...Plan) Adversary { return &rounds.Script{Plans: plans} }
+
+// Procs builds a ProcSet from process ids.
+func Procs(ids ...ProcessID) ProcSet {
+	var s ProcSet
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+// Algorithms returns the full uniform consensus suite: FloodSet (Fig. 1),
+// FloodSetWS (Fig. 2), C_Opt and F_Opt variants (§5.2, Fig. 3) and A1
+// (Fig. 4).
+func Algorithms() []Algorithm { return consensus.All() }
+
+// ForModel returns the algorithms the paper proves correct in the model.
+func ForModel(kind ModelKind) []Algorithm { return consensus.ForModel(kind) }
+
+// Named algorithm constructors.
+func FloodSet() Algorithm              { return consensus.FloodSet{} }
+func EarlyStoppingFloodSet() Algorithm { return consensus.EarlyStoppingFloodSet{} }
+func FloodSetWS() Algorithm            { return consensus.FloodSetWS{} }
+func COptFloodSet() Algorithm          { return consensus.COptFloodSet{} }
+func COptFloodSetWS() Algorithm        { return consensus.COptFloodSetWS{} }
+func FOptFloodSet() Algorithm          { return consensus.FOptFloodSet{} }
+func FOptFloodSetWS() Algorithm        { return consensus.FOptFloodSetWS{} }
+func A1() Algorithm                    { return consensus.A1{} }
+
+// Run executes one round-model run of alg under adv with the given initial
+// values (initial[i] belongs to p_{i+1}) tolerating t crashes.
+func Run(kind ModelKind, alg Algorithm, initial []Value, t int, adv Adversary) (*RoundRun, error) {
+	return rounds.RunAlgorithm(kind, alg, initial, t, adv)
+}
+
+// RandomAdversary returns a seeded adversary that crashes processes,
+// truncates broadcasts and (in RWS) creates pending messages, always
+// staying admissible for the model.
+func RandomAdversary(seed int64, crashProb, dropProb float64) Adversary {
+	return rounds.NewRandomAdversary(seed, crashProb, dropProb)
+}
+
+// CheckConsensus evaluates the uniform consensus specification (§5.1) plus
+// model admissibility on a completed run. The first entry with OK == false
+// explains the violation.
+func CheckConsensus(run *RoundRun) []CheckResult { return check.Consensus(run) }
+
+// RenderRun pretty-prints a run as a round-by-round narrative.
+func RenderRun(run *RoundRun) string { return trace.RenderRun(run) }
+
+// Explore enumerates every admissible run of alg over a bounded horizon and
+// calls visit for each; returning false stops early. It is the engine
+// behind every "for all runs" claim in the experiments.
+func Explore(kind ModelKind, alg Algorithm, initial []Value, t int, visit func(*RoundRun) bool) error {
+	_, err := explore.Runs(kind, alg, initial, t, explore.Options{}, visit)
+	return err
+}
+
+// Latency computes the paper's latency measures of alg in the model by
+// exhaustive exploration (n processes, resilience t).
+func Latency(kind ModelKind, alg Algorithm, n, t int) (*Degrees, error) {
+	return latency.Compute(kind, alg, n, t, explore.Options{})
+}
+
+// RefuteRoundOneRWS mechanizes the §5.3 lower bound: for any deterministic
+// algorithm that decides at round 1 of every failure-free RWS run, it
+// produces a concrete run violating uniform agreement or validity.
+func RefuteRoundOneRWS(alg Algorithm, n, t int) (*explore.Refutation, error) {
+	return explore.RefuteRoundOneRWS(alg, n, t)
+}
+
+// RefuteSDDInSP mechanizes Theorem 3.1 against a step-level SDD candidate
+// protocol: it constructs the proof's indistinguishable runs and returns
+// the violating witness. The bundled candidates are available via
+// SDDCandidates.
+func RefuteSDDInSP(alg SDDAlgorithm, maxObserverSteps int) (*sdd.SPRefutation, error) {
+	return sdd.RefuteSP(alg, maxObserverSteps)
+}
+
+// SDDAlgorithm is a step-level algorithm (used by the SDD experiments).
+type SDDAlgorithm = sdd.Candidate
+
+// SDDCandidates returns the natural-but-doomed SP protocols for SDD.
+func SDDCandidates() []SDDAlgorithm { return sdd.Candidates() }
+
+// SDDInSS returns the paper's Φ+1+Δ algorithm solving SDD in SS.
+func SDDInSS(phi, delta int) SDDAlgorithm { return sdd.NewSS(phi, delta) }
+
+// RunLive executes a live goroutine/channel cluster (heartbeat failure
+// detection, wall-clock rounds); see runtime.ClusterConfig for knobs.
+func RunLive(alg Algorithm, cfg ClusterConfig) (*ClusterResult, error) {
+	return runtime.RunCluster(alg, cfg)
+}
+
+// NBACForRS and NBACForRWS return the atomic-commit protocols of the §3
+// corollary (vote flooding; the RWS variant adds the halt defense).
+func NBACForRS() Algorithm  { return nbac.ForRS() }
+func NBACForRWS() Algorithm { return nbac.ForRWS() }
+
+// CommitRates measures the randomized commit-rate gap between the models on
+// all-Yes workloads.
+func CommitRates(n, trials int, seed int64) (*nbac.RateReport, error) {
+	return nbac.MeasureRates(n, trials, seed)
+}
+
+// NewAtomicBroadcast builds the intro's other canonical agreement protocol:
+// atomic broadcast as repeated uniform consensus over the chosen round
+// model. Submit messages, Drain slots, inspect the totally ordered Logs.
+func NewAtomicBroadcast(kind ModelKind, n, t int) (*abcast.Broadcaster, error) {
+	return abcast.New(kind, n, t)
+}
+
+// MsgIDFor converts an int64 into an atomic-broadcast message id.
+func MsgIDFor(v int64) abcast.MsgID { return abcast.MsgID(v) }
+
+// RunDiamondS executes Chandra–Toueg's ◇S rotating-coordinator consensus
+// (the extension direction the paper's discussion names) under a generated
+// eventual-accuracy detector history; see ctoueg.RunConfig for knobs.
+func RunDiamondS(inputs []Value, cfg ctoueg.RunConfig) (*ctoueg.Result, error) {
+	return ctoueg.Run(inputs, cfg)
+}
+
+// Experiments lists the paper's reproduced artifacts E1–E13.
+func Experiments() []core.Experiment { return core.All() }
+
+// RunExperiments executes every experiment and returns the reports.
+func RunExperiments(cfg ExperimentConfig) ([]*ExperimentReport, error) {
+	return core.RunAll(cfg)
+}
