@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"bytes"
+	"net/http"
 	"strings"
 	"testing"
 )
@@ -126,5 +128,57 @@ func TestAtomicBroadcastAPI(t *testing.T) {
 		if len(bc.Logs()[p]) != 3 {
 			t.Fatalf("p%d log = %v", p, bc.Logs()[p])
 		}
+	}
+}
+
+func TestObservabilityAPI(t *testing.T) {
+	reg := NewMetricsRegistry()
+	var buf bytes.Buffer
+	run, err := RunObserved(RWS, FloodSetWS(), []Value{4, 2, 7}, 1,
+		RandomAdversary(11, 0.3, 0.3), reg, NewEventLog(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter(`ssfd_rounds_runs_total{model="RWS"}`); got != 1 {
+		t.Errorf("runs counter = %d, want 1", got)
+	}
+	if got := snap.Counter(`ssfd_rounds_messages_delivered_total{model="RWS"}`); got != int64(run.TotalMessages()) {
+		t.Errorf("delivered counter = %d, want %d", got, run.TotalMessages())
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrative, err := RenderEvents(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrative != RenderRun(run) {
+		t.Errorf("RenderEvents disagrees with RenderRun:\n%s\n--vs--\n%s", narrative, RenderRun(run))
+	}
+	replayed, err := RenderEvents(EventsFromRun(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != narrative {
+		t.Error("EventsFromRun replay disagrees with the live event stream")
+	}
+}
+
+func TestServeMetricsAPI(t *testing.T) {
+	srv, err := ServeMetrics("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /metrics = %d, want 200", resp.StatusCode)
 	}
 }

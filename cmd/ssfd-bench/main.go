@@ -5,24 +5,55 @@
 // Usage:
 //
 //	ssfd-bench [-trials N] [-seed S] [-live] [-only E7]
+//	ssfd-bench -json reports.json -metrics 127.0.0.1:9090 -events run.jsonl
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obscli"
 )
 
+// jsonReport is the machine-readable twin of core.Report, one element per
+// experiment in the -json output file.
+type jsonReport struct {
+	ID        string   `json:"id"`
+	Title     string   `json:"title"`
+	Pass      bool     `json:"pass"`
+	Paper     string   `json:"paper,omitempty"`
+	Measured  string   `json:"measured,omitempty"`
+	Notes     []string `json:"notes,omitempty"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Error     string   `json:"error,omitempty"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	trials := flag.Int("trials", 200, "trial count for randomized sweeps")
 	seed := flag.Int64("seed", 1, "base random seed")
 	live := flag.Bool("live", true, "include live goroutine-cluster measurements (adds wall-clock time)")
 	only := flag.String("only", "", "run a single experiment (e.g. E7)")
+	jsonPath := flag.String("json", "", "write per-experiment JSON reports to this file")
+	obsFlags := obscli.Register()
 	flag.Parse()
 
-	cfg := core.Config{Trials: *trials, Seed: *seed, Live: *live}
+	sink, teardown, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer teardown()
+
+	cfg := core.Config{Trials: *trials, Seed: *seed, Live: *live, Events: sink}
+	var reports []jsonReport
 	failed := 0
 	ran := 0
 	for _, e := range core.All() {
@@ -30,24 +61,46 @@ func main() {
 			continue
 		}
 		ran++
+		start := time.Now()
 		report, err := e.Run(cfg)
+		elapsed := time.Since(start)
+		jr := jsonReport{ID: e.ID, Title: e.Title, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: error: %v\n", e.ID, err)
+			jr.Error = err.Error()
+			reports = append(reports, jr)
 			failed++
 			continue
 		}
 		fmt.Println(report)
+		jr.Pass = report.Pass
+		jr.Paper = report.Paper
+		jr.Measured = report.Measured
+		jr.Notes = report.Notes
+		reports = append(reports, jr)
 		if !report.Pass {
 			failed++
 		}
 	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches -only=%s\n", *only)
-		os.Exit(2)
+		return 2
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failed)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("all %d experiments reproduced\n", ran)
+	return 0
 }

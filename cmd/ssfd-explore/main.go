@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/consensus"
 	"repro/internal/explore"
 	"repro/internal/latency"
+	"repro/internal/obscli"
 	"repro/internal/rounds"
 	"repro/internal/trace"
 )
@@ -44,23 +46,55 @@ func modelByName(name string) (rounds.ModelKind, bool) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	algName := flag.String("alg", "FloodSet", "algorithm (FloodSet, FloodSetWS, C_OptFloodSet, C_OptFloodSetWS, F_OptFloodSet, F_OptFloodSetWS, A1)")
 	modelName := flag.String("model", "RS", "round model (RS or RWS)")
 	n := flag.Int("n", 3, "number of processes")
 	t := flag.Int("t", 1, "resilience bound")
 	refute := flag.Bool("refute", false, "run the §5.3 round-1 refuter against the algorithm")
 	counter := flag.Bool("counterexample", false, "search exhaustively for a uniform-consensus violation and print it")
+	progress := flag.Int("progress", 0, "report exploration progress to stderr every N runs (0 = silent)")
+	obsFlags := obscli.Register()
 	flag.Parse()
+
+	sink, teardown, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer teardown()
 
 	alg, ok := algByName(*algName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
-		os.Exit(2)
+		return 2
 	}
 	kind, ok := modelByName(*modelName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
-		os.Exit(2)
+		return 2
+	}
+
+	opts := explore.Options{}
+	if *progress > 0 {
+		opts.ProgressEvery = *progress
+		opts.Progress = func(p explore.Progress) {
+			fmt.Fprintf(os.Stderr, "progress: %d runs (%.0f/s), %d plans, %d forks, depth %d, %v elapsed\n",
+				p.Runs, p.RunsPerSec, p.Plans, p.Clones, p.Depth, p.Elapsed.Round(time.Millisecond))
+		}
+	}
+	// emitRun streams a printed witness run to the -events file, so the
+	// JSONL twin of every narrative shown on stdout is preserved.
+	emitRun := func(run *rounds.Run) {
+		if sink == nil {
+			return
+		}
+		for _, ev := range rounds.EventsFromRun(run) {
+			sink.Emit(ev)
+		}
 	}
 
 	switch {
@@ -68,30 +102,32 @@ func main() {
 		ref, err := explore.RefuteRoundOneRWS(alg, *n, *t)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("refutation of %s (n=%d, t=%d): %v\n%s\n", alg.Name(), *n, *t, ref.Kind, ref.Detail)
 		fmt.Println(trace.RenderRun(ref.Run))
+		emitRun(ref.Run)
 	case *counter:
 		found := false
 		for _, cfg := range latency.Configurations(*n) {
 			if found {
 				break
 			}
-			_, err := explore.Runs(kind, alg, cfg, *t, explore.Options{}, func(run *rounds.Run) bool {
+			_, err := explore.Runs(kind, alg, cfg, *t, opts, func(run *rounds.Run) bool {
 				if run.Truncated {
 					return true
 				}
 				if bad := check.FirstViolation(run); bad != nil {
 					found = true
 					fmt.Printf("violation: %s\n%s", bad, trace.RenderRun(run))
+					emitRun(run)
 					return false
 				}
 				return true
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if !found {
@@ -100,7 +136,7 @@ func main() {
 	default:
 		total, viol := 0, 0
 		for _, cfg := range latency.Configurations(*n) {
-			_, err := explore.Runs(kind, alg, cfg, *t, explore.Options{}, func(run *rounds.Run) bool {
+			_, err := explore.Runs(kind, alg, cfg, *t, opts, func(run *rounds.Run) bool {
 				if run.Truncated {
 					return true
 				}
@@ -112,16 +148,17 @@ func main() {
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Printf("%s in %v (n=%d, t=%d): %d runs explored, %d violations\n",
 			alg.Name(), kind, *n, *t, total, viol)
-		d, err := latency.Compute(kind, alg, *n, *t, explore.Options{})
+		d, err := latency.Compute(kind, alg, *n, *t, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(d)
 	}
+	return 0
 }

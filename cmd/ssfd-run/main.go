@@ -20,6 +20,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/consensus"
 	"repro/internal/model"
+	"repro/internal/obscli"
 	"repro/internal/rounds"
 	"repro/internal/trace"
 )
@@ -66,6 +67,10 @@ func parseEvent(s string) (model.ProcessID, int, model.ProcSet, error) {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	algName := flag.String("alg", "FloodSet", "algorithm name")
 	modelName := flag.String("model", "RS", "round model (RS or RWS)")
 	valuesStr := flag.String("values", "0,1,2", "comma-separated initial values (one per process)")
@@ -73,7 +78,15 @@ func main() {
 	crashSpec := flag.String("crash", "", "crash event P@R[:reached,...] (e.g. 1@2 or 1@1:2,3)")
 	dropSpec := flag.String("drop", "", "pending-message event P@R[:dropped,...] (RWS only; default drops to everyone)")
 	seed := flag.Int64("seed", -1, "if ≥ 0, use a seeded random adversary instead of the scripted events")
+	obsFlags := obscli.Register()
 	flag.Parse()
+
+	sink, teardown, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer teardown()
 
 	var alg rounds.Algorithm
 	for _, a := range consensus.All() {
@@ -83,7 +96,7 @@ func main() {
 	}
 	if alg == nil {
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
-		os.Exit(2)
+		return 2
 	}
 	var kind rounds.ModelKind
 	switch strings.ToUpper(*modelName) {
@@ -93,12 +106,12 @@ func main() {
 		kind = rounds.RWS
 	default:
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
-		os.Exit(2)
+		return 2
 	}
 	initial, err := parseValues(*valuesStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	n := len(initial)
 
@@ -117,7 +130,7 @@ func main() {
 			p, r, reach, err := parseEvent(*crashSpec)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			pl := ensure(r)
 			pl.Crashes = map[model.ProcessID]model.ProcSet{p: reach.Remove(p)}
@@ -126,7 +139,7 @@ func main() {
 			p, r, dropped, err := parseEvent(*dropSpec)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 			if dropped.Empty() {
 				dropped = model.FullSet(n)
@@ -147,10 +160,14 @@ func main() {
 		adv = script
 	}
 
-	run, err := rounds.RunAlgorithm(kind, alg, initial, *t, adv)
+	var engineOpts []rounds.Option
+	if sink != nil {
+		engineOpts = append(engineOpts, rounds.WithEventSink(sink))
+	}
+	run, err := rounds.RunAlgorithm(kind, alg, initial, *t, adv, engineOpts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Print(trace.RenderRun(run))
 	fmt.Println("specification check:")
@@ -162,6 +179,7 @@ func main() {
 		}
 	}
 	if violated {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

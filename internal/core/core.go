@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -24,6 +25,9 @@ type Config struct {
 	// Live enables the goroutine/wall-clock parts (E10/E11); they add
 	// real-time delays, so benches may disable them.
 	Live bool
+	// Events, when non-nil, receives the live clusters' structured event
+	// streams (ssfd-bench wires its -events flag here).
+	Events obs.Sink
 }
 
 // withDefaults fills unset fields.

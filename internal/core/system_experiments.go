@@ -218,6 +218,7 @@ func E10Emulation(cfg Config) (*Report, error) {
 	if cfg.Live {
 		cr, err := runtime.RunCluster(consensus.FloodSetWS{}, runtime.ClusterConfig{
 			Kind: rounds.RWS, Initial: []model.Value{4, 2, 7}, T: 1,
+			Events: cfg.Events,
 		})
 		if err != nil {
 			return nil, err
@@ -287,7 +288,8 @@ func E11Matrix(cfg Config) (*Report, error) {
 			{consensus.FloodSet{}, rounds.RS},
 			{consensus.FloodSetWS{}, rounds.RWS},
 		} {
-			cc := runtime.ClusterConfig{Kind: tc.kind, Initial: []model.Value{4, 2, 7}, T: 1}
+			cc := runtime.ClusterConfig{Kind: tc.kind, Initial: []model.Value{4, 2, 7}, T: 1,
+				Events: cfg.Events}
 			if tc.kind == rounds.RS {
 				cc.RoundDuration = 15 * time.Millisecond
 			}

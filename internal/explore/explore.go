@@ -15,8 +15,10 @@ package explore
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rounds"
 )
 
@@ -32,6 +34,18 @@ type Options struct {
 	// MaxRuns aborts the exploration after this many complete runs
 	// (0 = unlimited). ErrBudget is returned when the cap is hit.
 	MaxRuns int
+
+	// Metrics receives the exploration counters (runs, plans, forks,
+	// truncated runs) and the forked engines' round counters. Nil uses the
+	// process-wide obs.Default registry.
+	Metrics *obs.Registry
+	// Progress, when non-nil, is invoked every ProgressEvery complete runs
+	// with the exploration's pace (runs/sec, current depth). Long exhaustive
+	// searches use it to show liveness without flooding output.
+	Progress func(Progress)
+	// ProgressEvery is the run interval between Progress callbacks;
+	// values < 1 default to 1000.
+	ProgressEvery int
 }
 
 // ErrBudget is returned when Options.MaxRuns stops an exploration early.
@@ -39,15 +53,20 @@ var ErrBudget = errors.New("explore: run budget exhausted before the space was c
 
 // Stats summarizes an exploration.
 type Stats struct {
-	Runs    int // complete runs visited
-	Plans   int // adversary plans expanded
-	Clones  int // engine forks performed
-	Aborted bool
+	Runs      int // complete runs visited
+	Plans     int // adversary plans expanded
+	Clones    int // engine forks performed
+	Truncated int // runs cut by the horizon before completing
+	Aborted   bool
 }
 
 // String renders the stats.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d runs, %d plans, %d forks", s.Runs, s.Plans, s.Clones)
+	out := fmt.Sprintf("%d runs, %d plans, %d forks", s.Runs, s.Plans, s.Clones)
+	if s.Truncated > 0 {
+		out += fmt.Sprintf(", %d truncated", s.Truncated)
+	}
+	return out
 }
 
 // Visit is called for every complete run. Returning false stops the
@@ -58,7 +77,11 @@ type Visit func(*rounds.Run) bool
 // configuration and invokes visit on each. The algorithm's processes must
 // implement rounds.Cloner.
 func Runs(kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value, t int, opts Options, visit Visit) (Stats, error) {
-	var engineOpts []rounds.Option
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	engineOpts := []rounds.Option{rounds.WithMetrics(reg)}
 	if opts.MaxRounds > 0 {
 		engineOpts = append(engineOpts, rounds.WithRoundLimit(opts.MaxRounds))
 	}
@@ -66,7 +89,15 @@ func Runs(kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value, t 
 	if err != nil {
 		return Stats{}, err
 	}
-	e := &explorer{opts: opts, visit: visit}
+	e := &explorer{
+		opts:    opts,
+		visit:   visit,
+		metrics: newExploreMetrics(reg),
+		start:   time.Now(),
+	}
+	if e.opts.Progress != nil && e.opts.ProgressEvery < 1 {
+		e.opts.ProgressEvery = 1000
+	}
 	err = e.dfs(root)
 	if errors.Is(err, errStopped) {
 		err = nil
@@ -78,9 +109,11 @@ func Runs(kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value, t 
 var errStopped = errors.New("explore: stopped by visitor")
 
 type explorer struct {
-	opts  Options
-	stats Stats
-	visit Visit
+	opts    Options
+	stats   Stats
+	visit   Visit
+	metrics exploreMetrics
+	start   time.Time
 }
 
 func (e *explorer) dfs(eng *rounds.Engine) error {
@@ -99,6 +132,7 @@ func (e *explorer) dfs(eng *rounds.Engine) error {
 	view := eng.NextView()
 	plans := EnumeratePlans(view, e.opts.MaxCrashesPerRound)
 	e.stats.Plans += len(plans)
+	e.metrics.plans.Add(int64(len(plans)))
 	for i, plan := range plans {
 		var branch *rounds.Engine
 		if i == len(plans)-1 {
@@ -110,6 +144,7 @@ func (e *explorer) dfs(eng *rounds.Engine) error {
 				return err
 			}
 			e.stats.Clones++
+			e.metrics.forks.Inc()
 		}
 		scripted := plan
 		if err := branch.Step(rounds.AdversaryFunc(func(*rounds.View) rounds.Plan { return scripted })); err != nil {
@@ -141,6 +176,26 @@ func (e *explorer) emit(eng *rounds.Engine) error {
 		run.Truncated = true
 	}
 	e.stats.Runs++
+	e.metrics.runs.Inc()
+	if run.Truncated {
+		e.stats.Truncated++
+		e.metrics.truncated.Inc()
+	}
+	if e.opts.Progress != nil && e.stats.Runs%e.opts.ProgressEvery == 0 {
+		elapsed := time.Since(e.start)
+		rps := 0.0
+		if s := elapsed.Seconds(); s > 0 {
+			rps = float64(e.stats.Runs) / s
+		}
+		e.opts.Progress(Progress{
+			Runs:       e.stats.Runs,
+			Plans:      e.stats.Plans,
+			Clones:     e.stats.Clones,
+			Depth:      eng.Round(),
+			Elapsed:    elapsed,
+			RunsPerSec: rps,
+		})
+	}
 	if e.visit != nil && !e.visit(run) {
 		return errStopped
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rounds"
 )
 
@@ -75,8 +76,17 @@ func (r *Refutation) String() string {
 //     failure-free run breaks validity.
 //
 // The returned witness is always a complete, RWS-admissible run; callers
-// can re-validate it with rounds.Admissible and check.Consensus.
+// can re-validate it with rounds.Admissible and check.Consensus. Every
+// refutation found is counted into obs.Default (MetricRefutations).
 func RefuteRoundOneRWS(alg rounds.Algorithm, n, t int) (*Refutation, error) {
+	ref, err := refuteRoundOneRWS(alg, n, t)
+	if ref != nil {
+		obs.Default.Counter(MetricRefutations).Inc()
+	}
+	return ref, err
+}
+
+func refuteRoundOneRWS(alg rounds.Algorithm, n, t int) (*Refutation, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("explore: RefuteRoundOneRWS needs n ≥ 2, got %d", n)
 	}

@@ -1,0 +1,42 @@
+package explore
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names exported by the explorer.
+const (
+	MetricRuns        = "ssfd_explore_runs_total"
+	MetricPlans       = "ssfd_explore_plans_total"
+	MetricForks       = "ssfd_explore_forks_total"
+	MetricTruncated   = "ssfd_explore_truncated_runs_total"
+	MetricRefutations = "ssfd_explore_refutations_total"
+)
+
+// Progress is the pace snapshot handed to Options.Progress during long
+// explorations.
+type Progress struct {
+	Runs   int // complete runs visited so far
+	Plans  int // adversary plans expanded so far
+	Clones int // engine forks performed so far
+	Depth  int // rounds executed in the run just completed
+
+	Elapsed    time.Duration
+	RunsPerSec float64
+}
+
+// exploreMetrics caches the explorer's counters.
+type exploreMetrics struct {
+	runs, plans, forks, truncated *obs.Counter
+}
+
+func newExploreMetrics(reg *obs.Registry) exploreMetrics {
+	return exploreMetrics{
+		runs:      reg.Counter(MetricRuns),
+		plans:     reg.Counter(MetricPlans),
+		forks:     reg.Counter(MetricForks),
+		truncated: reg.Counter(MetricTruncated),
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventType classifies a structured run event.
+type EventType string
+
+// The event vocabulary. Round-model runs produce run_start, round_start,
+// send, drop, crash, decide and run_end; the live runtime additionally
+// produces suspect and retract from its failure detectors.
+const (
+	EventRunStart   EventType = "run_start"
+	EventRoundStart EventType = "round_start"
+	EventSend       EventType = "send"
+	EventDrop       EventType = "drop"
+	EventCrash      EventType = "crash"
+	EventSuspect    EventType = "suspect"
+	EventRetract    EventType = "retract"
+	EventDecide     EventType = "decide"
+	EventRunEnd     EventType = "run_end"
+)
+
+// Event is one structured run event — the machine-readable twin of one
+// line of trace.RenderRun's narrative. Unused fields are omitted from the
+// JSON encoding; process identifiers are plain 1-based integers.
+type Event struct {
+	Type EventType `json:"type"`
+
+	// Run identification (run_start only).
+	Algorithm string  `json:"algorithm,omitempty"`
+	Model     string  `json:"model,omitempty"`
+	N         int     `json:"n,omitempty"`
+	T         int     `json:"t,omitempty"`
+	Values    []int64 `json:"values,omitempty"` // initial values, p1..pn
+
+	Round int `json:"round,omitempty"` // 1-based round number
+
+	// Alive is the set of processes alive at the start of a round
+	// (round_start only).
+	Alive []int `json:"alive,omitempty"`
+
+	From int   `json:"from,omitempty"` // sender (send, drop)
+	To   []int `json:"to,omitempty"`   // destinations reached (send) or missed (drop)
+
+	Proc int `json:"proc,omitempty"` // subject process (crash, decide, suspect, retract)
+	By   int `json:"by,omitempty"`   // observing process (suspect, retract)
+
+	Value *int64 `json:"value,omitempty"` // decision value (decide)
+
+	Truncated bool `json:"truncated,omitempty"` // run hit its round limit (run_end)
+}
+
+// Int64 is a convenience for populating pointer-valued event fields.
+func Int64(v int64) *int64 { return &v }
+
+// Sink consumes structured events. Implementations must be safe for
+// concurrent use when attached to the live runtime (nodes emit from their
+// own goroutines).
+type Sink interface {
+	Emit(Event)
+}
+
+// Emitter is a JSONL event sink: one JSON object per line on w. It
+// serializes concurrent Emit calls, making it safe to share across the
+// goroutines of a live cluster.
+type Emitter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewEmitter returns a JSONL emitter over w.
+func NewEmitter(w io.Writer) *Emitter {
+	return &Emitter{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink (no-op on a nil emitter).
+func (e *Emitter) Emit(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = e.enc.Encode(ev)
+	}
+}
+
+// Err returns the first write error encountered, if any.
+func (e *Emitter) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Collector is an in-memory sink for tests and programmatic consumers.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+// Events returns a copy of the collected events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// MultiSink fans events out to every sink.
+func MultiSink(sinks ...Sink) Sink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type multiSink []Sink
+
+// Emit implements Sink.
+func (m multiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}
+
+// ReadEvents parses a JSONL event stream back into events — the inverse of
+// replaying a run through an Emitter.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading events: %w", err)
+	}
+	return out, nil
+}

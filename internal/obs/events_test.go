@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Type: EventRunStart, Algorithm: "FloodSet", Model: "RS", N: 3, T: 1, Values: []int64{0, 5, 9}},
+		{Type: EventRoundStart, Round: 1, Alive: []int{1, 2, 3}},
+		{Type: EventSend, Round: 1, From: 1, To: []int{2}},
+		{Type: EventDrop, Round: 1, From: 1, To: []int{3}},
+		{Type: EventSend, Round: 1, From: 2, To: []int{1, 3}},
+		{Type: EventSend, Round: 1, From: 3, To: []int{1, 2}},
+		{Type: EventCrash, Round: 1, Proc: 1},
+		{Type: EventRoundStart, Round: 2, Alive: []int{2, 3}},
+		{Type: EventSend, Round: 2, From: 2, To: []int{3}},
+		{Type: EventSend, Round: 2, From: 3, To: []int{2}},
+		{Type: EventDecide, Round: 2, Proc: 2, Value: Int64(0)},
+		{Type: EventDecide, Round: 2, Proc: 3, Value: Int64(0)},
+		{Type: EventRunEnd},
+	}
+}
+
+func TestEmitterRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	em := NewEmitter(&buf)
+	for _, ev := range events {
+		em.Emit(ev)
+	}
+	if err := em.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(events) {
+		t.Errorf("emitted %d lines, want %d", lines, len(events))
+	}
+	back, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, events)
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{\"type\":\"crash\"}\nnot json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestRenderEventsNarrative(t *testing.T) {
+	out, err := RenderEvents(sampleEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FloodSet in RS: n=3 t=1",
+		"initial values: p1=0 p2=5 p3=9",
+		"round 1: alive {p1,p2,p3}, crashes {p1}",
+		"  p1 → {p2} (NOT received by {p3})",
+		"  p2 → {p1,p3}",
+		"round 2: alive {p2,p3}",
+		"decisions: p1=✝r1 p2=0@r2 p3=0@r2",
+		"latency degree |r| = 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("narrative missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEventsErrors(t *testing.T) {
+	if _, err := RenderEvents(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := RenderEvents([]Event{{Type: EventRunStart, N: 2, Values: []int64{1}}}); err == nil {
+		t.Error("mismatched initial values accepted")
+	}
+	bad := sampleEvents()
+	bad[10].Value = nil
+	if _, err := RenderEvents(bad); err == nil {
+		t.Error("decide without value accepted")
+	}
+}
+
+func TestCollectorAndMultiSink(t *testing.T) {
+	var a, b Collector
+	s := MultiSink(&a, nil, &b)
+	s.Emit(Event{Type: EventSuspect, Proc: 2, By: 1})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Errorf("fanout: a=%d b=%d events", len(a.Events()), len(b.Events()))
+	}
+	if a.Events()[0].Proc != 2 {
+		t.Errorf("event = %+v", a.Events()[0])
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Error("counter creation not idempotent")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["c_total"] != 5 || snap.Gauges["g"] != 5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Gauge("y").Set(2)
+	r.Histogram("z", []int64{1}).Observe(3)
+	if n := len(r.Snapshot().Counters); n != 0 {
+		t.Errorf("nil registry snapshot has %d counters", n)
+	}
+	var e *Emitter
+	e.Emit(Event{Type: EventCrash})
+	if err := e.Err(); err != nil {
+		t.Errorf("nil emitter err = %v", err)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 10, 11, 50, 200, 5000} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["h"]
+	if s.Count != 7 || s.Sum != 1+5+10+11+50+200+5000 {
+		t.Errorf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	wantCounts := []uint64{3, 2, 1, 1} // ≤10, ≤100, ≤1000, overflow
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if q := s.Quantile(0.5); q != 100 {
+		t.Errorf("p50 = %d, want 100 (4th of 7 observations lands in the ≤100 bucket)", q)
+	}
+	if q := s.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 = %d, want 1000 (overflow reports the largest finite bound)", q)
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("runs_total", "model", "RS"); got != `runs_total{model="RS"}` {
+		t.Errorf("Label = %s", got)
+	}
+	if got := Label(`m{a="1"}`, "b", "2"); got != `m{a="1",b="2"}` {
+		t.Errorf("Label merge = %s", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared_total").Inc()
+				r.Histogram("lat", []int64{10, 100}).Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Snapshot().Histograms["lat"].Count; got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("ssfd_rounds_runs_total", "model", "RS")).Add(3)
+	r.Counter(Label("ssfd_rounds_runs_total", "model", "RWS")).Add(4)
+	r.Gauge("ssfd_up").Set(1)
+	r.Histogram("ssfd_round_ns", []int64{100, 1000}).Observe(50)
+	r.Histogram("ssfd_round_ns", nil).Observe(5000)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ssfd_rounds_runs_total counter",
+		`ssfd_rounds_runs_total{model="RS"} 3`,
+		`ssfd_rounds_runs_total{model="RWS"} 4`,
+		"# TYPE ssfd_up gauge",
+		"ssfd_up 1",
+		"# TYPE ssfd_round_ns histogram",
+		`ssfd_round_ns_bucket{le="100"} 1`,
+		`ssfd_round_ns_bucket{le="1000"} 1`,
+		`ssfd_round_ns_bucket{le="+Inf"} 2`,
+		"ssfd_round_ns_sum 5050",
+		"ssfd_round_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The TYPE line for a multi-series family must appear exactly once.
+	if n := strings.Count(out, "# TYPE ssfd_rounds_runs_total counter"); n != 1 {
+		t.Errorf("TYPE line appears %d times, want 1", n)
+	}
+}
+
+func TestServerServesMetricsAndHealth(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ssfd_test_total").Add(42)
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if !strings.Contains(string(body), "ssfd_test_total 42") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content-type = %s", ct)
+	}
+
+	resp, err = http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz body = %q", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	_ = srv.Close() // idempotent
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// roundView is the per-round state reassembled from events.
+type roundView struct {
+	round   int
+	alive   model.ProcSet
+	crashed model.ProcSet
+	reached map[int]model.ProcSet // sender → destinations reached (self excluded)
+	dropped map[int]model.ProcSet // sender → destinations missed (self excluded)
+	sent    map[int]bool          // sender generated a non-null message pattern
+}
+
+func toSet(ids []int) model.ProcSet {
+	var s model.ProcSet
+	for _, id := range ids {
+		s = s.Add(model.ProcessID(id))
+	}
+	return s
+}
+
+// RenderEvents re-renders a structured event stream into the same
+// round-by-round narrative trace.RenderRun produces for the originating
+// run — the JSONL stream and the prose table are two views of one record.
+// Suspect/retract events (live-cluster only) are ignored.
+func RenderEvents(events []Event) (string, error) {
+	var start *Event
+	for i := range events {
+		if events[i].Type == EventRunStart {
+			start = &events[i]
+			break
+		}
+	}
+	if start == nil {
+		return "", fmt.Errorf("obs: RenderEvents: no run_start event in stream")
+	}
+	n := start.N
+	if n < 1 || len(start.Values) != n {
+		return "", fmt.Errorf("obs: RenderEvents: run_start has n=%d but %d initial values", n, len(start.Values))
+	}
+
+	var rounds []*roundView
+	byRound := make(map[int]*roundView)
+	view := func(r int) *roundView {
+		rv := byRound[r]
+		if rv == nil {
+			rv = &roundView{
+				round:   r,
+				reached: make(map[int]model.ProcSet),
+				dropped: make(map[int]model.ProcSet),
+				sent:    make(map[int]bool),
+			}
+			byRound[r] = rv
+			rounds = append(rounds, rv)
+		}
+		return rv
+	}
+
+	decidedAt := make([]int, n+1)
+	decisionOf := make([]int64, n+1)
+	crashRound := make([]int, n+1)
+
+	for _, ev := range events {
+		switch ev.Type {
+		case EventRoundStart:
+			view(ev.Round).alive = toSet(ev.Alive)
+		case EventSend:
+			rv := view(ev.Round)
+			rv.sent[ev.From] = true
+			rv.reached[ev.From] = toSet(ev.To)
+		case EventDrop:
+			rv := view(ev.Round)
+			rv.sent[ev.From] = true
+			rv.dropped[ev.From] = toSet(ev.To)
+		case EventCrash:
+			rv := view(ev.Round)
+			rv.crashed = rv.crashed.Add(model.ProcessID(ev.Proc))
+			if crashRound[ev.Proc] == 0 {
+				crashRound[ev.Proc] = ev.Round
+			}
+		case EventDecide:
+			if ev.Value == nil {
+				return "", fmt.Errorf("obs: RenderEvents: decide event for p%d without a value", ev.Proc)
+			}
+			if decidedAt[ev.Proc] == 0 {
+				decidedAt[ev.Proc] = ev.Round
+				decisionOf[ev.Proc] = *ev.Value
+			}
+		case EventRunStart, EventRunEnd, EventSuspect, EventRetract:
+			// run identification handled above; detector events are
+			// live-cluster colour with no round-table counterpart.
+		default:
+			return "", fmt.Errorf("obs: RenderEvents: unknown event type %q", ev.Type)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s in %s: n=%d t=%d\n", start.Algorithm, start.Model, n, start.T)
+	fmt.Fprintf(&b, "initial values:")
+	for p := 1; p <= n; p++ {
+		fmt.Fprintf(&b, " %v=%d", model.ProcessID(p), start.Values[p-1])
+	}
+	b.WriteByte('\n')
+
+	for _, rv := range rounds {
+		fmt.Fprintf(&b, "round %d: alive %v", rv.round, rv.alive)
+		if !rv.crashed.Empty() {
+			fmt.Fprintf(&b, ", crashes %v", rv.crashed)
+		}
+		b.WriteByte('\n')
+		for j := 1; j <= n; j++ {
+			pj := model.ProcessID(j)
+			if !rv.alive.Has(pj) || !rv.sent[j] {
+				continue
+			}
+			reached, dropped := rv.reached[j], rv.dropped[j]
+			if dropped.Empty() {
+				fmt.Fprintf(&b, "  %v → %v\n", pj, reached)
+			} else {
+				fmt.Fprintf(&b, "  %v → %v (NOT received by %v)\n", pj, reached, dropped)
+			}
+		}
+	}
+
+	b.WriteString("decisions:")
+	for p := 1; p <= n; p++ {
+		pid := model.ProcessID(p)
+		switch {
+		case decidedAt[p] != 0:
+			fmt.Fprintf(&b, " %v=%d@r%d", pid, decisionOf[p], decidedAt[p])
+		case crashRound[p] != 0:
+			fmt.Fprintf(&b, " %v=✝r%d", pid, crashRound[p])
+		default:
+			fmt.Fprintf(&b, " %v=⊥", pid)
+		}
+	}
+	b.WriteByte('\n')
+
+	latency, ok := 0, true
+	for p := 1; p <= n; p++ {
+		if crashRound[p] != 0 {
+			continue // faulty: does not constrain the latency degree
+		}
+		if decidedAt[p] == 0 {
+			ok = false
+			break
+		}
+		if decidedAt[p] > latency {
+			latency = decidedAt[p]
+		}
+	}
+	if ok {
+		fmt.Fprintf(&b, "latency degree |r| = %d\n", latency)
+	}
+	return b.String(), nil
+}

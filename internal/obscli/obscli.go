@@ -1,0 +1,94 @@
+// Package obscli wires the shared observability flags (-metrics, -events,
+// -cpuprofile, -memprofile) into the command-line tools. Each cmd registers
+// the flags before flag.Parse and calls Setup after; everything the flags
+// start is torn down by the returned func.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Flags holds the registered flag values.
+type Flags struct {
+	Metrics    *string
+	Events     *string
+	CPUProfile *string
+	MemProfile *string
+}
+
+// Register installs the observability flags on the default FlagSet.
+func Register() *Flags {
+	return &Flags{
+		Metrics:    flag.String("metrics", "", "serve Prometheus metrics and /healthz on this address (e.g. 127.0.0.1:9090) for the program's lifetime"),
+		Events:     flag.String("events", "", "append structured JSONL run events to this file"),
+		CPUProfile: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		MemProfile: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Setup starts whatever the parsed flags requested: the metrics endpoint
+// (over obs.Default), the CPU profile, and the JSONL event emitter. It
+// returns the event sink (nil when -events is unset) and a teardown to
+// defer, which also writes the -memprofile.
+func (f *Flags) Setup() (obs.Sink, func(), error) {
+	var teardowns []func()
+	teardown := func() {
+		for i := len(teardowns) - 1; i >= 0; i-- {
+			teardowns[i]()
+		}
+	}
+
+	if *f.CPUProfile != "" {
+		stop, err := obs.StartCPUProfile(*f.CPUProfile)
+		if err != nil {
+			return nil, teardown, err
+		}
+		teardowns = append(teardowns, func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		})
+	}
+	if *f.Metrics != "" {
+		srv, err := obs.StartServer(*f.Metrics, nil)
+		if err != nil {
+			teardown()
+			return nil, func() {}, err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: %s/metrics\n", srv.URL())
+		teardowns = append(teardowns, func() { _ = srv.Close() })
+	}
+
+	var sink obs.Sink
+	if *f.Events != "" {
+		file, err := os.Create(*f.Events)
+		if err != nil {
+			teardown()
+			return nil, func() {}, fmt.Errorf("obscli: create events file: %w", err)
+		}
+		em := obs.NewEmitter(file)
+		sink = em
+		teardowns = append(teardowns, func() {
+			if err := em.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			}
+			if err := file.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+			}
+		})
+	}
+
+	if *f.MemProfile != "" {
+		path := *f.MemProfile
+		teardowns = append(teardowns, func() {
+			if err := obs.WriteHeapProfile(path); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		})
+	}
+	return sink, teardown, nil
+}

@@ -1,0 +1,71 @@
+package obscli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func str(s string) *string { return &s }
+
+func TestSetupNothingRequested(t *testing.T) {
+	f := &Flags{Metrics: str(""), Events: str(""), CPUProfile: str(""), MemProfile: str("")}
+	sink, teardown, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+	if sink != nil {
+		t.Error("sink must be nil when -events is unset")
+	}
+}
+
+func TestSetupEverything(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "run.jsonl")
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	f := &Flags{
+		Metrics:    str("127.0.0.1:0"),
+		Events:     str(events),
+		CPUProfile: str(cpu),
+		MemProfile: str(mem),
+	}
+	sink, teardown, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink == nil {
+		t.Fatal("no event sink")
+	}
+	sink.Emit(obs.Event{Type: obs.EventRunStart, Algorithm: "X", Model: "RS", N: 2, T: 1})
+	teardown()
+
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("events file empty after teardown")
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestSetupBadEventsPath(t *testing.T) {
+	f := &Flags{
+		Metrics:    str(""),
+		Events:     str(filepath.Join(t.TempDir(), "no", "such", "dir", "x.jsonl")),
+		CPUProfile: str(""),
+		MemProfile: str(""),
+	}
+	if _, teardown, err := f.Setup(); err == nil {
+		teardown()
+		t.Fatal("expected error for uncreatable events file")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // DefaultRoundLimit bounds executions whose algorithm fails to terminate.
@@ -41,6 +42,10 @@ type Engine struct {
 	round      int           // last completed round
 
 	run *Run
+
+	metrics  roundsMetrics // resolved counters (nil-safe when registry is nil)
+	sink     obs.Sink      // optional structured-event stream; nil = disabled
+	finished bool          // run_end emitted and runs counter bumped
 }
 
 // Option configures an Engine.
@@ -49,6 +54,20 @@ type Option func(*Engine)
 // WithRoundLimit overrides the default execution horizon.
 func WithRoundLimit(limit int) Option {
 	return func(e *Engine) { e.limit = limit }
+}
+
+// WithMetrics redirects the engine's counters to reg instead of obs.Default.
+// A nil registry disables metrics entirely.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(e *Engine) { e.metrics = newRoundsMetrics(reg, e.kind) }
+}
+
+// WithEventSink streams structured run events (run_start, round_start, send,
+// drop, crash, decide, run_end) to sink as the engine executes. The stream
+// is the machine-readable twin of trace.RenderRun: obs.RenderEvents on the
+// collected events reproduces the rendered narrative exactly.
+func WithEventSink(sink obs.Sink) Option {
+	return func(e *Engine) { e.sink = sink }
 }
 
 // NewEngine prepares an execution of alg over n processes tolerating t
@@ -78,6 +97,7 @@ func NewEngine(kind ModelKind, alg Algorithm, initial []model.Value, t int, opts
 		decisionOf: make([]model.Value, n+1),
 	}
 	copy(e.initial[1:], initial)
+	e.metrics = newRoundsMetrics(obs.Default, kind)
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -93,6 +113,20 @@ func NewEngine(kind ModelKind, alg Algorithm, initial []model.Value, t int, opts
 		CrashRound: e.crashRound,
 		DecidedAt:  e.decidedAt,
 		DecisionOf: e.decisionOf,
+	}
+	if e.sink != nil {
+		values := make([]int64, n)
+		for i := 1; i <= n; i++ {
+			values[i-1] = int64(e.initial[i])
+		}
+		e.sink.Emit(obs.Event{
+			Type:      obs.EventRunStart,
+			Algorithm: alg.Name(),
+			Model:     kind.String(),
+			N:         n,
+			T:         t,
+			Values:    values,
+		})
 	}
 	return e, nil
 }
@@ -286,6 +320,27 @@ func (e *Engine) Step(adv Adversary) error {
 	}
 	e.round = r
 	e.run.Rounds = append(e.run.Rounds, rec)
+
+	// 6. Observability: counters count exactly what the record tallies (the
+	// property tests hold the registry to Run.Totals()), and the event sink
+	// receives the round's structured twin of the trace narrative.
+	rt := rec.Totals()
+	decisions := 0
+	for p := 1; p <= e.n; p++ {
+		if e.decidedAt[p] == r {
+			decisions++
+		}
+	}
+	e.metrics.rounds.Inc()
+	e.metrics.sent.Add(int64(rt.Sent))
+	e.metrics.delivered.Add(int64(rt.Delivered))
+	e.metrics.dropped.Add(int64(rt.Dropped))
+	e.metrics.pending.Add(int64(rt.Pending))
+	e.metrics.crashes.Add(int64(rt.Crashes))
+	e.metrics.decisions.Add(int64(decisions))
+	if e.sink != nil {
+		recordEvents(&rec, e.n, e.decidedAt, e.decisionOf, e.sink.Emit)
+	}
 	return nil
 }
 
@@ -308,8 +363,16 @@ func (e *Engine) Execute(adv Adversary, minRounds int) (*Run, error) {
 	}
 }
 
-// finish freezes and returns the run record.
+// finish freezes and returns the run record, closing out the observability
+// stream exactly once even if Execute is re-entered.
 func (e *Engine) finish() *Run {
+	if !e.finished {
+		e.finished = true
+		e.metrics.runs.Inc()
+		if e.sink != nil {
+			e.sink.Emit(obs.Event{Type: obs.EventRunEnd, Truncated: e.run.Truncated})
+		}
+	}
 	return e.run
 }
 
@@ -341,6 +404,11 @@ func (e *Engine) Clone() (*Engine, error) {
 		decisionOf: append([]model.Value(nil), e.decisionOf...),
 		obligated:  e.obligated,
 		round:      e.round,
+		// The clone keeps counting into the same registry (forked rounds are
+		// still executed rounds) but does not inherit the event sink: two
+		// engines interleaving one JSONL stream would garble it.
+		metrics:  e.metrics,
+		finished: e.finished,
 	}
 	for i := 1; i <= e.n; i++ {
 		if e.procs[i] == nil {

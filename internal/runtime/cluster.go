@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rounds"
 )
 
@@ -35,6 +36,21 @@ type ClusterConfig struct {
 
 	// Crashes schedules crash plans per process.
 	Crashes map[model.ProcessID]CrashPlan
+
+	// Metrics receives the cluster's instruments (node round durations,
+	// failure-detector counters, default-network transport counters). Nil
+	// uses the process-wide obs.Default registry.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives the interleaved live event stream of
+	// every node and failure detector. The sink must be concurrency-safe
+	// (obs.Emitter and obs.Collector both are).
+	Events obs.Sink
+	// MetricsAddr, when non-empty (e.g. "127.0.0.1:0"), serves the
+	// registry's Prometheus exposition plus /healthz for the duration of the
+	// run. The server stays up after RunCluster returns successfully —
+	// ClusterResult.MetricsServer — so callers can scrape the finished run;
+	// they own the server and must Close it.
+	MetricsAddr string
 }
 
 // ClusterResult aggregates the nodes' results.
@@ -44,6 +60,11 @@ type ClusterResult struct {
 	// failure detection was perfect in this run.
 	FalseSuspicions int64
 	Elapsed         time.Duration
+
+	// MetricsServer is the live exposition endpoint when
+	// ClusterConfig.MetricsAddr was set; the caller must Close it. Nil when
+	// no endpoint was requested or the run failed.
+	MetricsServer *obs.Server
 }
 
 // Decisions extracts (value, decided) pairs.
@@ -95,9 +116,30 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = cfg.T + 2
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	var server *obs.Server
+	if cfg.MetricsAddr != "" {
+		var err error
+		server, err = obs.StartServer(cfg.MetricsAddr, reg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// On any failure the server must come down with us: the caller only
+	// takes ownership of it through a successful result.
+	serverToCaller := false
+	defer func() {
+		if !serverToCaller {
+			_ = server.Close()
+		}
+	}()
+
 	network := cfg.Network
 	if network == nil {
-		network = NewChanNetwork(n, ChanConfig{MaxDelay: time.Millisecond})
+		network = NewChanNetwork(n, ChanConfig{MaxDelay: time.Millisecond, Metrics: reg})
 	}
 	defer func() { _ = network.Close() }()
 
@@ -110,6 +152,7 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 		var fd *HeartbeatFD
 		if cfg.Kind == rounds.RWS {
 			fd = NewHeartbeatFD(transport, n, cfg.HeartbeatPeriod, cfg.SuspectTimeout)
+			fd.Instrument(reg, cfg.Events)
 		}
 		fds[i] = fd
 		node, err := NewNode(alg, NodeConfig{
@@ -117,7 +160,8 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 			Transport: transport, Kind: cfg.Kind,
 			RoundDuration: cfg.RoundDuration, Epoch: epoch,
 			FD: fd, MaxRounds: cfg.MaxRounds,
-			Crash: cfg.Crashes[id],
+			Crash:   cfg.Crashes[id],
+			Metrics: reg, Events: cfg.Events,
 		})
 		if err != nil {
 			return nil, err
@@ -153,5 +197,7 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 			return cr, fmt.Errorf("runtime: node %d: %w", i, results[i].Err)
 		}
 	}
+	cr.MetricsServer = server
+	serverToCaller = true
 	return cr, nil
 }

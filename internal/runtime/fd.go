@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -39,6 +40,9 @@ type HeartbeatFD struct {
 
 	falseSuspicions atomic.Int64 // observed retractions (perfection counterexamples)
 	everSuspected   []atomic.Bool
+
+	metrics fdMetrics
+	sink    obs.Sink
 }
 
 // NewHeartbeatFD builds (but does not start) a detector for the endpoint.
@@ -52,12 +56,21 @@ func NewHeartbeatFD(t Transport, n int, period, timeout time.Duration) *Heartbea
 		lastHeard:     make([]atomic.Int64, n+1),
 		everSuspected: make([]atomic.Bool, n+1),
 		stop:          make(chan struct{}),
+		metrics:       newFDMetrics(obs.Default),
 	}
 	now := time.Now().UnixNano()
 	for i := 1; i <= n; i++ {
 		fd.lastHeard[i].Store(now)
 	}
 	return fd
+}
+
+// Instrument redirects the detector's counters to reg (nil disables them)
+// and streams suspect/retract events to sink (nil disables the stream).
+// Call before Start.
+func (fd *HeartbeatFD) Instrument(reg *obs.Registry, sink obs.Sink) {
+	fd.metrics = newFDMetrics(reg)
+	fd.sink = sink
 }
 
 // Start launches the heartbeat broadcaster.
@@ -96,7 +109,9 @@ func (fd *HeartbeatFD) broadcastLoop() {
 				if err != nil {
 					continue
 				}
-				_ = fd.transport.Send(dest, data) // best effort; closure races are benign
+				if fd.transport.Send(dest, data) == nil { // best effort; closure races are benign
+					fd.metrics.heartbeatsSent.Inc()
+				}
 			}
 		}
 	}
@@ -124,10 +139,20 @@ func (fd *HeartbeatFD) Suspects() model.ProcSet {
 		}
 		if now-fd.lastHeard[j].Load() > int64(fd.timeout) {
 			s = s.Add(model.ProcessID(j))
-			fd.everSuspected[j].Store(true)
-		} else if fd.everSuspected[j].Load() {
+			// Swap counts each raise exactly once per transition, so the
+			// raised/retracted counters track suspicion *edges*, not polls.
+			if !fd.everSuspected[j].Swap(true) {
+				fd.metrics.raised.Inc()
+				if fd.sink != nil {
+					fd.sink.Emit(obs.Event{Type: obs.EventSuspect, Proc: j, By: int(fd.id)})
+				}
+			}
+		} else if fd.everSuspected[j].Swap(false) {
 			fd.falseSuspicions.Add(1)
-			fd.everSuspected[j].Store(false)
+			fd.metrics.retracted.Inc()
+			if fd.sink != nil {
+				fd.sink.Emit(obs.Event{Type: obs.EventRetract, Proc: j, By: int(fd.id)})
+			}
 		}
 	}
 	return s

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/wire"
 )
@@ -47,6 +48,14 @@ type NodeConfig struct {
 	MaxRounds int
 
 	Crash CrashPlan
+
+	// Metrics receives the node's round-duration histogram, round counter
+	// and heartbeat counter. Nil uses the process-wide obs.Default registry.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives the node's live event stream
+	// (round_start, send, crash, decide); the sink must be safe for
+	// concurrent use since every node of a cluster shares it.
+	Events obs.Sink
 }
 
 // NodeResult is what a finished node reports.
@@ -72,6 +81,8 @@ type Node struct {
 	stopDemux chan struct{}
 	wg        sync.WaitGroup
 
+	metrics nodeMetrics
+
 	result NodeResult
 }
 
@@ -89,12 +100,17 @@ func NewNode(alg rounds.Algorithm, cfg NodeConfig) (*Node, error) {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = cfg.T + 2
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
 	return &Node{
 		cfg:       cfg,
 		proc:      alg.New(rounds.ProcConfig{ID: cfg.ID, N: cfg.N, T: cfg.T, Initial: cfg.Initial}),
 		byRnd:     make(map[int]map[model.ProcessID]rounds.Message),
 		arrive:    make(chan struct{}, 1),
 		stopDemux: make(chan struct{}),
+		metrics:   newNodeMetrics(reg),
 		result:    NodeResult{ID: cfg.ID},
 	}, nil
 }
@@ -119,6 +135,7 @@ func (n *Node) demuxLoop() {
 				n.cfg.FD.Observe(env.From)
 			}
 			if env.Kind == wire.KindHeartbeat {
+				n.metrics.heartbeats.Inc()
 				continue
 			}
 			n.mu.Lock()
@@ -142,6 +159,7 @@ func (n *Node) demuxLoop() {
 func (n *Node) sendRound(round, reach int) ([]rounds.Message, error) {
 	msgs := n.proc.Msgs(round)
 	sent := 0
+	var dests []int
 	for j := 1; j <= n.cfg.N; j++ {
 		dest := model.ProcessID(j)
 		if dest == n.cfg.ID {
@@ -151,6 +169,7 @@ func (n *Node) sendRound(round, reach int) ([]rounds.Message, error) {
 			break
 		}
 		sent++
+		dests = append(dests, j)
 		var payload rounds.Message
 		if msgs != nil {
 			payload = msgs[dest]
@@ -166,6 +185,9 @@ func (n *Node) sendRound(round, reach int) ([]rounds.Message, error) {
 		if err := n.cfg.Transport.Send(dest, data); err != nil {
 			return nil, err
 		}
+	}
+	if n.cfg.Events != nil && len(dests) > 0 {
+		n.cfg.Events.Emit(obs.Event{Type: obs.EventSend, Round: round, From: int(n.cfg.ID), To: dests})
 	}
 	return msgs, nil
 }
@@ -193,6 +215,10 @@ func (n *Node) Run() NodeResult {
 	}()
 
 	for round := 1; round <= n.cfg.MaxRounds; round++ {
+		roundStart := time.Now()
+		if n.cfg.Events != nil {
+			n.cfg.Events.Emit(obs.Event{Type: obs.EventRoundStart, Round: round, Proc: int(n.cfg.ID)})
+		}
 		reach := n.cfg.N - 1
 		crashing := n.cfg.Crash.Round == round
 		if crashing {
@@ -208,6 +234,9 @@ func (n *Node) Run() NodeResult {
 			// broadcaster (if any) dies with the node.
 			if n.cfg.FD != nil {
 				n.cfg.FD.Stop()
+			}
+			if n.cfg.Events != nil {
+				n.cfg.Events.Emit(obs.Event{Type: obs.EventCrash, Round: round, Proc: int(n.cfg.ID)})
 			}
 			n.result.Crashed = true
 			return n.result
@@ -227,11 +256,17 @@ func (n *Node) Run() NodeResult {
 		}
 		n.proc.Trans(round, in)
 		n.result.Rounds = round
+		n.metrics.rounds.Inc()
+		n.metrics.roundDuration.Observe(time.Since(roundStart).Nanoseconds())
 		if !n.result.Decided {
 			if v, ok := n.proc.Decision(); ok {
 				n.result.Decided = true
 				n.result.Decision = v
 				n.result.DecidedAt = round
+				if n.cfg.Events != nil {
+					n.cfg.Events.Emit(obs.Event{Type: obs.EventDecide, Round: round,
+						Proc: int(n.cfg.ID), Value: obs.Int64(int64(v))})
+				}
 			}
 		}
 	}

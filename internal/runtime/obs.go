@@ -1,0 +1,80 @@
+package runtime
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric names exported by the live runtime. Transport metrics carry a
+// {transport="chan"} or {transport="tcp"} label.
+const (
+	MetricRoundDuration       = "ssfd_node_round_duration_ns" // histogram, nanoseconds
+	MetricNodeRounds          = "ssfd_node_rounds_total"
+	MetricHeartbeatsSent      = "ssfd_fd_heartbeats_sent_total"
+	MetricHeartbeatsReceived  = "ssfd_fd_heartbeats_received_total"
+	MetricSuspicionsRaised    = "ssfd_fd_suspicions_raised_total"
+	MetricSuspicionsRetracted = "ssfd_fd_suspicions_retracted_total"
+
+	MetricTransportMessagesSent     = "ssfd_transport_messages_sent_total"
+	MetricTransportMessagesReceived = "ssfd_transport_messages_received_total"
+	MetricTransportBytesSent        = "ssfd_transport_bytes_sent_total"
+	MetricTransportBytesReceived    = "ssfd_transport_bytes_received_total"
+)
+
+// nodeMetrics caches the per-node instruments (shared across the cluster's
+// nodes: counters are atomic and the histogram is concurrency-safe).
+type nodeMetrics struct {
+	roundDuration *obs.Histogram
+	rounds        *obs.Counter
+	heartbeats    *obs.Counter // heartbeats observed by the demultiplexer
+}
+
+func newNodeMetrics(reg *obs.Registry) nodeMetrics {
+	return nodeMetrics{
+		roundDuration: reg.Histogram(MetricRoundDuration, obs.DefaultDurationBuckets),
+		rounds:        reg.Counter(MetricNodeRounds),
+		heartbeats:    reg.Counter(MetricHeartbeatsReceived),
+	}
+}
+
+// fdMetrics caches the failure detector's instruments.
+type fdMetrics struct {
+	heartbeatsSent *obs.Counter
+	raised         *obs.Counter
+	retracted      *obs.Counter
+}
+
+func newFDMetrics(reg *obs.Registry) fdMetrics {
+	return fdMetrics{
+		heartbeatsSent: reg.Counter(MetricHeartbeatsSent),
+		raised:         reg.Counter(MetricSuspicionsRaised),
+		retracted:      reg.Counter(MetricSuspicionsRetracted),
+	}
+}
+
+// transportMetrics caches one transport flavour's instruments.
+type transportMetrics struct {
+	msgsSent, msgsReceived   *obs.Counter
+	bytesSent, bytesReceived *obs.Counter
+}
+
+func newTransportMetrics(reg *obs.Registry, flavour string) transportMetrics {
+	label := func(name string) *obs.Counter {
+		return reg.Counter(obs.Label(name, "transport", flavour))
+	}
+	return transportMetrics{
+		msgsSent:      label(MetricTransportMessagesSent),
+		msgsReceived:  label(MetricTransportMessagesReceived),
+		bytesSent:     label(MetricTransportBytesSent),
+		bytesReceived: label(MetricTransportBytesReceived),
+	}
+}
+
+func (tm *transportMetrics) sent(bytes int) {
+	tm.msgsSent.Inc()
+	tm.bytesSent.Add(int64(bytes))
+}
+
+func (tm *transportMetrics) received(bytes int) {
+	tm.msgsReceived.Inc()
+	tm.bytesReceived.Add(int64(bytes))
+}

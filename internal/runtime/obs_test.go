@@ -1,0 +1,185 @@
+package runtime
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	goruntime "runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/rounds"
+)
+
+// TestClusterMetricsEndpoint is the live-exposition acceptance check: an
+// RWS cluster run with a crash serves non-empty Prometheus output on its
+// configured endpoint, including suspicion and round-duration metrics.
+func TestClusterMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	var events obs.Collector
+	cr, err := RunCluster(consensus.FloodSetWS{}, ClusterConfig{
+		Kind: rounds.RWS, Initial: vals(0, 5, 9), T: 1,
+		Crashes:     map[model.ProcessID]CrashPlan{1: {Round: 1, Reach: 0}},
+		Metrics:     reg,
+		Events:      &events,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.MetricsServer == nil {
+		t.Fatal("no metrics server in the result")
+	}
+	defer func() { _ = cr.MetricsServer.Close() }()
+
+	resp, err := http.Get(cr.MetricsServer.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	out := string(body)
+	if len(strings.TrimSpace(out)) == 0 {
+		t.Fatal("empty /metrics body")
+	}
+	for _, want := range []string{
+		MetricSuspicionsRaised,
+		MetricRoundDuration + "_count",
+		MetricNodeRounds,
+		MetricHeartbeatsSent,
+		obs.Label(MetricTransportMessagesSent, "transport", "chan"),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %s in:\n%s", want, out)
+		}
+	}
+
+	snap := reg.Snapshot()
+	// p1 crashed, so both survivors must have suspected it: the raised
+	// counter counts suspicion edges, one per (observer, suspect) pair.
+	if got := snap.Counter(MetricSuspicionsRaised); got < 2 {
+		t.Errorf("suspicions raised = %d, want ≥ 2", got)
+	}
+	if got := snap.Histograms[MetricRoundDuration].Count; got == 0 {
+		t.Error("no round durations observed")
+	}
+	// Perfect detection over the synchronous default network: the retracted
+	// counter must agree with the result's false-suspicion tally (both 0).
+	if got := snap.Counter(MetricSuspicionsRetracted); got != cr.FalseSuspicions {
+		t.Errorf("retracted counter = %d, FalseSuspicions = %d", got, cr.FalseSuspicions)
+	}
+
+	resp, err = http.Get(cr.MetricsServer.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", resp.StatusCode)
+	}
+
+	// The live event stream saw p1's crash, both survivors' suspicions of
+	// it, and two decisions.
+	var crashes, suspects, decides int
+	for _, ev := range events.Events() {
+		switch ev.Type {
+		case obs.EventCrash:
+			crashes++
+		case obs.EventSuspect:
+			if ev.Proc == 1 {
+				suspects++
+			}
+		case obs.EventDecide:
+			decides++
+		}
+	}
+	if crashes != 1 || suspects != 2 || decides != 2 {
+		t.Errorf("event stream: %d crashes, %d suspicions of p1, %d decisions (want 1, 2, 2)",
+			crashes, suspects, decides)
+	}
+}
+
+// failingNetwork wraps a network so every data send errors out, forcing the
+// node error path through RunCluster.
+type failingNetwork struct {
+	inner *ChanNetwork
+}
+
+func (f *failingNetwork) Endpoint(id model.ProcessID) Transport {
+	return &failingEndpoint{inner: f.inner.Endpoint(id)}
+}
+
+func (f *failingNetwork) Close() error { return f.inner.Close() }
+
+type failingEndpoint struct {
+	inner Transport
+}
+
+var errInjected = errors.New("injected send failure")
+
+func (f *failingEndpoint) LocalID() model.ProcessID { return f.inner.LocalID() }
+func (f *failingEndpoint) Send(model.ProcessID, []byte) error {
+	return errInjected
+}
+func (f *failingEndpoint) Recv() <-chan Packet { return f.inner.Recv() }
+func (f *failingEndpoint) Close() error        { return f.inner.Close() }
+
+// TestRunClusterErrorPathLeaksNothing is the regression test for the early
+// return: a cluster whose sends all fail must report the node error, close
+// its metrics endpoint, and join every goroutine it started.
+func TestRunClusterErrorPathLeaksNothing(t *testing.T) {
+	goruntime.GC()
+	before := goruntime.NumGoroutine()
+
+	inner := NewChanNetwork(3, ChanConfig{MaxDelay: time.Millisecond, Metrics: obs.NewRegistry()})
+	cr, err := RunCluster(consensus.FloodSetWS{}, ClusterConfig{
+		Kind: rounds.RWS, Initial: vals(1, 2, 3), T: 1,
+		Network:     &failingNetwork{inner: inner},
+		Metrics:     obs.NewRegistry(),
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err == nil {
+		t.Fatal("expected a node error from the failing network")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Errorf("error = %v, want wrapped injected failure", err)
+	}
+	if cr != nil && cr.MetricsServer != nil {
+		t.Error("metrics server leaked through the error path")
+	}
+
+	// Every goroutine RunCluster started (nodes, demuxers, detectors, the
+	// metrics server, in-flight deliveries) must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		goruntime.GC()
+		if n := goruntime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+				before, goruntime.NumGoroutine(), buf[:goruntime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestNewNodeErrorPath covers the construction-time early return (nil
+// transport): no goroutines have started yet, and the config error
+// propagates.
+func TestNewNodeErrorPath(t *testing.T) {
+	if _, err := NewNode(consensus.FloodSet{}, NodeConfig{ID: 1, N: 1, T: 0}); err == nil {
+		t.Error("nil transport accepted")
+	}
+	if _, err := NewNode(consensus.FloodSetWS{}, NodeConfig{
+		ID: 1, N: 2, T: 1, Kind: rounds.RWS,
+		Transport: NewChanNetwork(2, ChanConfig{Metrics: obs.NewRegistry()}).Endpoint(1),
+	}); err == nil {
+		t.Error("RWS node without failure detector accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // TCPNetwork is a full-mesh TCP realization of Transport over localhost:
@@ -31,10 +32,29 @@ type TCPNetwork struct {
 	conns     []map[model.ProcessID]net.Conn // conns[i][j]: i's outgoing conn to j
 	wg        sync.WaitGroup
 	done      chan struct{}
+
+	tm transportMetrics
+}
+
+// TCPOption configures a TCPNetwork.
+type TCPOption func(*tcpOptions)
+
+type tcpOptions struct {
+	metrics *obs.Registry
+}
+
+// WithTCPMetrics redirects the mesh's message/byte counters (labelled
+// {transport="tcp"}) to reg instead of obs.Default.
+func WithTCPMetrics(reg *obs.Registry) TCPOption {
+	return func(o *tcpOptions) { o.metrics = reg }
 }
 
 // NewTCPNetwork starts n listeners on 127.0.0.1 and returns the mesh.
-func NewTCPNetwork(n int) (*TCPNetwork, error) {
+func NewTCPNetwork(n int, opts ...TCPOption) (*TCPNetwork, error) {
+	options := tcpOptions{metrics: obs.Default}
+	for _, opt := range opts {
+		opt(&options)
+	}
 	nw := &TCPNetwork{
 		n:         n,
 		listeners: make([]net.Listener, n+1),
@@ -42,6 +62,7 @@ func NewTCPNetwork(n int) (*TCPNetwork, error) {
 		inboxes:   make([]chan Packet, n+1),
 		conns:     make([]map[model.ProcessID]net.Conn, n+1),
 		done:      make(chan struct{}),
+		tm:        newTransportMetrics(options.metrics, "tcp"),
 	}
 	for i := 1; i <= n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -95,6 +116,7 @@ func (nw *TCPNetwork) readLoop(id model.ProcessID, conn net.Conn) {
 		}
 		select {
 		case nw.inboxes[id] <- Packet{From: from, Data: buf}:
+			nw.tm.received(len(buf))
 		case <-nw.done:
 			return
 		}
@@ -162,6 +184,7 @@ func (nw *TCPNetwork) send(from, to model.ProcessID, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("runtime: TCP write %v→%v: %w", from, to, err)
 	}
+	nw.tm.sent(len(data))
 	return nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Packet is a raw message as seen by a transport.
@@ -62,6 +63,9 @@ type ChanConfig struct {
 	Delay DelayFunc
 	// Buffer is each endpoint's delivery queue capacity (default 1024).
 	Buffer int
+	// Metrics receives the transport's message/byte counters (labelled
+	// {transport="chan"}). Nil uses the process-wide obs.Default registry.
+	Metrics *obs.Registry
 }
 
 // ChanNetwork is a fully connected in-process network with per-message
@@ -77,6 +81,8 @@ type ChanNetwork struct {
 	inboxes []chan Packet
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	tm transportMetrics
 }
 
 // NewChanNetwork builds an n-endpoint in-process network.
@@ -87,12 +93,17 @@ func NewChanNetwork(n int, cfg ChanConfig) *ChanNetwork {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 1024
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
 	nw := &ChanNetwork{
 		n:       n,
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		inboxes: make([]chan Packet, n+1),
 		done:    make(chan struct{}),
+		tm:      newTransportMetrics(reg, "chan"),
 	}
 	for i := 1; i <= n; i++ {
 		nw.inboxes[i] = make(chan Packet, cfg.Buffer)
@@ -131,6 +142,7 @@ func (nw *ChanNetwork) send(from, to model.ProcessID, data []byte) error {
 	}
 	nw.wg.Add(1)
 	nw.mu.Unlock()
+	nw.tm.sent(len(data))
 
 	if delay < 0 {
 		nw.wg.Done()
@@ -150,6 +162,7 @@ func (nw *ChanNetwork) send(from, to model.ProcessID, data []byte) error {
 		pkt := Packet{From: from, Data: data}
 		select {
 		case nw.inboxes[to] <- pkt:
+			nw.tm.received(len(data))
 		case <-nw.done:
 		}
 	}()

@@ -161,6 +161,97 @@ func (s Summary) String() string {
 		s.N, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean, s.StdDev)
 }
 
+// Int64Summary holds order statistics of an int64 sample (durations in
+// nanoseconds, byte counts, …) — the wider-range sibling of Summary.
+type Int64Summary struct {
+	N             int
+	Min, Max      int64
+	Mean          float64
+	P50, P95, P99 int64
+}
+
+// SummarizeInt64 computes order statistics over an int64 sample. An empty
+// sample yields a zero Int64Summary.
+func SummarizeInt64(sample []int64) Int64Summary {
+	if len(sample) == 0 {
+		return Int64Summary{}
+	}
+	s := append([]int64(nil), sample...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	sum := 0.0
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return Int64Summary{
+		N:    len(s),
+		Min:  s[0],
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+		P50:  PercentileInt64(s, 50),
+		P95:  PercentileInt64(s, 95),
+		P99:  PercentileInt64(s, 99),
+	}
+}
+
+// String renders the summary.
+func (s Int64Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d p50=%d p95=%d p99=%d max=%d mean=%.2f",
+		s.N, s.Min, s.P50, s.P95, s.P99, s.Max, s.Mean)
+}
+
+// PercentileInt64 returns the p-th percentile (nearest-rank) of a sorted
+// int64 sample.
+func PercentileInt64(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// BucketQuantile estimates the q-th quantile (0 < q ≤ 1) of a fixed-bucket
+// histogram: uppers are the ascending bucket upper bounds and counts the
+// per-bucket observation counts, with counts[len(uppers)] holding the
+// overflow bucket. The estimate is the upper bound of the bucket containing
+// the nearest-rank observation (the overflow bucket reports the largest
+// finite bound). An empty histogram yields 0.
+func BucketQuantile(uppers []int64, counts []uint64, q float64) int64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(uppers) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(uppers) {
+				return uppers[len(uppers)-1]
+			}
+			return uppers[i]
+		}
+	}
+	return uppers[len(uppers)-1]
+}
+
 // Histogram counts occurrences of each value.
 type Histogram struct {
 	counts map[int]int

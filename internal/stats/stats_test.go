@@ -106,3 +106,75 @@ func TestHistogram(t *testing.T) {
 		t.Error("empty fraction nonzero")
 	}
 }
+
+func TestSummarizeInt64(t *testing.T) {
+	if got := SummarizeInt64(nil); got != (Int64Summary{}) {
+		t.Errorf("empty sample = %+v, want zero", got)
+	}
+	sample := make([]int64, 100)
+	for i := range sample {
+		sample[i] = int64(100 - i) // 100..1, unsorted on purpose
+	}
+	s := SummarizeInt64(sample)
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("n/min/max = %d/%d/%d, want 100/1/100", s.N, s.Min, s.Max)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.Mean)
+	}
+	// Nearest-rank over 1..100: the p-th percentile is exactly p.
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("p50/p95/p99 = %d/%d/%d, want 50/95/99", s.P50, s.P95, s.P99)
+	}
+	if got := s.String(); !strings.Contains(got, "p95=95") {
+		t.Errorf("String() = %q, missing p95", got)
+	}
+}
+
+func TestPercentileInt64(t *testing.T) {
+	cases := []struct {
+		sorted []int64
+		p      int
+		want   int64
+	}{
+		{nil, 50, 0},
+		{[]int64{7}, 0, 7},   // rank clamps up to 1
+		{[]int64{7}, 100, 7}, // and down to len
+		{[]int64{1, 2, 3, 4}, 50, 2},
+		{[]int64{1, 2, 3, 4}, 51, 3}, // nearest rank rounds up
+		{[]int64{1, 2, 3, 4}, 100, 4},
+	}
+	for _, c := range cases {
+		if got := PercentileInt64(c.sorted, c.p); got != c.want {
+			t.Errorf("PercentileInt64(%v, %d) = %d, want %d", c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBucketQuantile(t *testing.T) {
+	uppers := []int64{10, 100, 1000}
+	// 5 observations ≤10, 3 in (10,100], 2 in (100,1000], 1 overflow.
+	counts := []uint64{5, 3, 2, 1}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.0, 10},  // rank clamps to 1
+		{0.45, 10}, // rank 5 is the last observation in the first bucket
+		{0.5, 100}, // rank 6 lands in the second bucket
+		{0.7, 100},
+		{0.9, 1000},
+		{1.0, 1000}, // overflow reports the largest finite bound
+	}
+	for _, c := range cases {
+		if got := BucketQuantile(uppers, counts, c.q); got != c.want {
+			t.Errorf("BucketQuantile(q=%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := BucketQuantile(uppers, []uint64{0, 0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("empty histogram = %d, want 0", got)
+	}
+	if got := BucketQuantile(nil, nil, 0.5); got != 0 {
+		t.Errorf("no buckets = %d, want 0", got)
+	}
+}

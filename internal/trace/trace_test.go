@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -74,4 +75,79 @@ func TestRenderSteps(t *testing.T) {
 	if !strings.Contains(short, "more events") {
 		t.Errorf("truncation marker missing:\n%s", short)
 	}
+}
+
+func TestRenderRunPendingDrop(t *testing.T) {
+	// RWS: p1 stays alive through round 1 but its message to p3 is pending
+	// (weak round synchrony), then p1 crashes in round 2 as obligated.
+	script := &rounds.Script{Plans: []rounds.Plan{
+		{Drops: map[model.ProcessID]model.ProcSet{1: model.Singleton(3)}},
+		{Crashes: map[model.ProcessID]model.ProcSet{1: model.FullSet(3).Remove(1)}},
+	}}
+	run, err := rounds.RunAlgorithm(rounds.RWS, consensus.FloodSetWS{}, []model.Value{0, 5, 9}, 1, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderRun(run)
+	lines := strings.Split(out, "\n")
+	round1 := -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "round 1:") {
+			round1 = i
+		}
+	}
+	if round1 < 0 {
+		t.Fatalf("round 1 header missing:\n%s", out)
+	}
+	if strings.Contains(lines[round1], "crashes") {
+		t.Errorf("round 1 must have no crash (drop by a live sender):\n%s", out)
+	}
+	if want := "p1 → {p2} (NOT received by {p3})"; !strings.Contains(out, want) {
+		t.Errorf("pending-drop line %q missing:\n%s", want, out)
+	}
+	if !strings.Contains(out, "crashes {p1}") {
+		t.Errorf("obligated round-2 crash missing:\n%s", out)
+	}
+}
+
+func TestRenderStepsTruncationCount(t *testing.T) {
+	eng, err := step.NewEngine(sdd.NewSS(4, 4), []model.Value{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &step.ScriptScheduler{Decisions: []step.Decision{
+		{Proc: 1}, {Proc: 2}, {Proc: 1}, {Proc: 2}, {Proc: 1}, {Proc: 2},
+	}}
+	tr, err := eng.Run(sched, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(tr.Events)
+	if total != 6 {
+		t.Fatalf("scripted trace has %d events, want 6", total)
+	}
+	out := RenderSteps(tr, total-2)
+	if want := fmt.Sprintf("… (%d more events)", 2); !strings.Contains(out, want) {
+		t.Errorf("marker %q missing:\n%s", want, out)
+	}
+	// The rendered events stop exactly at the cut.
+	if got := strings.Count(out, "\n") - 1 - countDecisionLines(tr); got != total-2 {
+		t.Errorf("rendered %d event lines, want %d", got, total-2)
+	}
+	// maxEvents at or above the event count renders everything, no marker.
+	for _, m := range []int{total, total + 7, 0} {
+		if strings.Contains(RenderSteps(tr, m), "more events") {
+			t.Errorf("maxEvents=%d must not truncate", m)
+		}
+	}
+}
+
+func countDecisionLines(tr *step.Trace) int {
+	n := 0
+	for p := 1; p <= tr.N; p++ {
+		if tr.Decided[p] {
+			n++
+		}
+	}
+	return n
 }

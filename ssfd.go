@@ -29,6 +29,8 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/abcast"
 	"repro/internal/check"
 	"repro/internal/consensus"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/nbac"
+	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/runtime"
 	"repro/internal/sdd"
@@ -213,6 +216,64 @@ func MsgIDFor(v int64) abcast.MsgID { return abcast.MsgID(v) }
 // eventual-accuracy detector history; see ctoueg.RunConfig for knobs.
 func RunDiamondS(inputs []Value, cfg ctoueg.RunConfig) (*ctoueg.Result, error) {
 	return ctoueg.Run(inputs, cfg)
+}
+
+// Observability re-exports (package obs): every layer counts into a metrics
+// registry and can stream structured run events, the machine-readable twin
+// of RenderRun.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a consistent point-in-time read of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// Event is one structured run event (JSONL schema in DESIGN.md).
+	Event = obs.Event
+	// EventSink receives run events; EventLog is the JSONL implementation.
+	EventSink = obs.Sink
+	// EventLog appends events to an io.Writer as JSON Lines.
+	EventLog = obs.Emitter
+	// MetricsServer serves /metrics (Prometheus text) and /healthz.
+	MetricsServer = obs.Server
+)
+
+// Metrics returns the process-wide default registry that every layer counts
+// into unless given an explicit one.
+func Metrics() *MetricsRegistry { return obs.Default }
+
+// NewMetricsRegistry returns a fresh, empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventLog returns an EventSink writing JSONL events to w.
+func NewEventLog(w io.Writer) *EventLog { return obs.NewEmitter(w) }
+
+// EventsFromRun replays a completed run as its event stream — the same
+// stream a live engine with an event sink would have emitted.
+func EventsFromRun(run *RoundRun) []Event { return rounds.EventsFromRun(run) }
+
+// RenderEvents re-renders an event stream as the RenderRun narrative.
+func RenderEvents(events []Event) (string, error) { return obs.RenderEvents(events) }
+
+// ReadEvents parses a JSONL event stream (as written by NewEventLog).
+func ReadEvents(r io.Reader) ([]Event, error) { return obs.ReadEvents(r) }
+
+// ServeMetrics exposes reg (nil for the default registry) on addr with
+// /metrics and /healthz endpoints; Close the returned server when done.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.StartServer(addr, reg)
+}
+
+// RunObserved is Run with explicit instrumentation: counters go to reg (nil
+// for the default registry) and, if sink is non-nil, the engine streams
+// events to it as the run unfolds.
+func RunObserved(kind ModelKind, alg Algorithm, initial []Value, t int, adv Adversary, reg *MetricsRegistry, sink EventSink) (*RoundRun, error) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	opts := []rounds.Option{rounds.WithMetrics(reg)}
+	if sink != nil {
+		opts = append(opts, rounds.WithEventSink(sink))
+	}
+	return rounds.RunAlgorithm(kind, alg, initial, t, adv, opts...)
 }
 
 // Experiments lists the paper's reproduced artifacts E1–E13.
