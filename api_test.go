@@ -106,8 +106,8 @@ func TestRunLiveAPI(t *testing.T) {
 }
 
 func TestExperimentsAPI(t *testing.T) {
-	if len(Experiments()) != 13 {
-		t.Errorf("experiments = %d, want 13", len(Experiments()))
+	if len(Experiments()) != 14 {
+		t.Errorf("experiments = %d, want 14", len(Experiments()))
 	}
 }
 

@@ -1,11 +1,18 @@
 // Command ssfd-bench regenerates every table and figure of the paper —
-// experiments E1–E11 of DESIGN.md — and prints them with paper-vs-measured
+// experiments E1–E14 of DESIGN.md — and prints them with paper-vs-measured
 // verdicts. It exits nonzero if any reproduction fails.
 //
 // Usage:
 //
 //	ssfd-bench [-trials N] [-seed S] [-live] [-only E7]
 //	ssfd-bench -json reports.json -metrics 127.0.0.1:9090 -events run.jsonl
+//	ssfd-bench -faults "loss=0.2,spike=5ms@0.5,part=3@20ms+100ms,seed=7"
+//
+// -faults skips the experiment suite and instead runs one live RWS
+// consensus cluster under the scripted adversarial network, printing the
+// run verdict and the seeded fault-decision log (the same spec and seed
+// always reproduce the identical log — replay a chaos run by rerunning
+// its spec).
 package main
 
 import (
@@ -13,10 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/obscli"
+	"repro/internal/rounds"
+	"repro/internal/runtime"
 )
 
 // jsonReport is the machine-readable twin of core.Report, one element per
@@ -42,6 +56,7 @@ func run() int {
 	live := flag.Bool("live", true, "include live goroutine-cluster measurements (adds wall-clock time)")
 	only := flag.String("only", "", "run a single experiment (e.g. E7)")
 	jsonPath := flag.String("json", "", "write per-experiment JSON reports to this file")
+	faultSpec := flag.String("faults", "", "run one chaos cluster under this fault spec instead of the suite (see internal/faults.ParseSpec)")
 	obsFlags := obscli.Register()
 	flag.Parse()
 
@@ -51,6 +66,10 @@ func run() int {
 		return 2
 	}
 	defer teardown()
+
+	if *faultSpec != "" {
+		return runChaos(*faultSpec, sink)
+	}
 
 	cfg := core.Config{Trials: *trials, Seed: *seed, Live: *live, Events: sink}
 	var reports []jsonReport
@@ -102,5 +121,58 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("all %d experiments reproduced\n", ran)
+	return 0
+}
+
+// runChaos executes one live FloodSetWS cluster (n=3, t=1) under the
+// scripted fault spec and prints the verdict plus the deterministic
+// fault-decision log.
+func runChaos(spec string, sink obs.Sink) int {
+	fcfg, err := faults.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fcfg.RecordDecisions = true
+	fcfg.Events = sink
+	cr, err := runtime.RunCluster(consensus.FloodSetWS{}, runtime.ClusterConfig{
+		Kind: rounds.RWS, Initial: []model.Value{4, 2, 7}, T: 1,
+		Faults: &fcfg, RWSWaitBound: 150 * time.Millisecond, Events: sink,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("chaos run (seed %d): %s\n", fcfg.Seed, spec)
+	for i := 1; i < len(cr.Results); i++ {
+		r := cr.Results[i]
+		fmt.Printf("  p%d: decided=%v value=%d rounds=%d waitTimeouts=%d\n",
+			i, r.Decided, int64(r.Decision), r.Rounds, r.WaitTimeouts)
+	}
+	_, agree := cr.Agreement()
+	fmt.Printf("  detector perfect: %v (retractions %d, sticky false suspicions %d), agreement: %v, encode errors: %d, elapsed %v\n",
+		cr.DetectorWasPerfect, cr.FalseSuspicions, cr.FalselySuspected, agree, cr.EncodeErrors,
+		cr.Elapsed.Round(time.Millisecond))
+	for _, tr := range cr.PartitionLog {
+		fmt.Printf("  transition: %s\n", tr)
+	}
+	// The decision log is the replay artifact: same spec + seed ⇒ same log.
+	if log := faults.RenderDecisions(cr.FaultDecisions); log != "" {
+		const keep = 40
+		lines := strings.Split(strings.TrimRight(log, "\n"), "\n")
+		fmt.Printf("  fault decisions (seed-deterministic; %d total):\n", len(lines))
+		for i, ln := range lines {
+			if i == keep {
+				fmt.Printf("    … %d more\n", len(lines)-keep)
+				break
+			}
+			fmt.Printf("    %s\n", ln)
+		}
+	}
+	// Exit status reflects the detector verdict only: agreement loss under
+	// an adversary powerful enough to break P is a finding, not a failure.
+	if !cr.DetectorWasPerfect {
+		return 1
+	}
 	return 0
 }

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/runtime"
+	"repro/internal/stats"
+)
+
+// E14Chaos puts the live RWS stack under a seeded adversarial network and
+// measures where the heartbeat detector's perfection actually ends. The
+// paper's premise (§2) is that a synchronous system — bounded delay Δ,
+// bounded drift Φ — lets a timeout implement a perfect failure detector.
+// The fault injector breaks each bound in turn:
+//
+//   - message loss leaves the detector perfect (heartbeat redundancy masks
+//     it) but starves receive-or-suspect rounds, so termination needs the
+//     RWSWaitBound liveness guard;
+//   - delay spikes beyond Δ but inside the timeout margin stay harmless —
+//     perfection needs Timeout > Period + Δ, not Δ itself;
+//   - a partition longer than the timeout, and a crash/recovery cycle,
+//     force false suspicions: the detector the same code implements is now
+//     only ◇P, exactly Chandra–Toueg's weakening.
+//
+// A final soak runs the adaptive detector (EnableAdaptiveTimeout) against
+// recurring partitions and watches the ◇P construction converge: each
+// retraction doubles the timeout until the outages fit inside the window.
+func E14Chaos(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := &Report{
+		ID:    "E14",
+		Title: "Chaos: fault injection finds the boundary where P degrades to ◇P",
+		Paper: "§2: with bounds Δ and Φ \"a simple time-out mechanism\" implements a perfect failure detector; " +
+			"beyond the bounds the same mechanism is only eventually perfect (◇P)",
+	}
+	if !cfg.Live {
+		r.Pass = true
+		r.Measured = "skipped: chaos runs are wall-clock only (enable Live)"
+		r.Notes = append(r.Notes, "run with -live (ssfd-bench) or Config.Live to execute the fault sweep")
+		return r, nil
+	}
+
+	const ms = time.Millisecond
+	pass := true
+	table := stats.NewTable(
+		"FloodSetWS over RWS under injected faults (n=3, t=1, heartbeat 2ms, timeout 30ms, network Δ=1ms)",
+		"scenario", "regime", "perfect", "retractions", "sticky false", "decided", "agree", "wait timeouts")
+
+	type scenario struct {
+		name, regime string
+		faults       *faults.Config
+		waitBound    time.Duration
+		maxRounds    int // 0: the default t+2
+		wantPerfect  bool
+		gateAgree    bool // gate agreement only where the model still promises it
+	}
+	scenarios := []scenario{
+		{
+			name: "baseline (no faults)", regime: "within Δ",
+			wantPerfect: true, gateAgree: true,
+		},
+		{
+			name: "loss 30% on every link", regime: "within Δ, lossy links",
+			faults:    &faults.Config{Seed: cfg.Seed + 14, Default: faults.LinkFaults{Drop: 0.3}},
+			waitBound: 150 * ms, wantPerfect: true,
+		},
+		{
+			name: "delay spikes +3–8ms @ p=0.5", regime: "beyond Δ, inside timeout margin",
+			faults: &faults.Config{Seed: cfg.Seed + 15,
+				Default: faults.LinkFaults{Spike: 0.5, SpikeMin: 3 * ms, SpikeMax: 8 * ms}},
+			waitBound: 100 * ms, wantPerfect: true, gateAgree: true,
+		},
+		{
+			name: "partition {p3} for 100ms", regime: "beyond Δ: outage > timeout",
+			faults: &faults.Config{Seed: cfg.Seed + 16,
+				Partitions: []faults.Partition{{Start: 0, End: 100 * ms, Group: model.Singleton(3)}}},
+			waitBound: 80 * ms, wantPerfect: false,
+		},
+		{
+			// The run is stretched to 25 rounds so the recovery happens
+			// mid-execution: the peers' detectors raise on the blackhole,
+			// then retract when the heartbeats resume — a live retraction,
+			// not just a sticky one.
+			name: "crash p3 @0ms, recover @40ms", regime: "outside crash-stop",
+			faults: &faults.Config{Seed: cfg.Seed + 17,
+				Crashes: []faults.NodeCrash{{Proc: 3, At: 0, For: 40 * ms}}},
+			waitBound: 25 * ms, maxRounds: 25, wantPerfect: false,
+		},
+	}
+	for _, sc := range scenarios {
+		cr, err := runtime.RunCluster(consensus.FloodSetWS{}, runtime.ClusterConfig{
+			Kind: rounds.RWS, Initial: []model.Value{4, 2, 7}, T: 1,
+			Faults: sc.faults, RWSWaitBound: sc.waitBound,
+			MaxRounds: sc.maxRounds, Events: cfg.Events,
+		})
+		if err != nil {
+			return nil, err
+		}
+		decided, waits := 0, 0
+		for i := 1; i < len(cr.Results); i++ {
+			if cr.Results[i].Decided {
+				decided++
+			}
+			waits += cr.Results[i].WaitTimeouts
+		}
+		_, agree := cr.Agreement()
+		table.AddRow(sc.name, sc.regime, cr.DetectorWasPerfect, cr.FalseSuspicions,
+			cr.FalselySuspected, fmt.Sprintf("%d/3", decided), agree, waits)
+		if cr.DetectorWasPerfect != sc.wantPerfect {
+			pass = false
+		}
+		if decided != 3 { // every regime must terminate — that is what WaitBound buys
+			pass = false
+		}
+		if sc.gateAgree && !agree {
+			pass = false
+		}
+		if len(cr.PartitionLog) > 0 {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s — transitions fired: %v", sc.name, cr.PartitionLog))
+		}
+	}
+
+	retractions, grewTo, initial, err := adaptiveSoak(cfg.Seed + 18)
+	if err != nil {
+		return nil, err
+	}
+	table.AddRow("adaptive ◇P soak: 3×40ms partitions", "beyond Δ, adaptive timeout",
+		"converges", retractions, "-", "-", "-", "-")
+	if retractions < 1 || grewTo <= initial {
+		pass = false
+	}
+	r.Notes = append(r.Notes, fmt.Sprintf(
+		"adaptive soak: timeout grew %v → %v over %d retraction(s); once the window exceeds the 40ms outages the detector is accurate again — the ◇P construction converging",
+		initial, grewTo, retractions))
+
+	r.Pass = pass
+	r.Measured = fmt.Sprintf(
+		"loss and sub-margin spikes leave P intact; a >timeout partition and a crash/recovery cycle each break it (sticky false suspicions) while every node still terminates; adaptive timeout retracted %d time(s) and converged",
+		retractions)
+	r.Table = table
+	return r, nil
+}
+
+// adaptiveSoak drives two raw heartbeat detectors — no consensus on top —
+// through recurring partitions longer than the initial timeout and reports
+// how the adaptive (◇P) mode converged: retraction count and the grown
+// window, plus the initial window for comparison.
+func adaptiveSoak(seed int64) (retractions int64, grewTo, initial time.Duration, err error) {
+	const ms = time.Millisecond
+	initial = 15 * ms
+	nw := runtime.NewChanNetwork(2, runtime.ChanConfig{MaxDelay: ms, Seed: seed})
+	inj := faults.NewInjector(faults.Config{
+		Seed: seed,
+		Partitions: []faults.Partition{
+			{Start: 20 * ms, End: 60 * ms, Group: model.Singleton(2)},
+			{Start: 110 * ms, End: 150 * ms, Group: model.Singleton(2)},
+			{Start: 200 * ms, End: 240 * ms, Group: model.Singleton(2)},
+		},
+	})
+	ep1 := inj.Wrap(nw.Endpoint(1))
+	ep2 := inj.Wrap(nw.Endpoint(2))
+	fd1 := runtime.NewHeartbeatFD(ep1, 2, 2*ms, initial)
+	fd1.EnableAdaptiveTimeout(200 * ms)
+	fd2 := runtime.NewHeartbeatFD(ep2, 2, 2*ms, initial)
+
+	// Observer pump: without a node on top, somebody must feed arrivals to
+	// the detector. The quit channel matters — ChanNetwork does not close
+	// inbox channels on Close (endpoints outlive crashing nodes).
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-quit:
+				return
+			case pkt, ok := <-ep1.Recv():
+				if !ok {
+					return
+				}
+				fd1.Observe(pkt.From)
+			}
+		}
+	}()
+
+	inj.Start()
+	fd1.Start()
+	fd2.Start()
+	deadline := time.Now().Add(320 * ms)
+	for time.Now().Before(deadline) {
+		fd1.Suspects() // suspicion edges (and adaptive growth) happen at poll time
+		time.Sleep(ms)
+	}
+	retractions = fd1.FalseSuspicions()
+	grewTo = fd1.CurrentTimeout()
+	fd1.Stop()
+	fd2.Stop()
+	_ = inj.Close()
+	_ = nw.Close()
+	close(quit)
+	wg.Wait()
+	return retractions, grewTo, initial, nil
+}

@@ -13,7 +13,8 @@ type EventType string
 
 // The event vocabulary. Round-model runs produce run_start, round_start,
 // send, drop, crash, decide and run_end; the live runtime additionally
-// produces suspect and retract from its failure detectors.
+// produces suspect and retract from its failure detectors; the fault
+// injector (package faults) produces partition, heal and recover.
 const (
 	EventRunStart   EventType = "run_start"
 	EventRoundStart EventType = "round_start"
@@ -24,6 +25,15 @@ const (
 	EventRetract    EventType = "retract"
 	EventDecide     EventType = "decide"
 	EventRunEnd     EventType = "run_end"
+
+	// EventPartition marks a scheduled network partition forming: To holds
+	// the isolated group, Value the schedule offset in milliseconds.
+	EventPartition EventType = "partition"
+	// EventHeal marks that partition healing at its scheduled end.
+	EventHeal EventType = "heal"
+	// EventRecover marks an injected crash-recovery: Proc rejoins the
+	// network after a blackhole window (its earlier EventCrash has Round 0).
+	EventRecover EventType = "recover"
 )
 
 // Event is one structured run event — the machine-readable twin of one

@@ -79,6 +79,9 @@ func RenderEvents(events []Event) (string, error) {
 			rv.sent[ev.From] = true
 			rv.dropped[ev.From] = toSet(ev.To)
 		case EventCrash:
+			if ev.Round == 0 {
+				continue // injected wall-clock crash (faults): no round row
+			}
 			rv := view(ev.Round)
 			rv.crashed = rv.crashed.Add(model.ProcessID(ev.Proc))
 			if crashRound[ev.Proc] == 0 {
@@ -92,9 +95,10 @@ func RenderEvents(events []Event) (string, error) {
 				decidedAt[ev.Proc] = ev.Round
 				decisionOf[ev.Proc] = *ev.Value
 			}
-		case EventRunStart, EventRunEnd, EventSuspect, EventRetract:
-			// run identification handled above; detector events are
-			// live-cluster colour with no round-table counterpart.
+		case EventRunStart, EventRunEnd, EventSuspect, EventRetract,
+			EventPartition, EventHeal, EventRecover:
+			// run identification handled above; detector and fault-injector
+			// events are live-cluster colour with no round-table counterpart.
 		default:
 			return "", fmt.Errorf("obs: RenderEvents: unknown event type %q", ev.Type)
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/rounds"
@@ -37,6 +38,26 @@ type ClusterConfig struct {
 	// Crashes schedules crash plans per process.
 	Crashes map[model.ProcessID]CrashPlan
 
+	// Faults, when non-nil, interposes a seeded fault injector between
+	// every node and the network: per-link loss/duplication/reordering/
+	// delay spikes, scheduled partitions and crash/recovery blackholes.
+	// The injector's metrics and events default to this config's Metrics
+	// and Events unless the faults config sets its own.
+	Faults *faults.Config
+
+	// AdaptiveTimeout switches the failure detectors to the ◇P
+	// construction: each retraction doubles the suspicion timeout, up to
+	// AdaptiveTimeoutMax (0: 64× the initial timeout). Without it the
+	// detectors keep the configured window and a network beyond its Δ
+	// bound makes them permanently inaccurate.
+	AdaptiveTimeout    bool
+	AdaptiveTimeoutMax time.Duration
+
+	// RWSWaitBound bounds each RWS round's receive-or-suspect wait (see
+	// NodeConfig.WaitBound). Zero keeps the model-faithful unbounded wait;
+	// chaos runs over message-losing networks need a bound to terminate.
+	RWSWaitBound time.Duration
+
 	// Metrics receives the cluster's instruments (node round durations,
 	// failure-detector counters, default-network transport counters). Nil
 	// uses the process-wide obs.Default registry.
@@ -59,7 +80,24 @@ type ClusterResult struct {
 	// FalseSuspicions sums detector retractions across nodes: 0 means
 	// failure detection was perfect in this run.
 	FalseSuspicions int64
-	Elapsed         time.Duration
+	// FalselySuspected counts (observer, target) pairs where the observer
+	// suspected a process that never crash-stopped — the strong-accuracy
+	// audit, catching even suspicions the run ended too early to retract.
+	FalselySuspected int64
+	// DetectorWasPerfect is the run-level verdict: no retractions and no
+	// sticky false suspicions. Over a network honoring its Δ bound this is
+	// always true — experiment E14 measures where it stops being so.
+	DetectorWasPerfect bool
+	// EncodeErrors sums heartbeats lost to envelope encoding failures.
+	EncodeErrors int64
+	// PartitionLog is the fault injector's fired topology transitions
+	// (empty without ClusterConfig.Faults).
+	PartitionLog []faults.Transition
+	// FaultDecisions is the injector's per-message decision log in
+	// canonical order — the seed-replay artifact. Populated only when
+	// ClusterConfig.Faults sets RecordDecisions.
+	FaultDecisions []faults.Decision
+	Elapsed        time.Duration
 
 	// MetricsServer is the live exposition endpoint when
 	// ClusterConfig.MetricsAddr was set; the caller must Close it. Nil when
@@ -143,16 +181,38 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 	}
 	defer func() { _ = network.Close() }()
 
+	// The injector sits between every node and its endpoint; it must close
+	// (joining its delayed-delivery goroutines) before the network does, which
+	// the deferral order guarantees.
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		fcfg := *cfg.Faults
+		if fcfg.Metrics == nil {
+			fcfg.Metrics = reg
+		}
+		if fcfg.Events == nil {
+			fcfg.Events = cfg.Events
+		}
+		inj = faults.NewInjector(fcfg)
+		defer func() { _ = inj.Close() }()
+	}
+
 	epoch := time.Now().Add(10 * time.Millisecond)
 	nodes := make([]*Node, n+1)
 	fds := make([]*HeartbeatFD, n+1)
 	for i := 1; i <= n; i++ {
 		id := model.ProcessID(i)
-		transport := network.Endpoint(id)
+		var transport Transport = network.Endpoint(id)
+		if inj != nil {
+			transport = inj.Wrap(transport)
+		}
 		var fd *HeartbeatFD
 		if cfg.Kind == rounds.RWS {
 			fd = NewHeartbeatFD(transport, n, cfg.HeartbeatPeriod, cfg.SuspectTimeout)
 			fd.Instrument(reg, cfg.Events)
+			if cfg.AdaptiveTimeout {
+				fd.EnableAdaptiveTimeout(cfg.AdaptiveTimeoutMax)
+			}
 		}
 		fds[i] = fd
 		node, err := NewNode(alg, NodeConfig{
@@ -160,8 +220,9 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 			Transport: transport, Kind: cfg.Kind,
 			RoundDuration: cfg.RoundDuration, Epoch: epoch,
 			FD: fd, MaxRounds: cfg.MaxRounds,
-			Crash:   cfg.Crashes[id],
-			Metrics: reg, Events: cfg.Events,
+			WaitBound: cfg.RWSWaitBound,
+			Crash:     cfg.Crashes[id],
+			Metrics:   reg, Events: cfg.Events,
 		})
 		if err != nil {
 			return nil, err
@@ -186,12 +247,28 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 	}
 	wg.Wait()
 	cr := &ClusterResult{Results: results, Elapsed: time.Since(start)}
+	if inj != nil {
+		_ = inj.Close() // idempotent; harvest the complete logs
+		cr.PartitionLog = inj.PartitionLog()
+		cr.FaultDecisions = inj.Decisions()
+	}
 	for i := 1; i <= n; i++ {
 		if fds[i] != nil {
 			fds[i].Stop()
 			cr.FalseSuspicions += fds[i].FalseSuspicions()
+			cr.EncodeErrors += fds[i].EncodeErrors()
+			// Strong-accuracy audit: a sticky suspicion of a process that
+			// never crash-stopped is a perfection violation even when the run
+			// ended before the retraction was polled. Injector-crashed nodes
+			// count too — crash/recovery is outside the crash-stop model.
+			for _, j := range fds[i].EverSuspected().Members() {
+				if !results[j].Crashed {
+					cr.FalselySuspected++
+				}
+			}
 		}
 	}
+	cr.DetectorWasPerfect = cr.FalseSuspicions == 0 && cr.FalselySuspected == 0
 	for i := 1; i <= n; i++ {
 		if results[i].Err != nil {
 			return cr, fmt.Errorf("runtime: node %d: %w", i, results[i].Err)

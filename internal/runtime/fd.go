@@ -24,13 +24,19 @@ import (
 // because a live peer's next heartbeat always lands inside the window. Over
 // an unbounded network the same code is merely eventually perfect — the
 // experiments use exactly this to show which model a deployment actually
-// lives in.
+// lives in. The optional adaptive mode (EnableAdaptiveTimeout) completes
+// the degradation gracefully: growing the timeout on every retraction is
+// the classic ◇P construction, converging to accuracy once the timeout
+// overtakes the network's actual (unbounded-model) delays.
 type HeartbeatFD struct {
 	id        model.ProcessID
 	n         int
 	period    time.Duration
-	timeout   time.Duration
+	timeout   atomic.Int64 // current suspicion window, nanoseconds
 	transport Transport
+
+	adaptive   bool
+	maxTimeout time.Duration
 
 	lastHeard []atomic.Int64 // unix nanos of last traffic per peer
 
@@ -39,7 +45,9 @@ type HeartbeatFD struct {
 	wg       sync.WaitGroup
 
 	falseSuspicions atomic.Int64 // observed retractions (perfection counterexamples)
-	everSuspected   []atomic.Bool
+	encodeErrors    atomic.Int64
+	everSuspected   []atomic.Bool // current suspicion edge state
+	stickySuspected []atomic.Bool // ever raised, never cleared (accuracy audit)
 
 	metrics fdMetrics
 	sink    obs.Sink
@@ -48,16 +56,17 @@ type HeartbeatFD struct {
 // NewHeartbeatFD builds (but does not start) a detector for the endpoint.
 func NewHeartbeatFD(t Transport, n int, period, timeout time.Duration) *HeartbeatFD {
 	fd := &HeartbeatFD{
-		id:            t.LocalID(),
-		n:             n,
-		period:        period,
-		timeout:       timeout,
-		transport:     t,
-		lastHeard:     make([]atomic.Int64, n+1),
-		everSuspected: make([]atomic.Bool, n+1),
-		stop:          make(chan struct{}),
-		metrics:       newFDMetrics(obs.Default),
+		id:              t.LocalID(),
+		n:               n,
+		period:          period,
+		transport:       t,
+		lastHeard:       make([]atomic.Int64, n+1),
+		everSuspected:   make([]atomic.Bool, n+1),
+		stickySuspected: make([]atomic.Bool, n+1),
+		stop:            make(chan struct{}),
+		metrics:         newFDMetrics(obs.Default),
 	}
+	fd.timeout.Store(int64(timeout))
 	now := time.Now().UnixNano()
 	for i := 1; i <= n; i++ {
 		fd.lastHeard[i].Store(now)
@@ -71,6 +80,25 @@ func NewHeartbeatFD(t Transport, n int, period, timeout time.Duration) *Heartbea
 func (fd *HeartbeatFD) Instrument(reg *obs.Registry, sink obs.Sink) {
 	fd.metrics = newFDMetrics(reg)
 	fd.sink = sink
+}
+
+// EnableAdaptiveTimeout switches the detector from P-over-a-synchronous-
+// network to the ◇P construction: every retraction doubles the suspicion
+// timeout (capped at max; 0 means 64× the initial timeout), so over a
+// network that violates its Δ bound the detector is eventually accurate
+// instead of permanently suspecting live peers. Call before Start.
+func (fd *HeartbeatFD) EnableAdaptiveTimeout(max time.Duration) {
+	fd.adaptive = true
+	if max <= 0 {
+		max = time.Duration(fd.timeout.Load()) * 64
+	}
+	fd.maxTimeout = max
+}
+
+// CurrentTimeout returns the active suspicion window — grown past its
+// configured value only by adaptive retractions.
+func (fd *HeartbeatFD) CurrentTimeout() time.Duration {
+	return time.Duration(fd.timeout.Load())
 }
 
 // Start launches the heartbeat broadcaster.
@@ -107,6 +135,10 @@ func (fd *HeartbeatFD) broadcastLoop() {
 				e.To = dest
 				data, err := wire.Encode(e)
 				if err != nil {
+					// A liveness beacon that fails to encode is a silent
+					// partial crash; count it so the run verdict can see it.
+					fd.encodeErrors.Add(1)
+					fd.metrics.encodeErrors.Inc()
 					continue
 				}
 				if fd.transport.Send(dest, data) == nil { // best effort; closure races are benign
@@ -129,19 +161,22 @@ func (fd *HeartbeatFD) Observe(from model.ProcessID) {
 
 // Suspects returns the current suspicion set. It also tracks retractions:
 // if a previously suspected peer shows life again, the detector was not
-// perfect in this run (FalseSuspicions counts those events).
+// perfect in this run (FalseSuspicions counts those events), and in
+// adaptive mode each retraction doubles the timeout.
 func (fd *HeartbeatFD) Suspects() model.ProcSet {
 	var s model.ProcSet
 	now := time.Now().UnixNano()
+	timeout := fd.timeout.Load()
 	for j := 1; j <= fd.n; j++ {
 		if model.ProcessID(j) == fd.id {
 			continue
 		}
-		if now-fd.lastHeard[j].Load() > int64(fd.timeout) {
+		if now-fd.lastHeard[j].Load() > timeout {
 			s = s.Add(model.ProcessID(j))
 			// Swap counts each raise exactly once per transition, so the
 			// raised/retracted counters track suspicion *edges*, not polls.
 			if !fd.everSuspected[j].Swap(true) {
+				fd.stickySuspected[j].Store(true)
 				fd.metrics.raised.Inc()
 				if fd.sink != nil {
 					fd.sink.Emit(obs.Event{Type: obs.EventSuspect, Proc: j, By: int(fd.id)})
@@ -150,6 +185,14 @@ func (fd *HeartbeatFD) Suspects() model.ProcSet {
 		} else if fd.everSuspected[j].Swap(false) {
 			fd.falseSuspicions.Add(1)
 			fd.metrics.retracted.Inc()
+			if fd.adaptive {
+				grown := timeout * 2
+				if grown > int64(fd.maxTimeout) {
+					grown = int64(fd.maxTimeout)
+				}
+				// CompareAndSwap: concurrent pollers double once, not twice.
+				fd.timeout.CompareAndSwap(timeout, grown)
+			}
 			if fd.sink != nil {
 				fd.sink.Emit(obs.Event{Type: obs.EventRetract, Proc: j, By: int(fd.id)})
 			}
@@ -161,3 +204,20 @@ func (fd *HeartbeatFD) Suspects() model.ProcSet {
 // FalseSuspicions reports how many suspicion retractions this observer went
 // through — zero in a run where the detector behaved perfectly.
 func (fd *HeartbeatFD) FalseSuspicions() int64 { return fd.falseSuspicions.Load() }
+
+// EncodeErrors reports heartbeats lost to envelope encoding failures.
+func (fd *HeartbeatFD) EncodeErrors() int64 { return fd.encodeErrors.Load() }
+
+// EverSuspected returns every peer this observer suspected at any point,
+// retracted or not. Compared against which processes actually crashed it
+// yields the run's strong-accuracy audit: a member that never crashed is a
+// false suspicion even if the run ended before the retraction was polled.
+func (fd *HeartbeatFD) EverSuspected() model.ProcSet {
+	var s model.ProcSet
+	for j := 1; j <= fd.n; j++ {
+		if fd.stickySuspected[j].Load() {
+			s = s.Add(model.ProcessID(j))
+		}
+	}
+	return s
+}

@@ -47,6 +47,16 @@ type NodeConfig struct {
 	// case here).
 	MaxRounds int
 
+	// WaitBound, when positive, bounds an RWS round's receive-or-suspect
+	// wait in wall-clock time. The RWS model itself never needs it — a
+	// missing sender is eventually suspected — but an adversarial network
+	// that *loses* data messages while heartbeats still flow starves the
+	// wait forever (the peer is provably alive, its message provably never
+	// coming). On expiry the node proceeds with what it has, the expiry is
+	// counted (ssfd_node_wait_timeouts_total) and reported in NodeResult.
+	// Zero preserves the unbounded model semantics.
+	WaitBound time.Duration
+
 	Crash CrashPlan
 
 	// Metrics receives the node's round-duration histogram, round counter
@@ -66,7 +76,10 @@ type NodeResult struct {
 	DecidedAt int // round
 	Crashed   bool
 	Rounds    int // rounds completed
-	Err       error
+	// WaitTimeouts counts RWS rounds cut short by NodeConfig.WaitBound —
+	// nonzero only on networks lossy enough to starve receive-or-suspect.
+	WaitTimeouts int
+	Err          error
 }
 
 // Node drives one rounds.Process over a live transport.
@@ -286,6 +299,12 @@ func (n *Node) waitRound(round int) (map[model.ProcessID]rounds.Message, bool) {
 	case rounds.RWS:
 		ticker := time.NewTicker(500 * time.Microsecond)
 		defer ticker.Stop()
+		var bound <-chan time.Time
+		if n.cfg.WaitBound > 0 {
+			timer := time.NewTimer(n.cfg.WaitBound)
+			defer timer.Stop()
+			bound = timer.C
+		}
 		for {
 			got := n.gather(round)
 			suspects := n.cfg.FD.Suspects()
@@ -306,6 +325,12 @@ func (n *Node) waitRound(round int) (map[model.ProcessID]rounds.Message, bool) {
 			select {
 			case <-n.arrive:
 			case <-ticker.C:
+			case <-bound:
+				// Liveness guard: the network is losing data messages from
+				// peers the detector (correctly) refuses to suspect.
+				n.result.WaitTimeouts++
+				n.metrics.waitTimeouts.Inc()
+				return got, true
 			}
 		}
 	default:

@@ -16,8 +16,15 @@ const (
 
 	MetricTransportMessagesSent     = "ssfd_transport_messages_sent_total"
 	MetricTransportMessagesReceived = "ssfd_transport_messages_received_total"
+	MetricTransportMessagesDropped  = "ssfd_transport_messages_dropped_total"
 	MetricTransportBytesSent        = "ssfd_transport_bytes_sent_total"
 	MetricTransportBytesReceived    = "ssfd_transport_bytes_received_total"
+
+	MetricFDEncodeErrors = "ssfd_fd_encode_errors_total"
+	// TCP-only resilience counters, labelled {transport="tcp"}.
+	MetricTransportReconnects = "ssfd_transport_reconnects_total"
+	MetricTransportRetries    = "ssfd_transport_retries_total"
+	MetricNodeWaitTimeouts    = "ssfd_node_wait_timeouts_total"
 )
 
 // nodeMetrics caches the per-node instruments (shared across the cluster's
@@ -26,6 +33,7 @@ type nodeMetrics struct {
 	roundDuration *obs.Histogram
 	rounds        *obs.Counter
 	heartbeats    *obs.Counter // heartbeats observed by the demultiplexer
+	waitTimeouts  *obs.Counter // RWS wait-bound expiries (liveness guard)
 }
 
 func newNodeMetrics(reg *obs.Registry) nodeMetrics {
@@ -33,6 +41,7 @@ func newNodeMetrics(reg *obs.Registry) nodeMetrics {
 		roundDuration: reg.Histogram(MetricRoundDuration, obs.DefaultDurationBuckets),
 		rounds:        reg.Counter(MetricNodeRounds),
 		heartbeats:    reg.Counter(MetricHeartbeatsReceived),
+		waitTimeouts:  reg.Counter(MetricNodeWaitTimeouts),
 	}
 }
 
@@ -41,6 +50,7 @@ type fdMetrics struct {
 	heartbeatsSent *obs.Counter
 	raised         *obs.Counter
 	retracted      *obs.Counter
+	encodeErrors   *obs.Counter
 }
 
 func newFDMetrics(reg *obs.Registry) fdMetrics {
@@ -48,13 +58,16 @@ func newFDMetrics(reg *obs.Registry) fdMetrics {
 		heartbeatsSent: reg.Counter(MetricHeartbeatsSent),
 		raised:         reg.Counter(MetricSuspicionsRaised),
 		retracted:      reg.Counter(MetricSuspicionsRetracted),
+		encodeErrors:   reg.Counter(MetricFDEncodeErrors),
 	}
 }
 
 // transportMetrics caches one transport flavour's instruments.
 type transportMetrics struct {
 	msgsSent, msgsReceived   *obs.Counter
+	msgsDropped              *obs.Counter
 	bytesSent, bytesReceived *obs.Counter
+	reconnects, retries      *obs.Counter
 }
 
 func newTransportMetrics(reg *obs.Registry, flavour string) transportMetrics {
@@ -64,8 +77,11 @@ func newTransportMetrics(reg *obs.Registry, flavour string) transportMetrics {
 	return transportMetrics{
 		msgsSent:      label(MetricTransportMessagesSent),
 		msgsReceived:  label(MetricTransportMessagesReceived),
+		msgsDropped:   label(MetricTransportMessagesDropped),
 		bytesSent:     label(MetricTransportBytesSent),
 		bytesReceived: label(MetricTransportBytesReceived),
+		reconnects:    label(MetricTransportReconnects),
+		retries:       label(MetricTransportRetries),
 	}
 }
 
@@ -77,4 +93,11 @@ func (tm *transportMetrics) sent(bytes int) {
 func (tm *transportMetrics) received(bytes int) {
 	tm.msgsReceived.Inc()
 	tm.bytesReceived.Add(int64(bytes))
+}
+
+// dropped counts a message the transport itself lost: an injected drop (a
+// Delay hook returning a negative duration), an inbox overflow, or a TCP
+// frame abandoned after its retry budget.
+func (tm *transportMetrics) dropped() {
+	tm.msgsDropped.Inc()
 }

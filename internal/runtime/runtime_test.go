@@ -1,11 +1,14 @@
 package runtime
 
 import (
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/consensus"
+	"repro/internal/faults"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/wire"
 )
@@ -317,5 +320,229 @@ func TestNodeConfigValidation(t *testing.T) {
 		ID: 1, N: 2, T: 1, Transport: nw.Endpoint(1), Kind: rounds.RS,
 	}); err == nil {
 		t.Error("RS without RoundDuration accepted")
+	}
+}
+
+func TestChanNetworkInboxOverflowDropsInsteadOfWedging(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Buffer 1 and nobody receiving: the excess deliveries must land in the
+	// dropped counter, not block the delivery goroutines (which would wedge
+	// Close forever — the original bug).
+	nw := NewChanNetwork(2, ChanConfig{MaxDelay: time.Millisecond, Buffer: 1, Metrics: reg})
+	for i := 0; i < 50; i++ {
+		if err := nw.Endpoint(1).Send(2, []byte("burst")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the in-flight deliveries hit the full inbox before teardown
+	// (Close aborts deliveries still waiting out their delay).
+	droppedCounter := reg.Counter(obs.Label(MetricTransportMessagesDropped, "transport", "chan"))
+	for deadline := time.Now().Add(5 * time.Second); droppedCounter.Value() == 0; {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { _ = nw.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged on a full inbox")
+	}
+	dropped := reg.Counter(obs.Label(MetricTransportMessagesDropped, "transport", "chan")).Value()
+	if dropped == 0 {
+		t.Error("overflow left no trace in the dropped counter")
+	}
+}
+
+func TestChanNetworkDelayHookDropCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	nw := NewChanNetwork(2, ChanConfig{
+		Delay:   func(from, to model.ProcessID, data []byte) time.Duration { return -1 },
+		Metrics: reg,
+	})
+	defer func() { _ = nw.Close() }()
+	if err := nw.Endpoint(1).Send(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(obs.Label(MetricTransportMessagesDropped, "transport", "chan")).Value(); got != 1 {
+		t.Errorf("dropped counter = %d, want 1", got)
+	}
+}
+
+func TestTCPReconnectAfterBreak(t *testing.T) {
+	reg := obs.NewRegistry()
+	nw, err := NewTCPNetwork(2, WithTCPMetrics(reg),
+		WithTCPRetry(TCPRetryConfig{BaseBackoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = nw.Close() }()
+
+	recv := func(want string) {
+		t.Helper()
+		for {
+			select {
+			case pkt := <-nw.Endpoint(2).Recv():
+				if string(pkt.Data) == want {
+					return
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("timeout waiting for %q", want)
+			}
+		}
+	}
+	if err := nw.Endpoint(1).Send(2, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	recv("before")
+
+	// Abruptly sever every established connection mid-conversation; the
+	// writer must re-dial with backoff and the next frame must get through.
+	nw.BreakConnections()
+	if err := nw.Endpoint(1).Send(2, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	recv("after")
+
+	if rc := reg.Counter(obs.Label(MetricTransportReconnects, "transport", "tcp")).Value(); rc < 2 {
+		t.Errorf("reconnects = %d, want >= 2 (initial dial + re-dial)", rc)
+	}
+}
+
+func TestTCPPeerCloseMidStream(t *testing.T) {
+	// The receiving side dying mid-round must not poison the sender: frames
+	// to the dead peer burn their retry budget and drop, and Send keeps
+	// returning nil (never blocks, never errors a healthy caller).
+	nw, err := NewTCPNetwork(2,
+		WithTCPRetry(TCPRetryConfig{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = nw.Close() }()
+	if err := nw.Endpoint(1).Send(2, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-nw.Endpoint(2).Recv():
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout on warmup frame")
+	}
+	// Kill p2's listener so re-dials fail outright, then sever the link.
+	_ = nw.listeners[2].Close()
+	nw.BreakConnections()
+	for i := 0; i < 20; i++ {
+		if err := nw.Endpoint(1).Send(2, []byte("into the void")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Close must join the retrying writer goroutines promptly.
+	done := make(chan struct{})
+	go func() { _ = nw.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a retrying link")
+	}
+}
+
+func TestTCPConcurrentCloseAndSend(t *testing.T) {
+	// Race exercise: senders hammering the mesh while Close tears it down.
+	// Run with -race; correctness here is "no panic, no deadlock, everything
+	// joins".
+	nw, err := NewTCPNetwork(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 1; s <= 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				to := model.ProcessID(i%3 + 1)
+				if to == model.ProcessID(s) {
+					continue
+				}
+				if err := nw.Endpoint(model.ProcessID(s)).Send(to, []byte("spray")); err != nil && err != ErrClosed {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	time.Sleep(2 * time.Millisecond)
+	_ = nw.Close()
+	wg.Wait()
+	_ = nw.Close() // idempotent
+}
+
+func TestHeartbeatFDAdaptiveTimeoutGrowsAndCaps(t *testing.T) {
+	nw := NewChanNetwork(2, ChanConfig{})
+	defer func() { _ = nw.Close() }()
+	fd := NewHeartbeatFD(nw.Endpoint(1), 2, time.Millisecond, 5*time.Millisecond)
+	fd.EnableAdaptiveTimeout(8 * time.Millisecond)
+	// Never started: we drive liveness evidence by hand.
+	fd.Observe(2)
+	time.Sleep(10 * time.Millisecond)
+	if s := fd.Suspects(); !s.Has(2) {
+		t.Fatalf("p2 not suspected after silence: %v", s)
+	}
+	fd.Observe(2) // p2 shows life: the suspicion was false
+	if s := fd.Suspects(); s.Has(2) {
+		t.Fatalf("suspicion not retracted: %v", s)
+	}
+	if got := fd.FalseSuspicions(); got != 1 {
+		t.Errorf("FalseSuspicions = %d, want 1", got)
+	}
+	if got := fd.CurrentTimeout(); got != 8*time.Millisecond {
+		t.Errorf("timeout after retraction = %v, want the 8ms cap (5ms doubled, capped)", got)
+	}
+	if ever := fd.EverSuspected(); !ever.Has(2) {
+		t.Errorf("sticky audit lost the suspicion: %v", ever)
+	}
+}
+
+func TestRunClusterFaultsVerdict(t *testing.T) {
+	// A partition longer than the run: the detector falsely suspects p3 (it
+	// never crashed), the sticky audit catches it, and the verdict flips —
+	// while consensus still terminates on every node.
+	cr, err := RunCluster(consensus.FloodSetWS{}, ClusterConfig{
+		Kind: rounds.RWS, Initial: vals(4, 2, 7), T: 1,
+		Faults: &faults.Config{
+			Seed:       3,
+			Partitions: []faults.Partition{{Start: 0, End: time.Second, Group: model.Singleton(3)}},
+			Metrics:    obs.NewRegistry(),
+		},
+		RWSWaitBound: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.DetectorWasPerfect {
+		t.Error("verdict claims perfection across a partition longer than the timeout")
+	}
+	if cr.FalselySuspected == 0 {
+		t.Error("sticky audit counted no false suspicions")
+	}
+	for i := 1; i < len(cr.Results); i++ {
+		if !cr.Results[i].Decided {
+			t.Errorf("p%d did not terminate", i)
+		}
+	}
+	if len(cr.PartitionLog) == 0 {
+		t.Error("partition log empty")
+	}
+
+	// And the control: no faults, the verdict stays perfect.
+	cr, err = RunCluster(consensus.FloodSetWS{}, ClusterConfig{
+		Kind: rounds.RWS, Initial: vals(4, 2, 7), T: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.DetectorWasPerfect || cr.FalseSuspicions != 0 || cr.FalselySuspected != 0 {
+		t.Errorf("clean run not perfect: %+v", cr)
 	}
 }

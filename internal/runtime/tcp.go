@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -17,23 +19,67 @@ import (
 // dialer's process id. Each frame is a uvarint length prefix followed by
 // the payload bytes.
 //
+// Resilience: each ordered link is owned by a writer goroutine with a
+// bounded send queue. A failed dial or write closes the connection and
+// retries with exponential backoff plus seeded jitter, re-dialing and
+// draining the queue on reconnect; a frame that exhausts its retry budget
+// is dropped and counted ({transport="tcp"} dropped/retries/reconnects
+// counters). Send therefore never blocks on a sick peer — the queue
+// absorbs the outage, and overflow is documented link loss.
+//
 // The live experiments default to ChanNetwork (deterministic delays); the
 // TCP transport exists to demonstrate the same protocols over a real
-// network stack and is exercised by the integration tests and the
-// livecluster example.
+// network stack and is exercised by the integration tests, the chaos
+// tests, and the livecluster example.
 type TCPNetwork struct {
-	n int
+	n   int
+	cfg TCPRetryConfig
 
 	mu        sync.Mutex
 	closed    bool
 	listeners []net.Listener
 	addrs     []string
 	inboxes   []chan Packet
-	conns     []map[model.ProcessID]net.Conn // conns[i][j]: i's outgoing conn to j
+	links     map[linkKey]*tcpLink
 	wg        sync.WaitGroup
 	done      chan struct{}
 
 	tm transportMetrics
+}
+
+type linkKey struct{ from, to model.ProcessID }
+
+// TCPRetryConfig tunes the per-link reconnect/retry behavior.
+type TCPRetryConfig struct {
+	// MaxAttempts bounds dial+write attempts per frame before it is dropped
+	// (default 8).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay; it doubles per attempt up to
+	// MaxBackoff (defaults 2ms and 250ms). Each delay gets ±50% seeded
+	// jitter so a mesh of retrying links does not thunder in lock-step.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the jitter (per link, mixed with the link identity).
+	Seed int64
+	// QueueLen is the per-link send queue capacity (default 1024); overflow
+	// drops the newest frame with a counter.
+	QueueLen int
+}
+
+func (c TCPRetryConfig) withDefaults() TCPRetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 2 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 250 * time.Millisecond
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 1024
+	}
+	return c
 }
 
 // TCPOption configures a TCPNetwork.
@@ -41,12 +87,18 @@ type TCPOption func(*tcpOptions)
 
 type tcpOptions struct {
 	metrics *obs.Registry
+	retry   TCPRetryConfig
 }
 
 // WithTCPMetrics redirects the mesh's message/byte counters (labelled
 // {transport="tcp"}) to reg instead of obs.Default.
 func WithTCPMetrics(reg *obs.Registry) TCPOption {
 	return func(o *tcpOptions) { o.metrics = reg }
+}
+
+// WithTCPRetry overrides the default reconnect/backoff policy.
+func WithTCPRetry(cfg TCPRetryConfig) TCPOption {
+	return func(o *tcpOptions) { o.retry = cfg }
 }
 
 // NewTCPNetwork starts n listeners on 127.0.0.1 and returns the mesh.
@@ -57,10 +109,11 @@ func NewTCPNetwork(n int, opts ...TCPOption) (*TCPNetwork, error) {
 	}
 	nw := &TCPNetwork{
 		n:         n,
+		cfg:       options.retry.withDefaults(),
 		listeners: make([]net.Listener, n+1),
 		addrs:     make([]string, n+1),
 		inboxes:   make([]chan Packet, n+1),
-		conns:     make([]map[model.ProcessID]net.Conn, n+1),
+		links:     make(map[linkKey]*tcpLink),
 		done:      make(chan struct{}),
 		tm:        newTransportMetrics(options.metrics, "tcp"),
 	}
@@ -73,7 +126,6 @@ func NewTCPNetwork(n int, opts ...TCPOption) (*TCPNetwork, error) {
 		nw.listeners[i] = l
 		nw.addrs[i] = l.Addr().String()
 		nw.inboxes[i] = make(chan Packet, 1024)
-		nw.conns[i] = make(map[model.ProcessID]net.Conn)
 		nw.wg.Add(1)
 		go nw.acceptLoop(model.ProcessID(i), l)
 	}
@@ -95,10 +147,17 @@ func (nw *TCPNetwork) acceptLoop(id model.ProcessID, l net.Listener) {
 }
 
 // readLoop reads the handshake then frames, delivering packets to the
-// endpoint's inbox.
+// endpoint's inbox. A read error (remote close, reset mid-frame) just ends
+// the loop: the sending side owns reconnection.
 func (nw *TCPNetwork) readLoop(id model.ProcessID, conn net.Conn) {
 	defer nw.wg.Done()
 	defer func() { _ = conn.Close() }()
+	nw.wg.Add(1)
+	go func() { // owned watchdog: unblock pending reads on mesh teardown
+		defer nw.wg.Done()
+		<-nw.done
+		_ = conn.Close()
+	}()
 	br := newByteReader(conn)
 	from64, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -128,7 +187,7 @@ func (nw *TCPNetwork) Endpoint(id model.ProcessID) Transport {
 	return &tcpEndpoint{nw: nw, id: id}
 }
 
-// Close tears the mesh down.
+// Close tears the mesh down: listeners, links, readers, writers.
 func (nw *TCPNetwork) Close() error {
 	nw.mu.Lock()
 	if nw.closed {
@@ -141,16 +200,38 @@ func (nw *TCPNetwork) Close() error {
 		if nw.listeners[i] != nil {
 			_ = nw.listeners[i].Close()
 		}
-		for _, c := range nw.conns[i] {
-			_ = c.Close()
-		}
+	}
+	links := make([]*tcpLink, 0, len(nw.links))
+	for _, l := range nw.links {
+		links = append(links, l)
 	}
 	nw.mu.Unlock()
+	for _, l := range links {
+		l.closeConn()
+	}
 	nw.wg.Wait()
 	return nil
 }
 
-// send dials lazily and writes one frame.
+// BreakConnections abruptly closes every established outgoing connection —
+// the chaos hook the adversity tests (and experiments) use to exercise
+// reconnection. In-flight frames may be lost; subsequent sends re-dial
+// with backoff and drain their queues.
+func (nw *TCPNetwork) BreakConnections() {
+	nw.mu.Lock()
+	links := make([]*tcpLink, 0, len(nw.links))
+	for _, l := range nw.links {
+		links = append(links, l)
+	}
+	nw.mu.Unlock()
+	for _, l := range links {
+		l.closeConn()
+	}
+}
+
+// send routes one frame onto the link's queue. It never blocks: a full
+// queue (a peer down longer than the queue absorbs) drops the frame with a
+// counter, mirroring what a real bounded send buffer does.
 func (nw *TCPNetwork) send(from, to model.ProcessID, data []byte) error {
 	if !to.Valid(nw.n) {
 		return fmt.Errorf("runtime: TCP send to invalid destination %v", to)
@@ -160,32 +241,150 @@ func (nw *TCPNetwork) send(from, to model.ProcessID, data []byte) error {
 		nw.mu.Unlock()
 		return ErrClosed
 	}
-	conn, ok := nw.conns[from][to]
-	if !ok {
-		c, err := net.Dial("tcp", nw.addrs[to])
-		if err != nil {
-			nw.mu.Unlock()
-			return fmt.Errorf("runtime: TCP dial %v→%v: %w", from, to, err)
-		}
-		// Handshake: announce the dialer's identity.
-		hs := binary.AppendUvarint(nil, uint64(from))
-		if _, err := c.Write(hs); err != nil {
-			nw.mu.Unlock()
-			_ = c.Close()
-			return fmt.Errorf("runtime: TCP handshake %v→%v: %w", from, to, err)
-		}
-		nw.conns[from][to] = c
-		conn = c
+	key := linkKey{from, to}
+	link := nw.links[key]
+	if link == nil {
+		link = newTCPLink(nw, from, to)
+		nw.links[key] = link
+		nw.wg.Add(1)
+		go link.writeLoop()
 	}
+	nw.mu.Unlock()
+
 	frame := binary.AppendUvarint(nil, uint64(len(data)))
 	frame = append(frame, data...)
-	_, err := conn.Write(frame)
-	nw.mu.Unlock()
-	if err != nil {
-		return fmt.Errorf("runtime: TCP write %v→%v: %w", from, to, err)
+	select {
+	case link.queue <- frame:
+		nw.tm.sent(len(data))
+		return nil
+	default:
+		nw.tm.dropped()
+		return nil
 	}
-	nw.tm.sent(len(data))
-	return nil
+}
+
+// tcpLink is one ordered sender→receiver connection, owned by its
+// writeLoop goroutine; connMu only guards the conn pointer so Close and
+// BreakConnections can sever it from outside.
+type tcpLink struct {
+	nw       *TCPNetwork
+	from, to model.ProcessID
+	queue    chan []byte
+	rng      *rand.Rand // jitter; only touched by writeLoop
+
+	connMu sync.Mutex
+	conn   net.Conn
+}
+
+func newTCPLink(nw *TCPNetwork, from, to model.ProcessID) *tcpLink {
+	seed := nw.cfg.Seed ^ (int64(from) * 7919) ^ (int64(to) * 104729)
+	return &tcpLink{
+		nw:    nw,
+		from:  from,
+		to:    to,
+		queue: make(chan []byte, nw.cfg.QueueLen),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// closeConn severs the link's current connection (if any).
+func (l *tcpLink) closeConn() {
+	l.connMu.Lock()
+	if l.conn != nil {
+		_ = l.conn.Close()
+		l.conn = nil
+	}
+	l.connMu.Unlock()
+}
+
+// setConn publishes a fresh connection.
+func (l *tcpLink) setConn(c net.Conn) {
+	l.connMu.Lock()
+	l.conn = c
+	l.connMu.Unlock()
+}
+
+// current returns the published connection.
+func (l *tcpLink) current() net.Conn {
+	l.connMu.Lock()
+	defer l.connMu.Unlock()
+	return l.conn
+}
+
+// backoff sleeps the attempt's jittered exponential delay; false on mesh
+// close.
+func (l *tcpLink) backoff(attempt int) bool {
+	d := l.nw.cfg.BaseBackoff << uint(attempt)
+	if d > l.nw.cfg.MaxBackoff || d <= 0 {
+		d = l.nw.cfg.MaxBackoff
+	}
+	// ±50% jitter, seeded per link.
+	d = d/2 + time.Duration(l.rng.Int63n(int64(d)))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-l.nw.done:
+		return false
+	}
+}
+
+// ensureConn returns the live connection, dialing (with handshake) if the
+// link is down.
+func (l *tcpLink) ensureConn() (net.Conn, error) {
+	if c := l.current(); c != nil {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", l.nw.addrs[l.to])
+	if err != nil {
+		return nil, err
+	}
+	hs := binary.AppendUvarint(nil, uint64(l.from))
+	if _, err := c.Write(hs); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	l.setConn(c)
+	l.nw.tm.reconnects.Inc()
+	return c, nil
+}
+
+// writeLoop drains the queue, dialing and re-dialing as needed. Each frame
+// gets MaxAttempts tries across connection generations; then it is dropped
+// with a counter and the loop moves on — one poisoned frame must not dam
+// the link forever.
+func (l *tcpLink) writeLoop() {
+	defer l.nw.wg.Done()
+	for {
+		var frame []byte
+		select {
+		case <-l.nw.done:
+			return
+		case frame = <-l.queue:
+		}
+		for attempt := 0; ; attempt++ {
+			if attempt >= l.nw.cfg.MaxAttempts {
+				l.nw.tm.dropped()
+				break
+			}
+			if attempt > 0 {
+				l.nw.tm.retries.Inc()
+				if !l.backoff(attempt - 1) {
+					return
+				}
+			}
+			conn, err := l.ensureConn()
+			if err != nil {
+				continue
+			}
+			if _, err := conn.Write(frame); err != nil {
+				l.closeConn()
+				continue
+			}
+			break
+		}
+	}
 }
 
 type tcpEndpoint struct {

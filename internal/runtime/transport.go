@@ -19,13 +19,13 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
-// Packet is a raw message as seen by a transport.
-type Packet struct {
-	From model.ProcessID
-	Data []byte
-}
+// Packet is a raw message as seen by a transport. It is an alias of
+// wire.Packet so that transport middleware (package faults) interoperates
+// with this package without an import cycle.
+type Packet = wire.Packet
 
 // Transport is one endpoint of a network: a node sends encoded envelopes
 // and receives packets on a channel.
@@ -146,7 +146,8 @@ func (nw *ChanNetwork) send(from, to model.ProcessID, data []byte) error {
 
 	if delay < 0 {
 		nw.wg.Done()
-		return nil // dropped by the delay hook
+		nw.tm.dropped() // injected link loss: sent but never delivered
+		return nil
 	}
 	// One goroutine per in-flight message, owned by the network and joined
 	// in Close. Message counts in these experiments are small.
@@ -164,6 +165,11 @@ func (nw *ChanNetwork) send(from, to model.ProcessID, data []byte) error {
 		case nw.inboxes[to] <- pkt:
 			nw.tm.received(len(data))
 		case <-nw.done:
+		default:
+			// Inbox full: a stalled receiver must not wedge the delivery
+			// goroutine (and, transitively, Close) forever. The overflow is
+			// documented link loss, visible in the dropped counter.
+			nw.tm.dropped()
 		}
 	}()
 	return nil

@@ -23,6 +23,16 @@ import (
 	"repro/internal/rounds"
 )
 
+// Packet is a raw frame as seen by a transport endpoint: the sender's
+// identity plus the encoded envelope bytes. It lives here (rather than in
+// package runtime) so that transport middleware — the fault injectors of
+// package faults — can be written against the wire format without
+// importing the runtime.
+type Packet struct {
+	From model.ProcessID
+	Data []byte
+}
+
 // Kind tags the payload type of an envelope.
 type Kind byte
 

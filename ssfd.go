@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctoueg"
 	"repro/internal/explore"
+	"repro/internal/faults"
 	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/nbac"
@@ -76,6 +77,17 @@ type (
 	ClusterConfig = runtime.ClusterConfig
 	// ClusterResult is a live cluster's outcome.
 	ClusterResult = runtime.ClusterResult
+
+	// FaultConfig scripts a seeded adversarial network for live clusters
+	// (loss, duplication, reordering, delay spikes, partitions,
+	// crash/recovery blackholes); plug into ClusterConfig.Faults.
+	FaultConfig = faults.Config
+	// LinkFaults is one link's random-fault menu.
+	LinkFaults = faults.LinkFaults
+	// FaultPartition is a scheduled bidirectional partition window.
+	FaultPartition = faults.Partition
+	// NodeCrash is a scheduled crash/recovery blackhole.
+	NodeCrash = faults.NodeCrash
 
 	// ExperimentReport is one reproduced paper artifact.
 	ExperimentReport = core.Report
@@ -189,6 +201,12 @@ func SDDInSS(phi, delta int) SDDAlgorithm { return sdd.NewSS(phi, delta) }
 func RunLive(alg Algorithm, cfg ClusterConfig) (*ClusterResult, error) {
 	return runtime.RunCluster(alg, cfg)
 }
+
+// ParseFaultSpec parses the compact chaos grammar ("loss=0.3,spike=5ms@0.5,
+// part=3@20ms+100ms,seed=7") into a FaultConfig; see internal/faults for
+// the full grammar. Same spec and seed always replay the identical fault
+// decisions.
+func ParseFaultSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
 
 // NBACForRS and NBACForRWS return the atomic-commit protocols of the §3
 // corollary (vote flooding; the RWS variant adds the halt defense).
