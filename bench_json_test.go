@@ -1,0 +1,102 @@
+package repro
+
+// TestWriteExploreBenchJSON distills the explorer benchmark into a
+// machine-readable perf artifact, BENCH_explore.json, so the explorer's
+// throughput trajectory is tracked over time. It is gated behind the
+// BENCH_EXPLORE_JSON environment variable (the value is the output path)
+// because a timing artifact has no pass/fail semantics — CI's bench job and
+// developers regenerate it explicitly:
+//
+//	BENCH_EXPLORE_JSON=BENCH_explore.json go test -run WriteExploreBenchJSON .
+
+import (
+	"encoding/json"
+	"os"
+	gort "runtime"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/explore"
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+type exploreBenchRow struct {
+	Workers     int     `json:"workers"` // 0 = sequential path
+	Runs        int     `json:"runs"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_run"`
+	Speedup     float64 `json:"speedup_vs_1_worker"`
+}
+
+type exploreBenchReport struct {
+	Sweep     string            `json:"sweep"`
+	CPUs      int               `json:"cpus"` // speedup is bounded by this
+	GoVersion string            `json:"go_version"`
+	Rows      []exploreBenchRow `json:"rows"`
+}
+
+func TestWriteExploreBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_EXPLORE_JSON")
+	if path == "" {
+		t.Skip("set BENCH_EXPLORE_JSON=<path> to write the explorer perf artifact")
+	}
+
+	initial := []model.Value{0, 1, 1, 0}
+	const tol = 2
+	measure := func(workers int) exploreBenchRow {
+		// One warm-up pass primes the enumeration pools, then the timed
+		// pass measures steady-state throughput and allocation.
+		if _, err := explore.Runs(rounds.RWS, consensus.FloodSetWS{}, initial, tol,
+			explore.Options{Workers: workers}, nil); err != nil {
+			t.Fatal(err)
+		}
+		var before, after gort.MemStats
+		gort.GC()
+		gort.ReadMemStats(&before)
+		start := time.Now()
+		stats, err := explore.Runs(rounds.RWS, consensus.FloodSetWS{}, initial, tol,
+			explore.Options{Workers: workers}, nil)
+		elapsed := time.Since(start)
+		gort.ReadMemStats(&after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exploreBenchRow{
+			Workers:     workers,
+			Runs:        stats.Runs,
+			ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+			RunsPerSec:  float64(stats.Runs) / elapsed.Seconds(),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(stats.Runs),
+		}
+	}
+
+	report := exploreBenchReport{
+		Sweep:     "FloodSetWS/RWS n=4 t=2 (full run space)",
+		CPUs:      gort.NumCPU(),
+		GoVersion: gort.Version(),
+	}
+	for _, w := range []int{0, 1, 2, 4} {
+		report.Rows = append(report.Rows, measure(w))
+	}
+	var base float64
+	for _, r := range report.Rows {
+		if r.Workers == 1 {
+			base = r.RunsPerSec
+		}
+	}
+	for i := range report.Rows {
+		report.Rows[i].Speedup = report.Rows[i].RunsPerSec / base
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d cpus)", path, report.CPUs)
+}

@@ -227,6 +227,36 @@ func BenchmarkExplore_A1_RWS(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreWorkers drains the n=4, t=2 FloodSetWS/RWS space — the
+// largest sweep in the test suite — sequentially and with 1/2/4 explorer
+// workers, reporting runs/sec and allocations per run. The sequential and
+// parallel variants visit the identical run multiset (pinned by the
+// equivalence property tests), so the metric is directly comparable across
+// rows; the CI bench job distills this benchmark into BENCH_explore.json.
+func BenchmarkExploreWorkers(b *testing.B) {
+	initial := []model.Value{0, 1, 1, 0}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 0}, {"w1", 1}, {"w2", 2}, {"w4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			totalRuns := 0
+			for i := 0; i < b.N; i++ {
+				stats, err := explore.Runs(rounds.RWS, consensus.FloodSetWS{}, initial, 2,
+					explore.Options{Workers: bc.workers}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalRuns += stats.Runs
+			}
+			b.ReportMetric(float64(totalRuns)/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
+}
+
 func BenchmarkLatencyCompute_FloodSet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := latency.Compute(rounds.RS, consensus.FloodSet{}, 3, 1, explore.Options{}); err != nil {

@@ -56,6 +56,7 @@ func run() int {
 	live := flag.Bool("live", true, "include live goroutine-cluster measurements (adds wall-clock time)")
 	only := flag.String("only", "", "run a single experiment (e.g. E7)")
 	jsonPath := flag.String("json", "", "write per-experiment JSON reports to this file")
+	workers := flag.Int("workers", 0, "explorer worker goroutines for the exhaustive experiments (0 = sequential, -1 = one per CPU)")
 	faultSpec := flag.String("faults", "", "run one chaos cluster under this fault spec instead of the suite (see internal/faults.ParseSpec)")
 	obsFlags := obscli.Register()
 	flag.Parse()
@@ -71,7 +72,7 @@ func run() int {
 		return runChaos(*faultSpec, sink)
 	}
 
-	cfg := core.Config{Trials: *trials, Seed: *seed, Live: *live, Events: sink}
+	cfg := core.Config{Trials: *trials, Seed: *seed, Live: *live, Events: sink, Workers: *workers}
 	var reports []jsonReport
 	failed := 0
 	ran := 0

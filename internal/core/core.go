@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/explore"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -28,6 +29,16 @@ type Config struct {
 	// Events, when non-nil, receives the live clusters' structured event
 	// streams (ssfd-bench wires its -events flag here).
 	Events obs.Sink
+	// Workers sizes the explorer's worker pool for the exhaustive
+	// experiments (0 = sequential, negative = one per CPU); every measure
+	// is partition-independent, so the reports are identical at any value.
+	Workers int
+}
+
+// ExploreOptions returns the exploration options shared by the exhaustive
+// experiments, carrying the configured worker count.
+func (c Config) ExploreOptions() explore.Options {
+	return explore.Options{Workers: c.Workers}
 }
 
 // withDefaults fills unset fields.

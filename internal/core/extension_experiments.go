@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/consensus"
-	"repro/internal/explore"
 	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/rounds"
@@ -30,8 +29,10 @@ func E12Extensions(cfg Config) (*Report, error) {
 	pass := true
 	table := stats.NewTable("Early stopping in RS (n=4, t=2): Lat(A,f) = min(f+2, t+1)",
 		"algorithm", "Lat(A,0)", "Lat(A,1)", "Lat(A,2)", "violations")
+	exOpts := cfg.ExploreOptions()
+	exOpts.MaxCrashesPerRound = 2
 	for _, alg := range []rounds.Algorithm{consensus.EarlyStoppingFloodSet{}, consensus.FloodSet{}} {
-		d, err := latency.Compute(rounds.RS, alg, 4, 2, explore.Options{MaxCrashesPerRound: 2})
+		d, err := latency.Compute(rounds.RS, alg, 4, 2, exOpts)
 		if err != nil {
 			return nil, err
 		}

@@ -15,9 +15,9 @@ import (
 
 // sweepExhaustive explores every admissible run of alg from every latency
 // configuration and counts specification violations.
-func sweepExhaustive(kind rounds.ModelKind, alg rounds.Algorithm, n, t int) (runs, violations int, witness *rounds.Run, err error) {
+func sweepExhaustive(kind rounds.ModelKind, alg rounds.Algorithm, n, t int, opts explore.Options) (runs, violations int, witness *rounds.Run, err error) {
 	for _, cfg := range latency.Configurations(n) {
-		_, e := explore.Runs(kind, alg, cfg, t, explore.Options{}, func(run *rounds.Run) bool {
+		_, e := explore.Runs(kind, alg, cfg, t, opts, func(run *rounds.Run) bool {
 			if run.Truncated {
 				return true
 			}
@@ -45,11 +45,11 @@ func E1FloodSetRS(cfg Config) (*Report, error) {
 		"t", "runs", "violations", "lat", "Lat", "Λ")
 	pass := true
 	for t := 0; t <= 2; t++ {
-		runs, viol, _, err := sweepExhaustive(rounds.RS, consensus.FloodSet{}, 3, t)
+		runs, viol, _, err := sweepExhaustive(rounds.RS, consensus.FloodSet{}, 3, t, cfg.ExploreOptions())
 		if err != nil {
 			return nil, err
 		}
-		d, err := latency.Compute(rounds.RS, consensus.FloodSet{}, 3, t, explore.Options{})
+		d, err := latency.Compute(rounds.RS, consensus.FloodSet{}, 3, t, cfg.ExploreOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -73,12 +73,12 @@ func E2FloodSetWS(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	table := stats.NewTable("Uniform consensus in RWS (n=3, t=1, exhaustive adversaries)",
 		"algorithm", "runs", "violations")
-	runsWS, violWS, _, err := sweepExhaustive(rounds.RWS, consensus.FloodSetWS{}, 3, 1)
+	runsWS, violWS, _, err := sweepExhaustive(rounds.RWS, consensus.FloodSetWS{}, 3, 1, cfg.ExploreOptions())
 	if err != nil {
 		return nil, err
 	}
 	table.AddRow("FloodSetWS", runsWS, violWS)
-	runsFS, violFS, witness, err := sweepExhaustive(rounds.RWS, consensus.FloodSet{}, 3, 1)
+	runsFS, violFS, witness, err := sweepExhaustive(rounds.RWS, consensus.FloodSet{}, 3, 1, cfg.ExploreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,7 @@ func E3FOpt(cfg Config) (*Report, error) {
 		{consensus.FOptFloodSet{}, rounds.RS},
 		{consensus.FOptFloodSetWS{}, rounds.RWS},
 	} {
-		runs, viol, _, err := sweepExhaustive(tc.kind, tc.alg, 3, 1)
+		runs, viol, _, err := sweepExhaustive(tc.kind, tc.alg, 3, 1, cfg.ExploreOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -151,13 +151,13 @@ func E3FOpt(cfg Config) (*Report, error) {
 // most 2 rounds, and Λ(A1)=1.
 func E4A1(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	runs, viol, _, err := sweepExhaustive(rounds.RS, consensus.A1{}, 3, 1)
+	runs, viol, _, err := sweepExhaustive(rounds.RS, consensus.A1{}, 3, 1, cfg.ExploreOptions())
 	if err != nil {
 		return nil, err
 	}
 	maxLat := 0
 	for _, c := range latency.Configurations(3) {
-		_, err := explore.Runs(rounds.RS, consensus.A1{}, c, 1, explore.Options{}, func(run *rounds.Run) bool {
+		_, err := explore.Runs(rounds.RS, consensus.A1{}, c, 1, cfg.ExploreOptions(), func(run *rounds.Run) bool {
 			if l, ok := run.Latency(); ok && l > maxLat {
 				maxLat = l
 			}
@@ -167,7 +167,7 @@ func E4A1(cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
-	d, err := latency.Compute(rounds.RS, consensus.A1{}, 3, 1, explore.Options{})
+	d, err := latency.Compute(rounds.RS, consensus.A1{}, 3, 1, cfg.ExploreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +196,7 @@ func E5COpt(cfg Config) (*Report, error) {
 		{consensus.COptFloodSet{}, rounds.RS},
 		{consensus.COptFloodSetWS{}, rounds.RWS},
 	} {
-		d, err := latency.Compute(tc.kind, tc.alg, 3, 1, explore.Options{})
+		d, err := latency.Compute(tc.kind, tc.alg, 3, 1, cfg.ExploreOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +227,7 @@ func E6FOptLat(cfg Config) (*Report, error) {
 		{consensus.FOptFloodSet{}, rounds.RS},
 		{consensus.FOptFloodSetWS{}, rounds.RWS},
 	} {
-		d, err := latency.Compute(tc.kind, tc.alg, 3, 1, explore.Options{})
+		d, err := latency.Compute(tc.kind, tc.alg, 3, 1, cfg.ExploreOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +255,7 @@ func E7Lambda(cfg Config) (*Report, error) {
 		"algorithm", "model", "Λ(A)", "correct?")
 	pass := true
 
-	d, err := latency.Compute(rounds.RS, consensus.A1{}, 3, 1, explore.Options{})
+	d, err := latency.Compute(rounds.RS, consensus.A1{}, 3, 1, cfg.ExploreOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +264,7 @@ func E7Lambda(cfg Config) (*Report, error) {
 		pass = false
 	}
 	for _, alg := range consensus.ForModel(rounds.RWS) {
-		dw, err := latency.Compute(rounds.RWS, alg, 3, 1, explore.Options{})
+		dw, err := latency.Compute(rounds.RWS, alg, 3, 1, cfg.ExploreOptions())
 		if err != nil {
 			return nil, err
 		}

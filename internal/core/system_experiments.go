@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/consensus"
 	"repro/internal/emul"
-	"repro/internal/explore"
 	"repro/internal/fd"
 	"repro/internal/latency"
 	"repro/internal/model"
@@ -245,7 +244,7 @@ func E11Matrix(cfg Config) (*Report, error) {
 		"algorithm", "model", "lat(A)", "Lat(A)", "Lat(A,0)=Λ", "Lat(A,1)", "msgs (ff)", "runs")
 	pass := true
 	add := func(kind rounds.ModelKind, alg rounds.Algorithm) error {
-		d, err := latency.Compute(kind, alg, 3, 1, explore.Options{})
+		d, err := latency.Compute(kind, alg, 3, 1, cfg.ExploreOptions())
 		if err != nil {
 			return err
 		}

@@ -10,11 +10,19 @@
 // observe (deliveries to a process crashing in the same round, drops
 // addressed to same-round crashers) are not branched on, which prunes the
 // space without losing any distinguishable behaviour.
+//
+// Exploration runs sequentially by default; setting Options.Workers turns
+// on the parallel explorer (see parallel.go), which forks the DFS at
+// shallow adversary choice points, drains the branches over a worker pool,
+// and merges per-worker statistics and visitor state into exactly the
+// totals the sequential pass produces.
 package explore
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/model"
@@ -26,32 +34,72 @@ import (
 type Options struct {
 	// MaxRounds bounds the horizon (0 means the engine's default limit).
 	MaxRounds int
-	// MaxCrashesPerRound caps how many *new* crashes a single round may
-	// introduce (0 means no cap beyond the budget t). The paper's scenarios
-	// never need more than t simultaneous crashes, but capping to 1 can
-	// shrink large searches.
+	// MaxCrashesPerRound caps how many new crashes a single round may
+	// introduce, counting crashes forced by weak-round-synchrony obligations
+	// (0 means no cap beyond the budget t). A round never crashes fewer
+	// processes than its obligated set — those must crash regardless of the
+	// cap — but with the cap at c it crashes at most max(c, |Obligated|).
+	// The paper's scenarios never need more than t simultaneous crashes, but
+	// capping to 1 can shrink large searches.
 	MaxCrashesPerRound int
 	// MaxRuns aborts the exploration after this many complete runs
 	// (0 = unlimited). ErrBudget is returned when the cap is hit.
 	MaxRuns int
 
+	// Workers selects the execution mode: 0 runs the classic sequential
+	// DFS; n ≥ 1 drains the same space over a pool of n workers; any
+	// negative value uses one worker per CPU (GOMAXPROCS). The visited run
+	// *multiset* is identical in every mode — only the visit order is
+	// schedule-dependent. Callers that aggregate across runs should use
+	// Explore with a merge-friendly Visitor; plain Runs visitors are
+	// serialized through a mutex when Workers is set.
+	Workers int
+	// ForkRounds bounds how deep the parallel explorer forks branches onto
+	// the shared queue instead of recursing in-worker (values < 1 default
+	// to 2 rounds). Shallow forking keeps queue traffic low; the first two
+	// rounds of any nontrivial space already yield far more branches than
+	// workers. Ignored in sequential mode.
+	ForkRounds int
+
 	// Metrics receives the exploration counters (runs, plans, forks,
 	// truncated runs) and the forked engines' round counters. Nil uses the
-	// process-wide obs.Default registry.
+	// process-wide obs.Default registry. Explorer counters are accumulated
+	// in per-worker shards and flushed when each worker finishes, so the
+	// registry converges to the exact totals without per-run atomics.
 	Metrics *obs.Registry
 	// Progress, when non-nil, is invoked every ProgressEvery complete runs
 	// with the exploration's pace (runs/sec, current depth). Long exhaustive
-	// searches use it to show liveness without flooding output.
+	// searches use it to show liveness without flooding output. Under
+	// parallel exploration the callback is serialized but may be invoked
+	// from any worker.
 	Progress func(Progress)
 	// ProgressEvery is the run interval between Progress callbacks;
 	// values < 1 default to 1000.
 	ProgressEvery int
 }
 
+// workerCount resolves Options.Workers: 0 = sequential, negative = one per
+// CPU.
+func (o Options) workerCount() int {
+	if o.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// forkRounds resolves Options.ForkRounds.
+func (o Options) forkRounds() int {
+	if o.ForkRounds < 1 {
+		return 2
+	}
+	return o.ForkRounds
+}
+
 // ErrBudget is returned when Options.MaxRuns stops an exploration early.
 var ErrBudget = errors.New("explore: run budget exhausted before the space was covered")
 
-// Stats summarizes an exploration.
+// Stats summarizes an exploration. Under parallel exploration the stats are
+// the sum of every worker's share and equal the sequential totals exactly.
 type Stats struct {
 	Runs      int // complete runs visited
 	Plans     int // adversary plans expanded
@@ -73,10 +121,79 @@ func (s Stats) String() string {
 // exploration immediately (used to stop at the first counterexample).
 type Visit func(*rounds.Run) bool
 
+// Visitor is the merge-friendly visitor contract of the parallel explorer.
+// Each worker owns a private Visitor and feeds it runs without any
+// synchronization; when the space is drained the per-worker states are
+// folded together with Merge (in worker order, so the fold is
+// deterministic given the partition). Implementations must make Merge
+// associative and commutative over disjoint run sets — counts, minima,
+// maxima and multisets all qualify — because which worker sees which run
+// is schedule-dependent.
+//
+// Visit returning false stops every worker promptly; the visited set is
+// then a prefix-closed portion of the space, exactly as in the sequential
+// early stop.
+type Visitor interface {
+	Visit(*rounds.Run) bool
+	Merge(Visitor)
+}
+
+// funcVisitor adapts a plain Visit for the sequential path.
+type funcVisitor struct{ f Visit }
+
+func (v funcVisitor) Visit(run *rounds.Run) bool { return v.f(run) }
+func (v funcVisitor) Merge(Visitor)              {}
+
+// lockedVisitor adapts a plain Visit for concurrent use: one instance is
+// shared by every worker and serializes calls through a mutex. Once the
+// function returns false no further calls are made, so "stop at the first
+// counterexample" visits exactly one witness even under parallelism.
+type lockedVisitor struct {
+	mu      sync.Mutex
+	f       Visit
+	stopped bool
+}
+
+func (v *lockedVisitor) Visit(run *rounds.Run) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.stopped {
+		return false
+	}
+	if !v.f(run) {
+		v.stopped = true
+		return false
+	}
+	return true
+}
+
+func (v *lockedVisitor) Merge(Visitor) {}
+
 // Runs enumerates every admissible run of alg from the given initial
 // configuration and invokes visit on each. The algorithm's processes must
-// implement rounds.Cloner.
+// implement rounds.Cloner. With Options.Workers set the same multiset of
+// runs is visited by a worker pool; visit is then serialized through a
+// mutex, so prefer Explore with a per-worker Visitor for heavy aggregation.
 func Runs(kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value, t int, opts Options, visit Visit) (Stats, error) {
+	var mk func() Visitor
+	if visit != nil {
+		if opts.workerCount() > 0 {
+			shared := &lockedVisitor{f: visit}
+			mk = func() Visitor { return shared }
+		} else {
+			mk = func() Visitor { return funcVisitor{f: visit} }
+		}
+	}
+	stats, _, err := Explore(kind, alg, initial, t, opts, mk)
+	return stats, err
+}
+
+// Explore enumerates the same space as Runs with a merge-friendly visitor:
+// mkVisitor is invoked once per worker (once total in sequential mode) and
+// the worker-local states are merged after the pool drains. The merged
+// Visitor is returned so callers can read their aggregate out of it.
+// A nil mkVisitor explores without visiting (useful for counting).
+func Explore(kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value, t int, opts Options, mkVisitor func() Visitor) (Stats, Visitor, error) {
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.Default
@@ -87,36 +204,52 @@ func Runs(kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value, t 
 	}
 	root, err := rounds.NewEngine(kind, alg, initial, t, engineOpts...)
 	if err != nil {
-		return Stats{}, err
+		return Stats{}, nil, err
 	}
-	e := &explorer{
-		opts:    opts,
-		visit:   visit,
-		metrics: newExploreMetrics(reg),
-		start:   time.Now(),
+	if opts.Progress != nil && opts.ProgressEvery < 1 {
+		opts.ProgressEvery = 1000
 	}
-	if e.opts.Progress != nil && e.opts.ProgressEvery < 1 {
-		e.opts.ProgressEvery = 1000
+	sh := &shared{start: time.Now()}
+	if workers := opts.workerCount(); workers > 0 {
+		return exploreParallel(root, opts, sh, reg, mkVisitor, workers)
+	}
+	e := &explorer{opts: opts, shared: sh, metrics: newExploreMetrics(reg)}
+	if mkVisitor != nil {
+		e.visitor = mkVisitor()
 	}
 	err = e.dfs(root)
+	e.flushMetrics()
+	e.stats.Aborted = sh.aborted.Load()
 	if errors.Is(err, errStopped) {
 		err = nil
 	}
-	return e.stats, err
+	return e.stats, e.visitor, err
 }
 
 // errStopped signals that the visitor requested an early stop.
 var errStopped = errors.New("explore: stopped by visitor")
 
+// explorer is one worker's view of an exploration: private stats, a
+// private visitor and a private metric shard, plus the shared stop/budget/
+// progress state. The sequential path is simply a single explorer with no
+// pool.
 type explorer struct {
 	opts    Options
+	shared  *shared
+	pool    *pool // nil in sequential mode
+	visitor Visitor
 	stats   Stats
-	visit   Visit
 	metrics exploreMetrics
-	start   time.Time
+	shard   metricShard
 }
 
+// dfs explores every branch reachable from eng. In parallel mode, branches
+// forked at rounds ≤ ForkRounds are pushed to the pool's queue instead of
+// being recursed into, which is how work spreads across workers.
 func (e *explorer) dfs(eng *rounds.Engine) error {
+	if e.shared.stop.Load() {
+		return errStopped
+	}
 	// A run is complete when every live process has decided and no
 	// weak-round-synchrony obligation is outstanding. (An obligated process
 	// still has to crash, which future rounds handle, so we must not stop
@@ -124,37 +257,46 @@ func (e *explorer) dfs(eng *rounds.Engine) error {
 	if eng.Done() && eng.Obligated().Empty() {
 		return e.emit(eng)
 	}
-	limit := eng.Round() >= e.roundLimit(eng)
-	if limit {
+	if eng.Round() >= e.roundLimit(eng) {
 		return e.emit(eng)
 	}
 
 	view := eng.NextView()
-	plans := EnumeratePlans(view, e.opts.MaxCrashesPerRound)
+	buf := planBufPool.Get().(*planBuf)
+	plans := EnumeratePlansInto(buf.plans[:0], view, e.opts.MaxCrashesPerRound)
 	e.stats.Plans += len(plans)
-	e.metrics.plans.Add(int64(len(plans)))
+	e.shard.plans += int64(len(plans))
+	e.shared.plans.Add(int64(len(plans)))
+	fork := e.pool != nil && view.Round <= e.opts.forkRounds()
+	var err error
 	for i, plan := range plans {
-		var branch *rounds.Engine
-		if i == len(plans)-1 {
-			branch = eng // reuse the engine for the last branch
-		} else {
-			var err error
+		last := i == len(plans)-1
+		branch := eng // reuse the engine for the last branch
+		if !last {
 			branch, err = eng.Clone()
 			if err != nil {
-				return err
+				break
 			}
 			e.stats.Clones++
-			e.metrics.forks.Inc()
+			e.shard.forks++
+			e.shared.clones.Add(1)
 		}
 		scripted := plan
-		if err := branch.Step(rounds.AdversaryFunc(func(*rounds.View) rounds.Plan { return scripted })); err != nil {
-			return fmt.Errorf("explore: enumerated an illegal plan %v at round %d: %w", plan, view.Round, err)
+		if stepErr := branch.Step(rounds.AdversaryFunc(func(*rounds.View) rounds.Plan { return scripted })); stepErr != nil {
+			err = fmt.Errorf("explore: enumerated an illegal plan %v at round %d: %w", plan, view.Round, stepErr)
+			break
 		}
-		if err := e.dfs(branch); err != nil {
-			return err
+		if fork && !last {
+			e.pool.push(branch)
+			continue
+		}
+		if err = e.dfs(branch); err != nil {
+			break
 		}
 	}
-	return nil
+	buf.plans = plans
+	planBufPool.Put(buf)
+	return err
 }
 
 func (e *explorer) roundLimit(eng *rounds.Engine) int {
@@ -175,60 +317,124 @@ func (e *explorer) emit(eng *rounds.Engine) error {
 		// run. Mark it truncated so visitors can ignore it.
 		run.Truncated = true
 	}
+	n := e.shared.runs.Add(1)
+	if max := e.opts.MaxRuns; max > 0 && n > int64(max) {
+		// A concurrent worker drew the last budgeted run first; this one is
+		// neither counted nor visited, preserving Stats.Runs == MaxRuns.
+		e.shared.aborted.Store(true)
+		e.shared.stop.Store(true)
+		return ErrBudget
+	}
 	e.stats.Runs++
-	e.metrics.runs.Inc()
+	e.shard.runs++
 	if run.Truncated {
 		e.stats.Truncated++
-		e.metrics.truncated.Inc()
+		e.shard.truncated++
 	}
-	if e.opts.Progress != nil && e.stats.Runs%e.opts.ProgressEvery == 0 {
-		elapsed := time.Since(e.start)
-		rps := 0.0
-		if s := elapsed.Seconds(); s > 0 {
-			rps = float64(e.stats.Runs) / s
-		}
-		e.opts.Progress(Progress{
-			Runs:       e.stats.Runs,
-			Plans:      e.stats.Plans,
-			Clones:     e.stats.Clones,
-			Depth:      eng.Round(),
-			Elapsed:    elapsed,
-			RunsPerSec: rps,
-		})
+	if e.opts.Progress != nil && n%int64(e.opts.ProgressEvery) == 0 {
+		e.shared.progress(e.opts.Progress, eng.Round())
 	}
-	if e.visit != nil && !e.visit(run) {
+	if e.visitor != nil && !e.visitor.Visit(run) {
+		e.shared.stop.Store(true)
 		return errStopped
 	}
-	if e.opts.MaxRuns > 0 && e.stats.Runs >= e.opts.MaxRuns {
-		e.stats.Aborted = true
+	if max := e.opts.MaxRuns; max > 0 && n >= int64(max) {
+		e.shared.aborted.Store(true)
+		e.shared.stop.Store(true)
 		return ErrBudget
 	}
 	return nil
 }
 
-// EnumeratePlans returns every canonical legal plan for the round described
-// by v: all crash sets within budget (capped by maxCrashes if > 0), all
-// observable reach subsets for each crasher, and — in RWS — all observable
-// pending-message patterns within the remaining budget.
-func EnumeratePlans(v *rounds.View, maxCrashes int) []rounds.Plan {
-	budget := v.Budget()
+// flushMetrics folds the worker's metric shard into the registry counters.
+func (e *explorer) flushMetrics() {
+	e.metrics.runs.Add(e.shard.runs)
+	e.metrics.plans.Add(e.shard.plans)
+	e.metrics.forks.Add(e.shard.forks)
+	e.metrics.truncated.Add(e.shard.truncated)
+	e.shard = metricShard{}
+}
 
-	// 1. Enumerate crash sets: subsets of Alive containing Obligated, of
-	// size ≤ budget (and ≤ maxCrashes + |Obligated| when capped).
-	crashSets := subsetsWithin(v.Alive.Minus(v.Obligated), budget-v.Obligated.Count(), maxCrashes)
-	var plans []rounds.Plan
-	for _, extra := range crashSets {
+// planBuf pools the per-node plan slices of the DFS: each recursion level
+// borrows one for the duration of its branch loop, so steady-state
+// exploration performs no plan-slice allocation at all.
+type planBuf struct{ plans []rounds.Plan }
+
+var planBufPool = sync.Pool{New: func() any { return new(planBuf) }}
+
+// EnumeratePlans returns every canonical legal plan for the round described
+// by v: all crash sets within budget (capped by maxCrashes if > 0, counting
+// obligated crashers), all observable reach subsets for each crasher, and —
+// in RWS — all observable pending-message patterns within the remaining
+// budget.
+func EnumeratePlans(v *rounds.View, maxCrashes int) []rounds.Plan {
+	return EnumeratePlansInto(nil, v, maxCrashes)
+}
+
+// enumScratch holds the reusable buffers of one EnumeratePlansInto call.
+// Everything here is dead once the call returns — the emitted plans never
+// alias scratch memory — so a sync.Pool keeps the hot path allocation-free
+// across both sequential recursion and concurrent workers.
+type enumScratch struct {
+	crashSets []model.ProcSet
+	crashers  []model.ProcessID
+	choices   [][]model.ProcSet
+	arena     []model.ProcSet
+	selection []model.ProcSet
+}
+
+var enumPool = sync.Pool{New: func() any { return new(enumScratch) }}
+
+// EnumeratePlansInto is EnumeratePlans appending into dst (which may be
+// nil, or a recycled slice with its length reset to 0).
+func EnumeratePlansInto(dst []rounds.Plan, v *rounds.View, maxCrashes int) []rounds.Plan {
+	sc := enumPool.Get().(*enumScratch)
+	defer enumPool.Put(sc)
+
+	budget := v.Budget()
+	obligated := v.Obligated.Count()
+
+	// 1. Enumerate crash sets: subsets of Alive containing Obligated. The
+	// per-round cap counts every new crash — including the obligated ones,
+	// which must crash no matter what — so the extra-crash headroom is
+	// min(budget, maxCrashes) − |Obligated|, floored at zero.
+	maxExtra := budget - obligated
+	if maxCrashes > 0 {
+		if m := maxCrashes - obligated; m < maxExtra {
+			maxExtra = m
+		}
+	}
+	if maxExtra < 0 {
+		maxExtra = 0
+	}
+	sc.crashSets = appendSubsetsWithin(sc.crashSets[:0], v.Alive.Minus(v.Obligated), maxExtra)
+
+	plans := dst
+	for _, extra := range sc.crashSets {
 		crashing := extra.Union(v.Obligated)
 		completers := v.Alive.Minus(crashing)
 
 		// 2. For each crasher, enumerate reach subsets over *observable*
-		// destinations: addressees that complete the round.
-		reachChoices := make([][]model.ProcSet, 0, crashing.Count())
-		crashers := crashing.Members()
-		for _, q := range crashers {
-			targets := v.Sending[q].Intersect(completers).Remove(q)
-			reachChoices = append(reachChoices, allSubsets(targets))
+		// destinations: addressees that complete the round. All subset
+		// lists live in one pre-sized arena so the choice slices stay valid
+		// while the arena grows.
+		sc.crashers = appendMembers(sc.crashers[:0], crashing)
+		arenaSize := 0
+		for _, q := range sc.crashers {
+			arenaSize += 1 << uint(v.Sending[q].Intersect(completers).Remove(q).Count())
 		}
+		arena := sc.arena[:0]
+		if cap(arena) < arenaSize {
+			arena = make([]model.ProcSet, 0, arenaSize)
+		}
+		sc.choices = sc.choices[:0]
+		for _, q := range sc.crashers {
+			targets := v.Sending[q].Intersect(completers).Remove(q)
+			start := len(arena)
+			arena = appendSubsets(arena, targets)
+			sc.choices = append(sc.choices, arena[start:len(arena):len(arena)])
+		}
+		sc.arena = arena
 
 		// 3. In RWS, enumerate pending-message patterns: a set of droppers
 		// among the completers (respecting the future budget), each with a
@@ -240,12 +446,15 @@ func EnumeratePlans(v *rounds.View, maxCrashes int) []rounds.Plan {
 		}
 
 		// Cartesian product: reach choices × drop patterns.
-		forEachProduct(reachChoices, func(reaches []model.ProcSet) {
+		if cap(sc.selection) < len(sc.choices) {
+			sc.selection = make([]model.ProcSet, len(sc.choices))
+		}
+		forEachProduct(sc.choices, sc.selection[:len(sc.choices)], func(reaches []model.ProcSet) {
 			for _, drops := range dropPatterns {
 				p := rounds.Plan{}
-				if len(crashers) > 0 {
-					p.Crashes = make(map[model.ProcessID]model.ProcSet, len(crashers))
-					for i, q := range crashers {
+				if len(sc.crashers) > 0 {
+					p.Crashes = make(map[model.ProcessID]model.ProcSet, len(sc.crashers))
+					for i, q := range sc.crashers {
 						p.Crashes[q] = reaches[i]
 					}
 				}
@@ -259,21 +468,32 @@ func EnumeratePlans(v *rounds.View, maxCrashes int) []rounds.Plan {
 	return plans
 }
 
-// subsetsWithin returns all subsets of s with size ≤ max (and ≤ cap if
-// cap > 0), including the empty set.
-func subsetsWithin(s model.ProcSet, max, cap int) []model.ProcSet {
-	if cap > 0 && cap < max {
-		max = cap
-	}
+// appendMembers appends the elements of s to dst in increasing order.
+func appendMembers(dst []model.ProcessID, s model.ProcSet) []model.ProcessID {
+	s.ForEach(func(p model.ProcessID) bool {
+		dst = append(dst, p)
+		return true
+	})
+	return dst
+}
+
+// appendSubsetsWithin appends all subsets of s with size ≤ max to dst,
+// including the empty set.
+func appendSubsetsWithin(dst []model.ProcSet, s model.ProcSet, max int) []model.ProcSet {
 	if max < 0 {
 		max = 0
 	}
-	members := s.Members()
-	var out []model.ProcSet
+	var members [model.MaxProcs]model.ProcessID
+	n := 0
+	s.ForEach(func(p model.ProcessID) bool {
+		members[n] = p
+		n++
+		return true
+	})
 	var rec func(i int, cur model.ProcSet, size int)
 	rec = func(i int, cur model.ProcSet, size int) {
-		if i == len(members) {
-			out = append(out, cur)
+		if i == n {
+			dst = append(dst, cur)
 			return
 		}
 		rec(i+1, cur, size)
@@ -282,14 +502,23 @@ func subsetsWithin(s model.ProcSet, max, cap int) []model.ProcSet {
 		}
 	}
 	rec(0, 0, 0)
-	return out
+	return dst
 }
 
 // allSubsets returns every subset of s (2^|s| sets).
 func allSubsets(s model.ProcSet) []model.ProcSet {
-	members := s.Members()
-	n := len(members)
-	out := make([]model.ProcSet, 0, 1<<uint(n))
+	return appendSubsets(make([]model.ProcSet, 0, 1<<uint(s.Count())), s)
+}
+
+// appendSubsets appends every subset of s (2^|s| sets) to dst.
+func appendSubsets(dst []model.ProcSet, s model.ProcSet) []model.ProcSet {
+	var members [model.MaxProcs]model.ProcessID
+	n := 0
+	s.ForEach(func(p model.ProcessID) bool {
+		members[n] = p
+		n++
+		return true
+	})
 	for mask := 0; mask < 1<<uint(n); mask++ {
 		var sub model.ProcSet
 		for i := 0; i < n; i++ {
@@ -297,9 +526,9 @@ func allSubsets(s model.ProcSet) []model.ProcSet {
 				sub = sub.Add(members[i])
 			}
 		}
-		out = append(out, sub)
+		dst = append(dst, sub)
 	}
-	return out
+	return dst
 }
 
 // enumerateDrops returns every observable pending-message pattern among the
@@ -346,10 +575,10 @@ func enumerateDrops(completers model.ProcSet, v *rounds.View, futureBudget int) 
 }
 
 // forEachProduct invokes fn for every element of the cartesian product of
-// the given choice lists. With no choice lists, fn is called once with an
-// empty selection.
-func forEachProduct(choices [][]model.ProcSet, fn func([]model.ProcSet)) {
-	selection := make([]model.ProcSet, len(choices))
+// the given choice lists, using selection (len(choices) long) as the
+// iteration buffer. With no choice lists, fn is called once with an empty
+// selection.
+func forEachProduct(choices [][]model.ProcSet, selection []model.ProcSet, fn func([]model.ProcSet)) {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(choices) {

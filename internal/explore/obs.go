@@ -32,6 +32,17 @@ type exploreMetrics struct {
 	runs, plans, forks, truncated *obs.Counter
 }
 
+// metricShard is a worker-private accumulator for the explorer counters.
+// The registry counters are atomic, but bumping an atomic per visited run
+// from every worker would make the metrics cacheline the hottest word in
+// the process; instead each worker counts into its own shard and flushes
+// the totals once, when it finishes. Readers that sample the registry
+// mid-exploration may therefore lag the true totals, but every completed
+// exploration leaves the counters exact.
+type metricShard struct {
+	runs, plans, forks, truncated int64
+}
+
 func newExploreMetrics(reg *obs.Registry) exploreMetrics {
 	return exploreMetrics{
 		runs:      reg.Counter(MetricRuns),

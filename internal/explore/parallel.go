@@ -1,0 +1,220 @@
+package explore
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rounds"
+)
+
+// shared is the state common to every worker of one exploration: the global
+// run-token counter that implements the MaxRuns budget, the cooperative
+// stop flag, and the aggregate counters behind Progress callbacks. The
+// sequential explorer uses the same struct (with exactly one "worker"), so
+// both paths share one budget/progress implementation.
+type shared struct {
+	runs   atomic.Int64 // run tokens drawn; token k ⇒ the k-th visited run
+	plans  atomic.Int64
+	clones atomic.Int64
+
+	stop    atomic.Bool // set on early stop (visitor false) and budget exhaustion
+	aborted atomic.Bool // set only on budget exhaustion
+
+	progressMu sync.Mutex
+	start      time.Time
+}
+
+// progress emits one Progress snapshot built from the shared totals. The
+// mutex only serializes concurrent callbacks; the snapshot itself is a
+// best-effort read of in-flight counters, exactly as documented on
+// Options.Progress.
+func (sh *shared) progress(fn func(Progress), depth int) {
+	sh.progressMu.Lock()
+	defer sh.progressMu.Unlock()
+	elapsed := time.Since(sh.start)
+	runs := int(sh.runs.Load())
+	rps := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rps = float64(runs) / s
+	}
+	fn(Progress{
+		Runs:       runs,
+		Plans:      int(sh.plans.Load()),
+		Clones:     int(sh.clones.Load()),
+		Depth:      depth,
+		Elapsed:    elapsed,
+		RunsPerSec: rps,
+	})
+}
+
+// pool is the work queue of the parallel explorer: a LIFO stack of engine
+// branches whose ownership transfers wholly to whichever worker pops them
+// (engines are never shared, so workers touch no locks while exploring a
+// branch). LIFO order keeps the queue shallow — a popped branch is the most
+// recently forked, hence the deepest, so the queue holds the frontier of
+// the DFS rather than its whole breadth.
+//
+// Termination is by idle counting: a worker that finds the queue empty
+// parks and increments idle; when every worker is idle the space is drained
+// (no branch exists outside the queue) and the pool closes itself.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*rounds.Engine
+	idle    int
+	workers int
+	done    bool
+	err     error // first terminal error (sticky)
+}
+
+func newPool(workers int) *pool {
+	p := &pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// push hands a branch to the pool. Branches pushed after close are dropped:
+// the exploration is already stopping and the engine is garbage either way.
+func (p *pool) push(eng *rounds.Engine) {
+	p.mu.Lock()
+	if !p.done {
+		p.queue = append(p.queue, eng)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// next blocks until a branch is available or the pool drains/closes; the
+// second result reports whether a branch was returned.
+func (p *pool) next() (*rounds.Engine, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.idle++
+	for {
+		if p.done {
+			return nil, false
+		}
+		if n := len(p.queue); n > 0 {
+			eng := p.queue[n-1]
+			p.queue[n-1] = nil
+			p.queue = p.queue[:n-1]
+			p.idle--
+			return eng, true
+		}
+		if p.idle == p.workers {
+			// Every worker is parked and the queue is empty: no branch can
+			// ever appear again. Drained.
+			p.done = true
+			p.cond.Broadcast()
+			return nil, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// close stops the pool, recording the terminal error. Real failures take
+// precedence over the cooperative sentinels (errStopped, ErrBudget): once a
+// worker hits a stop condition its siblings all surface errStopped at their
+// next check, and that echo must not mask the originating error.
+func (p *pool) close(err error) {
+	p.mu.Lock()
+	if p.err == nil || (isSentinel(p.err) && !isSentinel(err)) {
+		p.err = err
+	}
+	p.done = true
+	p.queue = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func isSentinel(err error) bool {
+	return errors.Is(err, errStopped) || errors.Is(err, ErrBudget)
+}
+
+// exploreParallel drains the run space rooted at root over a pool of
+// workers. The root engine is seeded as the first queue entry; workers pop
+// branches, recurse sequentially below the fork horizon, and push the
+// shallow forks they encounter back onto the queue for stealing. Per-worker
+// Stats, metric shards and visitors are merged after the pool drains, so
+// the returned totals equal the sequential pass exactly (the visit *order*
+// is schedule-dependent; the visited multiset is not).
+func exploreParallel(root *rounds.Engine, opts Options, sh *shared, reg *obs.Registry, mkVisitor func() Visitor, workers int) (Stats, Visitor, error) {
+	p := newPool(workers)
+	p.push(root)
+
+	es := make([]*explorer, workers)
+	for i := range es {
+		es[i] = &explorer{opts: opts, shared: sh, pool: p, metrics: newExploreMetrics(reg)}
+		if mkVisitor != nil {
+			es[i].visitor = mkVisitor()
+		}
+	}
+	var wg sync.WaitGroup
+	for _, e := range es {
+		wg.Add(1)
+		go func(e *explorer) {
+			defer wg.Done()
+			e.work()
+		}(e)
+	}
+	wg.Wait()
+
+	// Merge in worker order: the fold is deterministic given the partition,
+	// and Visitor.Merge is required to be associative/commutative over
+	// disjoint run sets, so any partition yields the same aggregate.
+	var stats Stats
+	var merged Visitor
+	for _, e := range es {
+		stats.Runs += e.stats.Runs
+		stats.Plans += e.stats.Plans
+		stats.Clones += e.stats.Clones
+		stats.Truncated += e.stats.Truncated
+		if merged == nil {
+			merged = e.visitor
+		} else if e.visitor != nil && e.visitor != merged {
+			// Identity check: Runs shares one lockedVisitor across workers;
+			// merging it into itself must be a no-op, not a double count.
+			merged.Merge(e.visitor)
+		}
+	}
+	stats.Aborted = sh.aborted.Load()
+
+	p.mu.Lock()
+	err := p.err
+	p.mu.Unlock()
+	if isSentinel(err) {
+		err = nil
+	}
+	// Budget exhaustion surfaces as ErrBudget no matter which worker's
+	// sentinel reached the pool first (matching the sequential contract);
+	// a real failure still takes precedence above.
+	if err == nil && stats.Aborted {
+		err = ErrBudget
+	}
+	return stats, merged, err
+}
+
+// work is one worker's loop: pop a branch, explore it to completion, repeat
+// until the pool drains or a terminal condition (visitor stop, budget,
+// engine error) closes it.
+func (e *explorer) work() {
+	defer e.flushMetrics()
+	for {
+		eng, ok := e.pool.next()
+		if !ok {
+			return
+		}
+		if err := e.dfs(eng); err != nil {
+			// errStopped and ErrBudget have already set shared.stop, so
+			// sibling workers quit at their next branch/run boundary; close
+			// wakes the parked ones. Any other error is a real failure and
+			// likewise terminates the exploration.
+			e.shared.stop.Store(true)
+			e.pool.close(err)
+			return
+		}
+	}
+}

@@ -84,8 +84,64 @@ func Configurations(n int) [][]model.Value {
 	return out
 }
 
+// configVisitor accumulates one configuration's share of the latency
+// measures. It implements explore.Visitor with a commutative, associative
+// Merge (counts, a minimum and element-wise maxima), so per-worker
+// instances under parallel exploration fold into exactly the sequential
+// aggregate regardless of how the run space was partitioned.
+type configVisitor struct {
+	runs, violations int
+	latCfg           int   // min latency from this configuration, -1 if none
+	maxByExactF      []int // max latency over runs with exactly f crashes
+}
+
+func newConfigVisitor(t int) *configVisitor {
+	return &configVisitor{latCfg: -1, maxByExactF: make([]int, t+1)}
+}
+
+func (v *configVisitor) Visit(run *rounds.Run) bool {
+	if run.Truncated {
+		return true // unfinishable horizon prefix, not a run
+	}
+	v.runs++
+	if bad := check.FirstViolation(run); bad != nil {
+		v.violations++
+		return true
+	}
+	lat, ok := run.Latency()
+	if !ok {
+		v.violations++
+		return true
+	}
+	if v.latCfg == -1 || lat < v.latCfg {
+		v.latCfg = lat
+	}
+	f := run.NumFaulty()
+	if lat > v.maxByExactF[f] {
+		v.maxByExactF[f] = lat
+	}
+	return true
+}
+
+func (v *configVisitor) Merge(other explore.Visitor) {
+	o := other.(*configVisitor)
+	v.runs += o.runs
+	v.violations += o.violations
+	if v.latCfg == -1 || (o.latCfg != -1 && o.latCfg < v.latCfg) {
+		v.latCfg = o.latCfg
+	}
+	for f, m := range o.maxByExactF {
+		if m > v.maxByExactF[f] {
+			v.maxByExactF[f] = m
+		}
+	}
+}
+
 // Compute explores every admissible run of alg (n processes, resilience t,
 // model kind) from every configuration and aggregates the latency measures.
+// With opts.Workers set, each configuration's space is drained by the
+// parallel explorer and per-worker visitors are merged lock-free; the
+// resulting Degrees are identical to the sequential computation.
 func Compute(kind rounds.ModelKind, alg rounds.Algorithm, n, t int, opts explore.Options) (*Degrees, error) {
 	d := &Degrees{
 		Algorithm: alg.Name(),
@@ -97,41 +153,28 @@ func Compute(kind rounds.ModelKind, alg rounds.Algorithm, n, t int, opts explore
 	}
 	maxByExactF := make([]int, t+1)
 	for _, cfg := range Configurations(n) {
-		latCfg := -1
-		_, err := explore.Runs(kind, alg, cfg, t, opts, func(run *rounds.Run) bool {
-			if run.Truncated {
-				return true // unfinishable horizon prefix, not a run
-			}
-			d.Runs++
-			if bad := check.FirstViolation(run); bad != nil {
-				d.Violations++
-				return true
-			}
-			lat, ok := run.Latency()
-			if !ok {
-				d.Violations++
-				return true
-			}
-			if latCfg == -1 || lat < latCfg {
-				latCfg = lat
-			}
-			f := run.NumFaulty()
-			if lat > maxByExactF[f] {
-				maxByExactF[f] = lat
-			}
-			return true
+		_, merged, err := explore.Explore(kind, alg, cfg, t, opts, func() explore.Visitor {
+			return newConfigVisitor(t)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("latency: exploring %s/%v from %v: %w", alg.Name(), kind, cfg, err)
 		}
-		if latCfg == -1 {
+		v := merged.(*configVisitor)
+		d.Runs += v.runs
+		d.Violations += v.violations
+		if v.latCfg == -1 {
 			return nil, fmt.Errorf("latency: %s/%v produced no terminating run from %v", alg.Name(), kind, cfg)
 		}
-		if d.Lat == -1 || latCfg < d.Lat {
-			d.Lat = latCfg
+		if d.Lat == -1 || v.latCfg < d.Lat {
+			d.Lat = v.latCfg
 		}
-		if latCfg > d.LatMax {
-			d.LatMax = latCfg
+		if v.latCfg > d.LatMax {
+			d.LatMax = v.latCfg
+		}
+		for f, m := range v.maxByExactF {
+			if m > maxByExactF[f] {
+				maxByExactF[f] = m
+			}
 		}
 	}
 	// Lat(A,f) is monotone in f: max over runs with at most f crashes.

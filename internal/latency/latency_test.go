@@ -128,3 +128,34 @@ func TestDegreesString(t *testing.T) {
 		}
 	}
 }
+
+// TestComputeParallelEquality pins the determinism-by-merge contract at the
+// latency layer: Compute with the parallel explorer yields exactly the same
+// Degrees — every measure and both counters — as the sequential pass.
+func TestComputeParallelEquality(t *testing.T) {
+	cases := []struct {
+		kind rounds.ModelKind
+		alg  rounds.Algorithm
+		n    int
+	}{
+		{rounds.RS, consensus.FloodSet{}, 3},
+		{rounds.RWS, consensus.FloodSetWS{}, 3},
+		{rounds.RS, consensus.A1{}, 3},
+	}
+	for _, tc := range cases {
+		seq, err := Compute(tc.kind, tc.alg, tc.n, 1, explore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4} {
+			par, err := Compute(tc.kind, tc.alg, tc.n, 1, explore.Options{Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.String() != par.String() || seq.Runs != par.Runs || seq.Violations != par.Violations {
+				t.Errorf("%s/%v workers=%d: %v (runs=%d viol=%d), sequential %v (runs=%d viol=%d)",
+					tc.alg.Name(), tc.kind, w, par, par.Runs, par.Violations, seq, seq.Runs, seq.Violations)
+			}
+		}
+	}
+}

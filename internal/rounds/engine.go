@@ -389,6 +389,16 @@ func RunAlgorithm(kind ModelKind, alg Algorithm, initial []model.Value, t int, a
 // every live process automaton. It fails if some process does not implement
 // Cloner. The exhaustive explorer uses clones to fork executions at
 // adversary choice points without replaying prefixes.
+//
+// Clones are fully owned by the caller and safe to hand to another
+// goroutine: every mutable slice (crashRound, decidedAt, decisionOf,
+// initial, the Run header) is deep-copied. The only state shared with the
+// parent is immutable by construction — the per-round RoundRecord Sent and
+// Reached slices, which are written exactly once inside the Step that
+// appends their record and never mutated afterwards — plus the metrics
+// counters, which are atomic. The parallel explorer relies on this
+// ownership split: concurrent branches may step, clone and finish freely
+// without synchronizing on their common prefix.
 func (e *Engine) Clone() (*Engine, error) {
 	c := &Engine{
 		kind:       e.kind,
@@ -396,7 +406,7 @@ func (e *Engine) Clone() (*Engine, error) {
 		t:          e.t,
 		limit:      e.limit,
 		alg:        e.alg,
-		initial:    e.initial,
+		initial:    append([]model.Value(nil), e.initial...),
 		procs:      make([]Process, e.n+1),
 		alive:      e.alive,
 		crashRound: append([]int(nil), e.crashRound...),
@@ -421,11 +431,14 @@ func (e *Engine) Clone() (*Engine, error) {
 		c.procs[i] = cl.CloneProcess()
 	}
 	c.run = &Run{
-		Algorithm:  e.run.Algorithm,
-		Model:      e.run.Model,
-		N:          e.run.N,
-		T:          e.run.T,
-		Initial:    e.run.Initial,
+		Algorithm: e.run.Algorithm,
+		Model:     e.run.Model,
+		N:         e.run.N,
+		T:         e.run.T,
+		Initial:   c.initial,
+		// The record structs are copied; their interior Sent/Reached slices
+		// are shared with the parent, which is safe because records are
+		// append-only and immutable once their round has executed.
 		Rounds:     append([]RoundRecord(nil), e.run.Rounds...),
 		CrashRound: c.crashRound,
 		DecidedAt:  c.decidedAt,
