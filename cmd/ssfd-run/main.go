@@ -1,6 +1,10 @@
 // Command ssfd-run executes a single round-model scenario and prints the
 // run as a round-by-round narrative — handy for replaying the paper's
-// hand-built runs.
+// hand-built runs. With -conform it instead executes the scenario as a
+// LIVE cluster (real goroutine nodes, real network, optional fault
+// injector) and differentially checks the execution against the round
+// model: projection, engine replay, online invariants, and membership in
+// the exhaustively enumerated run space.
 //
 // Usage:
 //
@@ -8,20 +12,27 @@
 //	ssfd-run -alg A1 -model RWS -values 3,1,2 -drop 1@1 -crash 1@2
 //	ssfd-run -alg FloodSet -model RS -values 0,5,9 -crash "1@1:2"   # p1 crashes at round 1 reaching p2
 //	ssfd-run -alg FloodSetWS -model RWS -values 0,1,2 -seed 7       # random adversary
+//	ssfd-run -alg FloodSet -model RS -values 0,5,9 -conform -crash "1@1:2"
+//	ssfd-run -alg FloodSetWS -model RWS -values 0,1,2 -conform -faults "seed=7,dup=0.25,spike=1ms-2ms@0.2"
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/check"
+	"repro/internal/conform"
 	"repro/internal/consensus"
+	"repro/internal/faults"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/obscli"
 	"repro/internal/rounds"
+	"repro/internal/runtime"
 	"repro/internal/trace"
 )
 
@@ -67,23 +78,29 @@ func parseEvent(s string) (model.ProcessID, int, model.ProcSet, error) {
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	algName := flag.String("alg", "FloodSet", "algorithm name")
-	modelName := flag.String("model", "RS", "round model (RS or RWS)")
-	valuesStr := flag.String("values", "0,1,2", "comma-separated initial values (one per process)")
-	t := flag.Int("t", 1, "resilience bound")
-	crashSpec := flag.String("crash", "", "crash event P@R[:reached,...] (e.g. 1@2 or 1@1:2,3)")
-	dropSpec := flag.String("drop", "", "pending-message event P@R[:dropped,...] (RWS only; default drops to everyone)")
-	seed := flag.Int64("seed", -1, "if ≥ 0, use a seeded random adversary instead of the scripted events")
-	obsFlags := obscli.Register()
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ssfd-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	algName := fs.String("alg", "FloodSet", "algorithm name")
+	modelName := fs.String("model", "RS", "round model (RS or RWS)")
+	valuesStr := fs.String("values", "0,1,2", "comma-separated initial values (one per process)")
+	t := fs.Int("t", 1, "resilience bound")
+	crashSpec := fs.String("crash", "", "crash event P@R[:reached,...] (e.g. 1@2 or 1@1:2,3; with -conform the targets only fix HOW MANY peers the live node reaches)")
+	dropSpec := fs.String("drop", "", "pending-message event P@R[:dropped,...] (RWS engine only; default drops to everyone)")
+	seed := fs.Int64("seed", -1, "if ≥ 0, use a seeded random adversary instead of the scripted events (engine only)")
+	conformFlag := fs.Bool("conform", false, "execute as a live cluster and conformance-check it against the round model")
+	faultsSpec := fs.String("faults", "", "fault-injector spec for -conform (see internal/faults.ParseSpec, e.g. seed=7,dup=0.25,spike=1ms-2ms@0.2)")
+	obsFlags := obscli.RegisterOn(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	sink, teardown, err := obsFlags.Setup()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	defer teardown()
@@ -95,7 +112,7 @@ func run() int {
 		}
 	}
 	if alg == nil {
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algName)
+		fmt.Fprintf(stderr, "unknown algorithm %q\n", *algName)
 		return 2
 	}
 	var kind rounds.ModelKind
@@ -105,15 +122,19 @@ func run() int {
 	case "RWS":
 		kind = rounds.RWS
 	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+		fmt.Fprintf(stderr, "unknown model %q\n", *modelName)
 		return 2
 	}
 	initial, err := parseValues(*valuesStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	n := len(initial)
+
+	if *conformFlag {
+		return runConform(alg, kind, initial, *t, *crashSpec, *dropSpec, *faultsSpec, *seed, sink, stdout, stderr)
+	}
 
 	var adv rounds.Adversary
 	if *seed >= 0 {
@@ -129,7 +150,7 @@ func run() int {
 		if *crashSpec != "" {
 			p, r, reach, err := parseEvent(*crashSpec)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return 2
 			}
 			pl := ensure(r)
@@ -138,7 +159,7 @@ func run() int {
 		if *dropSpec != "" {
 			p, r, dropped, err := parseEvent(*dropSpec)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(stderr, err)
 				return 2
 			}
 			if dropped.Empty() {
@@ -166,19 +187,65 @@ func run() int {
 	}
 	run, err := rounds.RunAlgorithm(kind, alg, initial, *t, adv, engineOpts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	fmt.Print(trace.RenderRun(run))
-	fmt.Println("specification check:")
+	fmt.Fprint(stdout, trace.RenderRun(run))
+	fmt.Fprintln(stdout, "specification check:")
 	violated := false
 	for _, res := range check.Consensus(run) {
-		fmt.Printf("  %s\n", res)
+		fmt.Fprintf(stdout, "  %s\n", res)
 		if !res.OK {
 			violated = true
 		}
 	}
 	if violated {
+		return 1
+	}
+	return 0
+}
+
+// runConform executes the scenario live and differentially checks it. The
+// run space is enumerated (and membership asserted) whenever the
+// coordinate is small enough for the explorer.
+func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Value, t int,
+	crashSpec, dropSpec, faultsSpec string, seed int64, sink obs.Sink, stdout, stderr io.Writer) int {
+	if dropSpec != "" {
+		fmt.Fprintln(stderr, "-drop is an engine-adversary event; a live network cannot script pending messages (use -faults to perturb the network instead)")
+		return 2
+	}
+	if seed >= 0 {
+		fmt.Fprintln(stderr, "-seed selects the engine's random adversary; it has no live counterpart (use -faults seed=... instead)")
+		return 2
+	}
+	cfg := runtime.ClusterConfig{Kind: kind, Initial: initial, T: t, Events: sink}
+	if crashSpec != "" {
+		p, r, reach, err := parseEvent(crashSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		cfg.Crashes = map[model.ProcessID]runtime.CrashPlan{p: {Round: r, Reach: reach.Count()}}
+	}
+	if faultsSpec != "" {
+		fc, err := faults.ParseSpec(faultsSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		cfg.Faults = &fc
+	}
+
+	// The explorer is exponential in n and t; past the paper's coordinates
+	// the replay diff alone certifies the run.
+	opts := conform.Options{ExpectConsensus: true, Enumerate: len(initial) <= 4 && t <= 2}
+	rep, _, err := conform.CheckLive(alg, cfg, opts)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprint(stdout, rep.String())
+	if !rep.OK() {
 		return 1
 	}
 	return 0

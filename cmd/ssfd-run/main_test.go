@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/model"
@@ -43,6 +44,79 @@ func TestParseEvent(t *testing.T) {
 	for _, bad := range []string{"1", "x@1", "1@y", "1@1:z"} {
 		if _, _, _, err := parseEvent(bad); err == nil {
 			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// runCLI invokes the full command path with captured output.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestEngineNarrativePath(t *testing.T) {
+	code, out, errOut := runCLI(t, "-alg", "FloodSet", "-model", "RS", "-values", "0,5,9", "-crash", "1@1:2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"specification check:", "uniform agreement: ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEngineDisagreementExitsNonzero(t *testing.T) {
+	// A1's §5.3 counterexample: the round-1 broadcast becomes pending and
+	// p1 crashes in round 2 having decided — survivors decide p2's value.
+	code, out, _ := runCLI(t, "-alg", "A1", "-model", "RWS", "-values", "3,1,2", "-t", "1",
+		"-drop", "1@1", "-crash", "1@2")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "uniform agreement: VIOLATED") {
+		t.Errorf("output missing the disagreement verdict:\n%s", out)
+	}
+}
+
+func TestConformLivePath(t *testing.T) {
+	code, out, errOut := runCLI(t, "-alg", "FloodSet", "-model", "RS", "-values", "0,5,9",
+		"-conform", "-crash", "1@1:2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut, out)
+	}
+	for _, want := range []string{"conformance FloodSet/RS n=3 t=1: OK", "MEMBER of the enumerated space"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConformLiveChaos(t *testing.T) {
+	code, out, errOut := runCLI(t, "-alg", "FloodSetWS", "-model", "RWS", "-values", "0,1,2",
+		"-conform", "-faults", "seed=7,dup=0.25,reorder=0.25,spike=1ms-2ms@0.2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut, out)
+	}
+	if !strings.Contains(out, "MEMBER of the enumerated space") {
+		t.Errorf("output missing membership verdict:\n%s", out)
+	}
+}
+
+func TestConformRejectsEngineOnlyFlags(t *testing.T) {
+	cases := [][]string{
+		{"-conform", "-drop", "1@1"},
+		{"-conform", "-seed", "3"},
+		{"-conform", "-faults", "loss=9"},
+		{"-alg", "nosuch"},
+		{"-model", "XY"},
+		{"-values", "1,x"},
+	}
+	for _, args := range cases {
+		if code, out, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2\n%s", args, code, out)
 		}
 	}
 }

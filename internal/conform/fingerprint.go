@@ -1,0 +1,91 @@
+package conform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/rounds"
+)
+
+// Fingerprint renders a run's observable content — coordinate, per-round
+// send/reach/crash sets, crash rounds, decisions and truncation — into a
+// canonical string. Two runs carry the same fingerprint exactly when no
+// process (nor the specification checkers) can distinguish them, which
+// makes fingerprint equality the membership relation between replayed live
+// executions and the explorer's enumerated space. Process sets are encoded
+// as bitmask hex, so fingerprints stay compact at any n ≤ 64.
+func Fingerprint(run *rounds.Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|n%d|t%d|v", run.Algorithm, run.Model, run.N, run.T)
+	for p := 1; p <= run.N; p++ {
+		fmt.Fprintf(&b, ",%d", int64(run.Initial[p]))
+	}
+	for i := range run.Rounds {
+		rr := &run.Rounds[i]
+		fmt.Fprintf(&b, "|r%d:c%x", rr.Round, uint64(rr.Crashed))
+		for j := 1; j <= run.N; j++ {
+			fmt.Fprintf(&b, ";%x>%x", uint64(rr.Sent[j]), uint64(rr.Reached[j]))
+		}
+	}
+	b.WriteString("|cr")
+	for p := 1; p <= run.N; p++ {
+		fmt.Fprintf(&b, ",%d", run.CrashRound[p])
+	}
+	b.WriteString("|d")
+	for p := 1; p <= run.N; p++ {
+		if run.DecidedAt[p] == 0 {
+			b.WriteString(",-")
+		} else {
+			fmt.Fprintf(&b, ",%d:%d", run.DecidedAt[p], int64(run.DecisionOf[p]))
+		}
+	}
+	if run.Truncated {
+		b.WriteString("|trunc")
+	}
+	return b.String()
+}
+
+// Space is the fingerprint set of every complete run the model's adversary
+// can produce at one coordinate.
+type Space struct {
+	Meta  Meta
+	Stats explore.Stats
+	// Truncated counts enumerated runs cut off by the exploration horizon;
+	// they carry no fingerprint (an unfinished run is not a member).
+	Truncated int
+
+	fps map[string]struct{}
+}
+
+// EnumerateSpace exhaustively explores the coordinate and collects the
+// fingerprints of every complete run. Feasible for the small coordinates
+// the differential tests pin (n≤4, t≤2); opts bounds the sweep.
+func EnumerateSpace(meta Meta, opts explore.Options) (*Space, error) {
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	s := &Space{Meta: meta, fps: make(map[string]struct{})}
+	stats, err := explore.Runs(meta.Kind, meta.Alg, meta.Initial, meta.T, opts, func(run *rounds.Run) bool {
+		if run.Truncated {
+			s.Truncated++
+			return true
+		}
+		s.fps[Fingerprint(run)] = struct{}{}
+		return true
+	})
+	s.Stats = stats
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Contains reports membership of a fingerprint.
+func (s *Space) Contains(fp string) bool {
+	_, ok := s.fps[fp]
+	return ok
+}
+
+// Size returns the number of distinct run fingerprints in the space.
+func (s *Space) Size() int { return len(s.fps) }

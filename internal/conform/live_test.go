@@ -1,0 +1,137 @@
+package conform_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/conform"
+	"repro/internal/explore"
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/rounds"
+	"repro/internal/runtime"
+)
+
+// liveInitials returns the fixed initial configuration used by every live
+// differential case at system size n, so enumerated spaces are shared.
+func liveInitials(n int) []model.Value {
+	return append([]model.Value(nil), []model.Value{5, 2, 7, 4}[:n]...)
+}
+
+var (
+	liveSpacesMu sync.Mutex
+	liveSpaces   = map[string]*conform.Space{}
+)
+
+// liveSpace enumerates (once per coordinate) the full run space the live
+// execution's fingerprint must be a member of.
+func liveSpace(t *testing.T, meta conform.Meta) *conform.Space {
+	t.Helper()
+	key := fmt.Sprintf("%s/%s/n%d/t%d", meta.Alg.Name(), meta.Kind, meta.N(), meta.T)
+	liveSpacesMu.Lock()
+	defer liveSpacesMu.Unlock()
+	if s, ok := liveSpaces[key]; ok {
+		return s
+	}
+	s, err := conform.EnumerateSpace(meta, explore.Options{})
+	if err != nil {
+		t.Fatalf("enumerating %s: %v", key, err)
+	}
+	liveSpaces[key] = s
+	return s
+}
+
+// chaosSpec perturbs the network without ever losing or blackholing a
+// message: duplicates, reorderings and delay spikes well inside the RS
+// round duration and the RWS suspicion timeout, so the execution must stay
+// conformant to the crash-only round model.
+const chaosSpec = "seed=7,dup=0.25,reorder=0.25,spike=1ms-2ms@0.2"
+
+// TestLiveDifferential is the acceptance property of the conformance
+// harness: every live-cluster execution of FloodSet, FloodSetWS and A1 —
+// failure-free, under scheduled crashes, and under a seeded fault-injector
+// chaos spec — projects, replays without mismatch, and fingerprints to a
+// member of the exhaustively enumerated run space of its (algorithm,
+// model, n, t) coordinate.
+func TestLiveDifferential(t *testing.T) {
+	cases := []struct {
+		name    string
+		alg     string
+		kind    rounds.ModelKind
+		n, t    int
+		crashes map[model.ProcessID]runtime.CrashPlan
+		faults  string
+	}{
+		{name: "FloodSet/RS/n3t1/failure-free", alg: "FloodSet", kind: rounds.RS, n: 3, t: 1},
+		{name: "FloodSet/RS/n3t1/crash", alg: "FloodSet", kind: rounds.RS, n: 3, t: 1,
+			crashes: map[model.ProcessID]runtime.CrashPlan{2: {Round: 1, Reach: 1}}},
+		{name: "FloodSet/RS/n3t1/chaos", alg: "FloodSet", kind: rounds.RS, n: 3, t: 1,
+			faults: chaosSpec},
+		{name: "FloodSet/RS/n4t2/two-crashes", alg: "FloodSet", kind: rounds.RS, n: 4, t: 2,
+			crashes: map[model.ProcessID]runtime.CrashPlan{2: {Round: 1, Reach: 1}, 4: {Round: 2, Reach: 2}}},
+		{name: "FloodSet/RWS/n3t1/crash", alg: "FloodSet", kind: rounds.RWS, n: 3, t: 1,
+			crashes: map[model.ProcessID]runtime.CrashPlan{1: {Round: 1, Reach: 0}}},
+		{name: "FloodSetWS/RS/n3t1/failure-free", alg: "FloodSetWS", kind: rounds.RS, n: 3, t: 1},
+		{name: "FloodSetWS/RWS/n3t1/failure-free", alg: "FloodSetWS", kind: rounds.RWS, n: 3, t: 1},
+		{name: "FloodSetWS/RWS/n3t1/crash", alg: "FloodSetWS", kind: rounds.RWS, n: 3, t: 1,
+			crashes: map[model.ProcessID]runtime.CrashPlan{1: {Round: 1, Reach: 0}}},
+		{name: "FloodSetWS/RWS/n3t1/chaos", alg: "FloodSetWS", kind: rounds.RWS, n: 3, t: 1,
+			faults: chaosSpec},
+		{name: "FloodSetWS/RWS/n4t2/two-crashes", alg: "FloodSetWS", kind: rounds.RWS, n: 4, t: 2,
+			crashes: map[model.ProcessID]runtime.CrashPlan{1: {Round: 1, Reach: 2}, 3: {Round: 2, Reach: 0}}},
+		{name: "A1/RS/n3t1/failure-free", alg: "A1", kind: rounds.RS, n: 3, t: 1},
+		{name: "A1/RS/n3t1/coordinator-crash", alg: "A1", kind: rounds.RS, n: 3, t: 1,
+			crashes: map[model.ProcessID]runtime.CrashPlan{1: {Round: 1, Reach: 0}}},
+		{name: "A1/RS/n3t1/chaos", alg: "A1", kind: rounds.RS, n: 3, t: 1,
+			faults: chaosSpec},
+		{name: "A1/RWS/n3t1/failure-free", alg: "A1", kind: rounds.RWS, n: 3, t: 1},
+		{name: "A1/RWS/n3t1/crash", alg: "A1", kind: rounds.RWS, n: 3, t: 1,
+			crashes: map[model.ProcessID]runtime.CrashPlan{1: {Round: 1, Reach: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			alg := algByName(t, tc.alg)
+			meta := conform.Meta{Alg: alg, Kind: tc.kind, T: tc.t, Initial: liveInitials(tc.n)}
+			cfg := runtime.ClusterConfig{
+				Kind: tc.kind, Initial: meta.Initial, T: tc.t,
+				RoundDuration: 15 * time.Millisecond,
+				Crashes:       tc.crashes,
+			}
+			if tc.faults != "" {
+				fc, err := faults.ParseSpec(tc.faults)
+				if err != nil {
+					t.Fatalf("parsing fault spec: %v", err)
+				}
+				cfg.Faults = &fc
+			}
+			// Live executions are crash-only (chaos never loses messages),
+			// so all three algorithms must reach uniform consensus — A1's
+			// RWS counterexample needs pending messages no real network
+			// produces here.
+			rep, cr, err := conform.CheckLive(alg, cfg, conform.Options{
+				Space:           liveSpace(t, meta),
+				ExpectConsensus: true,
+			})
+			if err != nil {
+				t.Fatalf("CheckLive: %v", err)
+			}
+			if !rep.OK() {
+				t.Fatalf("live run does not conform:\n%s", rep)
+			}
+			if rep.InSpace == nil || !*rep.InSpace {
+				t.Fatalf("fingerprint not checked against the space:\n%s", rep)
+			}
+			if tc.kind == rounds.RWS && !cr.DetectorWasPerfect {
+				t.Errorf("failure detection was not perfect (%d retractions, %d sticky false suspicions)",
+					cr.FalseSuspicions, cr.FalselySuspected)
+			}
+			for p, plan := range tc.crashes {
+				if rep.Live.CrashRound[p] == 0 {
+					t.Errorf("%v had crash plan %+v but the projection records no crash", p, plan)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package conform
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// InvariantViolation is one finding of the online invariant monitor.
+type InvariantViolation struct {
+	Round  int // 0 for run-level findings
+	Detail string
+}
+
+// String renders the violation.
+func (v InvariantViolation) String() string {
+	if v.Round == 0 {
+		return v.Detail
+	}
+	return fmt.Sprintf("round %d: %s", v.Round, v.Detail)
+}
+
+// OnlineInvariants evaluates the model's obligations directly on the
+// projected execution, before and independently of any replay: the crash
+// budget and crash-stop discipline, the model's synchrony property (round
+// synchrony in RS, Lemma 4.1 in RWS) over every observed round — not just
+// the replayed horizon — and the perfect-detector contract behind RWS
+// (strong accuracy: only crashed processes are ever suspected, and a
+// retraction is itself proof of imperfection). An empty result means the
+// live system stayed inside the model it claims to implement.
+func OnlineInvariants(lr *LiveRun) []InvariantViolation {
+	var out []InvariantViolation
+	n := lr.Meta.N()
+
+	for _, p := range lr.WallClockCrashes {
+		out = append(out, InvariantViolation{Detail: fmt.Sprintf(
+			"%v was killed by the fault injector outside the round structure (crash-stop model violated)", p)})
+	}
+
+	crashes := 0
+	for p := 1; p <= n; p++ {
+		if lr.CrashRound[p] != 0 {
+			crashes++
+		}
+	}
+	if crashes > lr.Meta.T {
+		out = append(out, InvariantViolation{Detail: fmt.Sprintf(
+			"%d processes crashed, exceeding the resilience bound t=%d", crashes, lr.Meta.T)})
+	}
+
+	// Synchrony: a completer of round r missing the round message of a
+	// sender alive at the start of r.
+	for i := range lr.Rounds {
+		rd := &lr.Rounds[i]
+		r := rd.Round
+		rd.Completed.ForEach(func(pi model.ProcessID) bool {
+			for j := 1; j <= n; j++ {
+				pj := model.ProcessID(j)
+				if pj == pi || !lr.aliveThrough(pj, r) || rd.Received[pi].Has(pj) {
+					continue
+				}
+				// pj survived round r yet pi closed it without pj's message.
+				switch lr.Meta.Kind {
+				case rounds.RS:
+					out = append(out, InvariantViolation{Round: r, Detail: fmt.Sprintf(
+						"round synchrony violated: %v closed the round without the message of %v, which survived it", pi, pj)})
+				case rounds.RWS:
+					if cr := lr.CrashRound[pj]; cr == 0 || cr > r+1 {
+						out = append(out, InvariantViolation{Round: r, Detail: fmt.Sprintf(
+							"Lemma 4.1 violated: %v closed the round without the message of %v, but %v does not crash by the end of round %d (crash round %d, 0 = never)",
+							pi, pj, pj, r+1, cr)})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Perfect-detector contract.
+	for _, s := range lr.Suspicions {
+		if s.Retracted {
+			out = append(out, InvariantViolation{Round: s.Round, Detail: fmt.Sprintf(
+				"%v retracted its suspicion of %v: the detector was not perfect in this run", s.By, s.Of)})
+			continue
+		}
+		if lr.CrashRound[s.Of] == 0 {
+			out = append(out, InvariantViolation{Round: s.Round, Detail: fmt.Sprintf(
+				"strong accuracy violated: %v suspected %v, which never crashed", s.By, s.Of)})
+		}
+	}
+	return out
+}

@@ -82,6 +82,15 @@ func FullSet(n int) ProcSet {
 // Singleton returns the set {p}.
 func Singleton(p ProcessID) ProcSet { return ProcSet(1) << uint(p-1) }
 
+// NewProcSet returns the set of the given processes.
+func NewProcSet(ids ...ProcessID) ProcSet {
+	var s ProcSet
+	for _, p := range ids {
+		s = s.Add(p)
+	}
+	return s
+}
+
 // Has reports whether p is a member of s.
 func (s ProcSet) Has(p ProcessID) bool {
 	if p < 1 || p > MaxProcs {

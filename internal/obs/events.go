@@ -26,6 +26,14 @@ const (
 	EventDecide     EventType = "decide"
 	EventRunEnd     EventType = "run_end"
 
+	// EventRecv marks a live node completing a round's reception: Proc
+	// closed Round having received the round's messages from exactly the
+	// Peers senders. Emitted by the live runtime only — the round engines
+	// record receptions in the run record itself — and consumed by the
+	// conformance projector (package conform), which rebuilds the
+	// round-model delivery pattern from these events.
+	EventRecv EventType = "recv"
+
 	// EventPartition marks a scheduled network partition forming: To holds
 	// the isolated group, Value the schedule offset in milliseconds.
 	EventPartition EventType = "partition"
@@ -58,8 +66,13 @@ type Event struct {
 	From int   `json:"from,omitempty"` // sender (send, drop)
 	To   []int `json:"to,omitempty"`   // destinations reached (send) or missed (drop)
 
-	Proc int `json:"proc,omitempty"` // subject process (crash, decide, suspect, retract)
+	Proc int `json:"proc,omitempty"` // subject process (crash, decide, suspect, retract, recv)
 	By   int `json:"by,omitempty"`   // observing process (suspect, retract)
+
+	// Peers holds the senders whose round messages Proc had received when it
+	// closed Round (recv only; empty means the round completed on suspicions
+	// or deadline alone).
+	Peers []int `json:"peers,omitempty"`
 
 	Value *int64 `json:"value,omitempty"` // decision value (decide)
 

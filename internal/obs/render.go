@@ -96,9 +96,10 @@ func RenderEvents(events []Event) (string, error) {
 				decisionOf[ev.Proc] = *ev.Value
 			}
 		case EventRunStart, EventRunEnd, EventSuspect, EventRetract,
-			EventPartition, EventHeal, EventRecover:
-			// run identification handled above; detector and fault-injector
-			// events are live-cluster colour with no round-table counterpart.
+			EventRecv, EventPartition, EventHeal, EventRecover:
+			// run identification handled above; detector, reception and
+			// fault-injector events are live-cluster colour with no
+			// round-table counterpart.
 		default:
 			return "", fmt.Errorf("obs: RenderEvents: unknown event type %q", ev.Type)
 		}

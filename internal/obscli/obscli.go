@@ -21,12 +21,17 @@ type Flags struct {
 }
 
 // Register installs the observability flags on the default FlagSet.
-func Register() *Flags {
+func Register() *Flags { return RegisterOn(flag.CommandLine) }
+
+// RegisterOn installs the observability flags on fs, so commands that own
+// their FlagSet (and their tests) get the same -metrics/-events/-profile
+// surface.
+func RegisterOn(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		Metrics:    flag.String("metrics", "", "serve Prometheus metrics and /healthz on this address (e.g. 127.0.0.1:9090) for the program's lifetime"),
-		Events:     flag.String("events", "", "append structured JSONL run events to this file"),
-		CPUProfile: flag.String("cpuprofile", "", "write a CPU profile to this file"),
-		MemProfile: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+		Metrics:    fs.String("metrics", "", "serve Prometheus metrics and /healthz on this address (e.g. 127.0.0.1:9090) for the program's lifetime"),
+		Events:     fs.String("events", "", "append structured JSONL run events to this file"),
+		CPUProfile: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		MemProfile: fs.String("memprofile", "", "write a heap profile to this file on exit"),
 	}
 }
 

@@ -44,6 +44,8 @@ type HeartbeatFD struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 
+	round atomic.Int64 // current protocol round, for event attribution
+
 	falseSuspicions atomic.Int64 // observed retractions (perfection counterexamples)
 	encodeErrors    atomic.Int64
 	everSuspected   []atomic.Bool // current suspicion edge state
@@ -93,6 +95,15 @@ func (fd *HeartbeatFD) EnableAdaptiveTimeout(max time.Duration) {
 		max = time.Duration(fd.timeout.Load()) * 64
 	}
 	fd.maxTimeout = max
+}
+
+// NoteRound tags subsequent suspect/retract events with the protocol round
+// the owning node is executing. The detector itself is round-free (it times
+// out on wall-clock silence); the tag only gives event consumers — the
+// conformance projector in particular — the round attribution that a raw
+// suspicion edge lacks.
+func (fd *HeartbeatFD) NoteRound(r int) {
+	fd.round.Store(int64(r))
 }
 
 // CurrentTimeout returns the active suspicion window — grown past its
@@ -179,7 +190,7 @@ func (fd *HeartbeatFD) Suspects() model.ProcSet {
 				fd.stickySuspected[j].Store(true)
 				fd.metrics.raised.Inc()
 				if fd.sink != nil {
-					fd.sink.Emit(obs.Event{Type: obs.EventSuspect, Proc: j, By: int(fd.id)})
+					fd.sink.Emit(obs.Event{Type: obs.EventSuspect, Round: int(fd.round.Load()), Proc: j, By: int(fd.id)})
 				}
 			}
 		} else if fd.everSuspected[j].Swap(false) {
@@ -194,7 +205,7 @@ func (fd *HeartbeatFD) Suspects() model.ProcSet {
 				fd.timeout.CompareAndSwap(timeout, grown)
 			}
 			if fd.sink != nil {
-				fd.sink.Emit(obs.Event{Type: obs.EventRetract, Proc: j, By: int(fd.id)})
+				fd.sink.Emit(obs.Event{Type: obs.EventRetract, Round: int(fd.round.Load()), Proc: j, By: int(fd.id)})
 			}
 		}
 	}

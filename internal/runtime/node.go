@@ -229,6 +229,9 @@ func (n *Node) Run() NodeResult {
 
 	for round := 1; round <= n.cfg.MaxRounds; round++ {
 		roundStart := time.Now()
+		if n.cfg.FD != nil {
+			n.cfg.FD.NoteRound(round)
+		}
 		if n.cfg.Events != nil {
 			n.cfg.Events.Emit(obs.Event{Type: obs.EventRoundStart, Round: round, Proc: int(n.cfg.ID)})
 		}
@@ -259,6 +262,19 @@ func (n *Node) Run() NodeResult {
 		if !ok {
 			n.result.Err = fmt.Errorf("runtime: node %v: round %d wait aborted", n.cfg.ID, round)
 			return n.result
+		}
+		if n.cfg.Events != nil {
+			// Reception record: the senders whose round messages arrived
+			// before this node closed the round. Emitted even when empty —
+			// round completion itself is what the conformance projector
+			// needs to observe.
+			peers := make([]int, 0, len(received))
+			for j := 1; j <= n.cfg.N; j++ {
+				if _, got := received[model.ProcessID(j)]; got {
+					peers = append(peers, j)
+				}
+			}
+			n.cfg.Events.Emit(obs.Event{Type: obs.EventRecv, Round: round, Proc: int(n.cfg.ID), Peers: peers})
 		}
 		in := make([]rounds.Message, n.cfg.N+1)
 		for from, payload := range received {

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/abcast"
 	"repro/internal/check"
+	"repro/internal/conform"
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/ctoueg"
@@ -300,4 +301,47 @@ func Experiments() []core.Experiment { return core.All() }
 // RunExperiments executes every experiment and returns the reports.
 func RunExperiments(cfg ExperimentConfig) ([]*ExperimentReport, error) {
 	return core.RunAll(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Conformance & differential checking (internal/conform): project a live or
+// emulated execution into the round model's vocabulary, replay it through
+// the engine, assert the model's invariants, and check membership in the
+// exhaustively enumerated run space.
+type (
+	// ConformMeta identifies the coordinate a run is checked at.
+	ConformMeta = conform.Meta
+	// ConformOptions tunes a conformance check (space, enumeration,
+	// consensus expectation).
+	ConformOptions = conform.Options
+	// ConformReport is the outcome of one conformance check.
+	ConformReport = conform.Report
+	// ProjectedRun is the canonical projection of a live or emulated
+	// execution.
+	ProjectedRun = conform.LiveRun
+	// RunSpace is an enumerated set of run fingerprints for one coordinate.
+	RunSpace = conform.Space
+	// ExploreOptions tunes the exhaustive explorer (worker count, budget);
+	// the zero value is the sequential defaults.
+	ExploreOptions = explore.Options
+)
+
+// CheckLive executes one live cluster run of alg under cfg and
+// conformance-checks it; see ConformReport.OK.
+func CheckLive(alg Algorithm, cfg ClusterConfig, opts ConformOptions) (*ConformReport, *ClusterResult, error) {
+	return conform.CheckLive(alg, cfg, opts)
+}
+
+// CheckEvents conformance-checks a recorded live event stream.
+func CheckEvents(meta ConformMeta, events []Event, opts ConformOptions) (*ConformReport, error) {
+	return conform.CheckEvents(meta, events, opts)
+}
+
+// RunFingerprint is the canonical fingerprint the membership check keys on.
+func RunFingerprint(run *RoundRun) string { return conform.Fingerprint(run) }
+
+// EnumerateRunSpace enumerates the full run space of a coordinate (feasible
+// for n ≤ 4, t ≤ 2).
+func EnumerateRunSpace(meta ConformMeta, opts ExploreOptions) (*RunSpace, error) {
+	return conform.EnumerateSpace(meta, opts)
 }
