@@ -182,3 +182,56 @@ func TestServeMetricsAPI(t *testing.T) {
 		t.Errorf("GET /metrics = %d, want 200", resp.StatusCode)
 	}
 }
+
+func TestCausalTracingAPI(t *testing.T) {
+	run, err := Run(RWS, FloodSetWS(), []Value{3, 1, 4}, 1, RandomAdversary(42, 0.3, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := SynthesizeTrace(run)
+	attr := Attribute(tr)
+	if err := attr.CheckSums(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReconcileTrace(attr, run); err != nil {
+		t.Fatal(err)
+	}
+
+	var chrome, html bytes.Buffer
+	if err := WriteChromeTrace(tr, &chrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHTMLTimeline(tr, &html); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChromeTrace(&chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != len(tr.Spans) || len(back.Points) != len(tr.Points) {
+		t.Errorf("round trip lost events: %d/%d spans, %d/%d points",
+			len(back.Spans), len(tr.Spans), len(back.Points), len(tr.Points))
+	}
+
+	// Live tracing composes with conformance checking: the tracer rides the
+	// cluster's event chain and the live attribution reconciles against the
+	// engine replay of the projected schedule.
+	tracer := NewCausalTracer("FloodSetWS", "RWS", 3, 1, nil)
+	rep, _, err := CheckLive(FloodSetWS(), ClusterConfig{
+		Kind: RWS, Initial: []Value{3, 1, 4}, T: 1,
+		Metrics: NewMetricsRegistry(), Events: tracer,
+	}, ConformOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("live run does not conform:\n%s", rep)
+	}
+	liveAttr := Attribute(tracer.Finish())
+	if err := liveAttr.CheckSums(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReconcileTrace(liveAttr, rep.Run); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// compareRow / compareReport mirror the BENCH_explore.json artifact that
+// TestWriteExploreBenchJSON writes (bench_json_test.go).
+type compareRow struct {
+	Workers     int     `json:"workers"`
+	Runs        int     `json:"runs"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_run"`
+	Speedup     float64 `json:"speedup_vs_1_worker"`
+}
+
+type compareReport struct {
+	Sweep     string       `json:"sweep"`
+	CPUs      int          `json:"cpus"`
+	GoVersion string       `json:"go_version"`
+	Rows      []compareRow `json:"rows"`
+}
+
+func readCompareReport(path string) (*compareReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep compareReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return &rep, nil
+}
+
+// runCompare is the regression check behind ssfd-bench -compare: it takes
+// two BENCH_explore.json artifacts (old, new) and fails when the new one
+// regresses beyond the tolerance. Two quantities are compared per worker
+// count: runs_per_sec (may only drop by the tolerance) and allocs_per_run
+// (may only grow by the tolerance).
+//
+// It deliberately never asserts a parallel SPEEDUP: speedup_vs_1_worker is
+// bounded by the machine's CPU count, and on a single-CPU container —
+// where this repository's CI runs — any multi-worker speedup expectation
+// is unfalsifiable. Throughput is only compared when both artifacts come
+// from the same CPU count; otherwise the timing columns are skipped with a
+// note and only the machine-independent allocation counts are enforced.
+func runCompare(oldPath, newPath string, tolerance float64, stdout, stderr io.Writer) int {
+	if tolerance <= 0 || tolerance >= 1 {
+		fmt.Fprintf(stderr, "-tolerance must be in (0,1), got %g\n", tolerance)
+		return 2
+	}
+	oldRep, err := readCompareReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	newRep, err := readCompareReport(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "bench compare: %s -> %s (tolerance %.0f%%)\n", oldPath, newPath, tolerance*100)
+	if oldRep.Sweep != newRep.Sweep {
+		fmt.Fprintf(stdout, "  note: sweeps differ (%q vs %q); comparing anyway\n", oldRep.Sweep, newRep.Sweep)
+	}
+	compareTiming := oldRep.CPUs == newRep.CPUs
+	if !compareTiming {
+		fmt.Fprintf(stdout, "  note: cpu counts differ (%d vs %d); wall-clock throughput is not comparable, checking allocations only\n",
+			oldRep.CPUs, newRep.CPUs)
+	}
+
+	oldByWorkers := make(map[int]compareRow, len(oldRep.Rows))
+	for _, r := range oldRep.Rows {
+		oldByWorkers[r.Workers] = r
+	}
+
+	regressions := 0
+	matched := 0
+	for _, nr := range newRep.Rows {
+		or, ok := oldByWorkers[nr.Workers]
+		if !ok {
+			fmt.Fprintf(stdout, "  workers=%d: new row has no old counterpart, skipped\n", nr.Workers)
+			continue
+		}
+		matched++
+		if compareTiming && or.RunsPerSec > 0 {
+			ratio := nr.RunsPerSec / or.RunsPerSec
+			verdict := "ok"
+			if ratio < 1-tolerance {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "  workers=%d runs_per_sec: %.0f -> %.0f (%+.1f%%) %s\n",
+				nr.Workers, or.RunsPerSec, nr.RunsPerSec, (ratio-1)*100, verdict)
+		}
+		if or.AllocsPerOp > 0 {
+			ratio := nr.AllocsPerOp / or.AllocsPerOp
+			verdict := "ok"
+			if ratio > 1+tolerance {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "  workers=%d allocs_per_run: %.1f -> %.1f (%+.1f%%) %s\n",
+				nr.Workers, or.AllocsPerOp, nr.AllocsPerOp, (ratio-1)*100, verdict)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(stderr, "no comparable rows (worker counts disjoint)")
+		return 2
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "%d benchmark regression(s) beyond %.0f%% tolerance\n", regressions, tolerance*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "no regressions beyond %.0f%% tolerance across %d row(s)\n", tolerance*100, matched)
+	return 0
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// benchArtifact is the committed exploration benchmark at the repo root;
+// cmd/ssfd-bench sits two directories below it.
+const benchArtifact = "../../BENCH_explore.json"
+
+func loadArtifact(t *testing.T) *compareReport {
+	t.Helper()
+	rep, err := readCompareReport(benchArtifact)
+	if err != nil {
+		t.Fatalf("committed artifact unreadable: %v", err)
+	}
+	return rep
+}
+
+func writeReport(t *testing.T, rep *compareReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareSelfPasses: the committed artifact compared against itself is
+// identical in every column and must pass at any tolerance.
+func TestCompareSelfPasses(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := runCompare(benchArtifact, benchArtifact, 0.05, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("self-compare exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no regressions") {
+		t.Errorf("verdict line missing from output:\n%s", stdout.String())
+	}
+	// Every row of the artifact must have been compared.
+	rep := loadArtifact(t)
+	for _, r := range rep.Rows {
+		if !strings.Contains(stdout.String(), "workers="+strconv.Itoa(r.Workers)) {
+			t.Errorf("row workers=%d missing from comparison output", r.Workers)
+		}
+	}
+}
+
+// TestCompareDetectsThroughputRegression: dropping runs_per_sec beyond the
+// tolerance on one row must fail with exit 1 and name the regression.
+func TestCompareDetectsThroughputRegression(t *testing.T) {
+	rep := loadArtifact(t)
+	rep.Rows[0].RunsPerSec *= 0.5 // 50% slower, far beyond a 15% tolerance
+	slow := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	code := runCompare(benchArtifact, slow, 0.15, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("regression compare exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("regressed row not flagged:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "regression(s)") {
+		t.Errorf("summary missing from stderr:\n%s", stderr.String())
+	}
+}
+
+// TestCompareDetectsAllocRegression: allocation growth is a regression even
+// when throughput is fine.
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	rep := loadArtifact(t)
+	for i := range rep.Rows {
+		rep.Rows[i].AllocsPerOp *= 2
+	}
+	leaky := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, leaky, 0.15, &stdout, &stderr); code != 1 {
+		t.Fatalf("alloc regression exited %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "allocs_per_run") {
+		t.Errorf("alloc column not named in output:\n%s", stdout.String())
+	}
+}
+
+// TestCompareImprovementPasses: faster and leaner is never a regression,
+// and no parallel-speedup expectation is ever asserted (the artifact's
+// speedup_vs_1_worker column is ignored entirely on this 1-CPU class of
+// machine).
+func TestCompareImprovementPasses(t *testing.T) {
+	rep := loadArtifact(t)
+	for i := range rep.Rows {
+		rep.Rows[i].RunsPerSec *= 2
+		rep.Rows[i].AllocsPerOp *= 0.5
+		rep.Rows[i].Speedup = 0 // must not matter
+	}
+	fast := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, fast, 0.15, &stdout, &stderr); code != 0 {
+		t.Fatalf("improvement compare exited %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if strings.Contains(stdout.String(), "speedup") {
+		t.Errorf("speedup must never be part of the comparison:\n%s", stdout.String())
+	}
+}
+
+// TestCompareDifferentCPUsSkipsTiming: artifacts from machines with
+// different CPU counts are not wall-clock comparable; only allocations are
+// enforced, and the skip is announced.
+func TestCompareDifferentCPUsSkipsTiming(t *testing.T) {
+	rep := loadArtifact(t)
+	rep.CPUs++
+	for i := range rep.Rows {
+		rep.Rows[i].RunsPerSec *= 0.1 // would be a huge "regression" if compared
+	}
+	other := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, other, 0.15, &stdout, &stderr); code != 0 {
+		t.Fatalf("cross-cpu compare exited %d, want 0 (timing must be skipped)\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "cpu counts differ") {
+		t.Errorf("cpu mismatch note missing:\n%s", stdout.String())
+	}
+	if strings.Contains(stdout.String(), "runs_per_sec") {
+		t.Errorf("throughput compared despite differing cpu counts:\n%s", stdout.String())
+	}
+}
+
+// TestCompareBadInputs: unreadable files, empty reports, disjoint worker
+// sets and nonsense tolerances are usage errors (exit 2), not regressions.
+func TestCompareBadInputs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := runCompare("nonexistent.json", benchArtifact, 0.15, &stdout, &stderr); code != 2 {
+		t.Errorf("missing old file exited %d, want 2", code)
+	}
+	if code := runCompare(benchArtifact, benchArtifact, 0, &stdout, &stderr); code != 2 {
+		t.Errorf("zero tolerance exited %d, want 2", code)
+	}
+	empty := writeReport(t, &compareReport{Sweep: "s", CPUs: 1, Rows: []compareRow{}})
+	// writeReport marshals an empty Rows slice; readCompareReport rejects it.
+	if code := runCompare(benchArtifact, empty, 0.15, &stdout, &stderr); code != 2 {
+		t.Errorf("empty new report exited %d, want 2", code)
+	}
+	rep := loadArtifact(t)
+	for i := range rep.Rows {
+		rep.Rows[i].Workers += 1000
+	}
+	disjoint := writeReport(t, rep)
+	if code := runCompare(benchArtifact, disjoint, 0.15, &stdout, &stderr); code != 2 {
+		t.Errorf("disjoint worker sets exited %d, want 2", code)
+	}
+}

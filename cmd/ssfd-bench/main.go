@@ -7,6 +7,7 @@
 //	ssfd-bench [-trials N] [-seed S] [-live] [-only E7]
 //	ssfd-bench -json reports.json -metrics 127.0.0.1:9090 -events run.jsonl
 //	ssfd-bench -faults "loss=0.2,spike=5ms@0.5,part=3@20ms+100ms,seed=7"
+//	ssfd-bench -compare old.json new.json   # regression-check two BENCH_explore.json artifacts
 //
 // -faults skips the experiment suite and instead runs one live RWS
 // consensus cluster under the scripted adversarial network, printing the
@@ -50,7 +51,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	trials := flag.Int("trials", 200, "trial count for randomized sweeps")
 	seed := flag.Int64("seed", 1, "base random seed")
 	live := flag.Bool("live", true, "include live goroutine-cluster measurements (adds wall-clock time)")
@@ -58,15 +59,32 @@ func run() int {
 	jsonPath := flag.String("json", "", "write per-experiment JSON reports to this file")
 	workers := flag.Int("workers", 0, "explorer worker goroutines for the exhaustive experiments (0 = sequential, -1 = one per CPU)")
 	faultSpec := flag.String("faults", "", "run one chaos cluster under this fault spec instead of the suite (see internal/faults.ParseSpec)")
+	comparePath := flag.String("compare", "", "regression-check: compare this old BENCH_explore.json against the new one given as the positional argument")
+	tolerance := flag.Float64("tolerance", 0.15, "relative tolerance for -compare (0.15 = 15%)")
 	obsFlags := obscli.Register()
 	flag.Parse()
+
+	if *comparePath != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: ssfd-bench -compare old.json new.json")
+			return 2
+		}
+		return runCompare(*comparePath, flag.Arg(0), *tolerance, os.Stdout, os.Stderr)
+	}
 
 	sink, teardown, err := obsFlags.Setup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	defer teardown()
+	defer func() {
+		if err := teardown(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	if *faultSpec != "" {
 		return runChaos(*faultSpec, sink)

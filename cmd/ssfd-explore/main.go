@@ -49,7 +49,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	algName := flag.String("alg", "FloodSet", "algorithm (FloodSet, FloodSetWS, C_OptFloodSet, C_OptFloodSetWS, F_OptFloodSet, F_OptFloodSetWS, A1)")
 	modelName := flag.String("model", "RS", "round model (RS or RWS)")
 	n := flag.Int("n", 3, "number of processes")
@@ -66,7 +66,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	defer teardown()
+	defer func() {
+		if err := teardown(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	alg, ok := algByName(*algName)
 	if !ok {

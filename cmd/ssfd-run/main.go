@@ -34,7 +34,38 @@ import (
 	"repro/internal/rounds"
 	"repro/internal/runtime"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
+
+// writeTraces exports tr to the requested paths (either may be empty). All
+// files are closed even when a write fails; every failure is reported and
+// makes the return false. Called on error paths too — a run that failed
+// mid-way still leaves whatever trace was assembled.
+func writeTraces(tr *tracing.Trace, jsonPath, htmlPath string, stderr io.Writer) bool {
+	ok := true
+	export := func(path string, write func(io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f, err := obscli.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "trace: %v\n", err)
+			ok = false
+			return
+		}
+		if err := write(f); err != nil {
+			fmt.Fprintf(stderr, "trace: writing %s: %v\n", path, err)
+			ok = false
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "trace: closing %s: %v\n", path, err)
+			ok = false
+		}
+	}
+	export(jsonPath, tr.WriteChrome)
+	export(htmlPath, tr.WriteHTML)
+	return ok
+}
 
 func parseValues(s string) ([]model.Value, error) {
 	parts := strings.Split(s, ",")
@@ -81,7 +112,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("ssfd-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	algName := fs.String("alg", "FloodSet", "algorithm name")
@@ -93,6 +124,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", -1, "if ≥ 0, use a seeded random adversary instead of the scripted events (engine only)")
 	conformFlag := fs.Bool("conform", false, "execute as a live cluster and conformance-check it against the round model")
 	faultsSpec := fs.String("faults", "", "fault-injector spec for -conform (see internal/faults.ParseSpec, e.g. seed=7,dup=0.25,spike=1ms-2ms@0.2)")
+	tracePath := fs.String("trace", "", "write the run's causal trace as Chrome trace-event JSON (load in Perfetto) to this file")
+	traceHTML := fs.String("trace-html", "", "write the run's causal trace as a self-contained HTML timeline to this file")
 	obsFlags := obscli.RegisterOn(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -103,7 +136,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	defer teardown()
+	// Teardown flushes and closes every output the flags opened; it runs on
+	// every exit path, and a flush or close failure must not exit 0.
+	defer func() {
+		if err := teardown(); err != nil {
+			fmt.Fprintln(stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	var alg rounds.Algorithm
 	for _, a := range consensus.All() {
@@ -133,7 +175,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	n := len(initial)
 
 	if *conformFlag {
-		return runConform(alg, kind, initial, *t, *crashSpec, *dropSpec, *faultsSpec, *seed, sink, stdout, stderr)
+		return runConform(alg, kind, initial, *t, *crashSpec, *dropSpec, *faultsSpec, *seed,
+			*tracePath, *traceHTML, sink, stdout, stderr)
 	}
 
 	var adv rounds.Adversary
@@ -191,6 +234,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprint(stdout, trace.RenderRun(run))
+	if !writeTraces(tracing.Synthesize(run), *tracePath, *traceHTML, stderr) {
+		return 1
+	}
 	fmt.Fprintln(stdout, "specification check:")
 	violated := false
 	for _, res := range check.Consensus(run) {
@@ -207,9 +253,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runConform executes the scenario live and differentially checks it. The
 // run space is enumerated (and membership asserted) whenever the
-// coordinate is small enough for the explorer.
+// coordinate is small enough for the explorer. With -trace/-trace-html a
+// causal tracer rides the event chain; the trace files are written on
+// every exit path — a run that failed mid-way still leaves its partial
+// trace — and a conforming traced run is additionally reconciled: the
+// trace-observed decision rounds must match the engine replay.
 func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Value, t int,
-	crashSpec, dropSpec, faultsSpec string, seed int64, sink obs.Sink, stdout, stderr io.Writer) int {
+	crashSpec, dropSpec, faultsSpec string, seed int64,
+	tracePath, traceHTML string, sink obs.Sink, stdout, stderr io.Writer) int {
 	if dropSpec != "" {
 		fmt.Fprintln(stderr, "-drop is an engine-adversary event; a live network cannot script pending messages (use -faults to perturb the network instead)")
 		return 2
@@ -219,6 +270,11 @@ func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Val
 		return 2
 	}
 	cfg := runtime.ClusterConfig{Kind: kind, Initial: initial, T: t, Events: sink}
+	var tracer *tracing.Tracer
+	if tracePath != "" || traceHTML != "" {
+		tracer = tracing.NewTracer(alg.Name(), kind.String(), len(initial), t, sink)
+		cfg.Events = tracer
+	}
 	if crashSpec != "" {
 		p, r, reach, err := parseEvent(crashSpec)
 		if err != nil {
@@ -240,12 +296,35 @@ func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Val
 	// the replay diff alone certifies the run.
 	opts := conform.Options{ExpectConsensus: true, Enumerate: len(initial) <= 4 && t <= 2}
 	rep, _, err := conform.CheckLive(alg, cfg, opts)
+
+	tracesOK := true
+	var attr *tracing.Attribution
+	if tracer != nil {
+		tr := tracer.Finish()
+		tracesOK = writeTraces(tr, tracePath, traceHTML, stderr)
+		attr = tracing.Attribute(tr)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	fmt.Fprint(stdout, rep.String())
-	if !rep.OK() {
+	if attr != nil {
+		fmt.Fprint(stdout, attr.Table())
+		if err := attr.CheckSums(); err != nil {
+			fmt.Fprintf(stdout, "attribution: %v\n", err)
+			tracesOK = false
+		}
+		if rep.Run != nil {
+			if err := tracing.ReconcileRounds(attr, rep.Run); err != nil {
+				fmt.Fprintf(stdout, "attribution: %v\n", err)
+				tracesOK = false
+			} else {
+				fmt.Fprintln(stdout, "attribution: observed rounds reconcile with the engine replay")
+			}
+		}
+	}
+	if !rep.OK() || !tracesOK {
 		return 1
 	}
 	return 0

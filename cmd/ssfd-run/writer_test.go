@@ -1,0 +1,165 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obscli"
+)
+
+// failingWriter fails every Write (or only Close) and records that Close
+// was called, so the tests can prove the CLI never leaks an open file on
+// its error paths.
+type failingWriter struct {
+	failWrite bool
+	failClose bool
+	closed    bool
+	wrote     int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.failWrite {
+		return 0, errors.New("injected write failure")
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+func (w *failingWriter) Close() error {
+	w.closed = true
+	if w.failClose {
+		return errors.New("injected close failure")
+	}
+	return nil
+}
+
+// interceptCreate reroutes obscli.Create — the seam every CLI output file
+// goes through — to hand out injected writers, restoring the real one when
+// the test ends.
+func interceptCreate(t *testing.T, create func(path string) (io.WriteCloser, error)) {
+	t.Helper()
+	orig := obscli.Create
+	obscli.Create = create
+	t.Cleanup(func() { obscli.Create = orig })
+}
+
+// TestEventsWriteFailureExitsNonzero is the regression test for the writer
+// flush/close fix: a -events stream whose writes fail must not let the
+// command exit 0, and the file must still be closed by the teardown.
+func TestEventsWriteFailureExitsNonzero(t *testing.T) {
+	w := &failingWriter{failWrite: true}
+	interceptCreate(t, func(path string) (io.WriteCloser, error) { return w, nil })
+
+	code, _, errOut := runCLI(t, "-alg", "FloodSet", "-model", "RS", "-values", "0,5,9",
+		"-events", "events.jsonl")
+	if code == 0 {
+		t.Fatalf("exit 0 despite failing events writer; stderr: %s", errOut)
+	}
+	if !w.closed {
+		t.Error("events file was not closed on the error path")
+	}
+	if !strings.Contains(errOut, "events") {
+		t.Errorf("stderr does not name the events stream:\n%s", errOut)
+	}
+}
+
+// TestEventsCloseFailureExitsNonzero: even when every write succeeds, a
+// failing close means the file's durability is unknown — exit nonzero.
+func TestEventsCloseFailureExitsNonzero(t *testing.T) {
+	w := &failingWriter{failClose: true}
+	interceptCreate(t, func(path string) (io.WriteCloser, error) { return w, nil })
+
+	code, _, errOut := runCLI(t, "-alg", "FloodSet", "-model", "RS", "-values", "0,5,9",
+		"-events", "events.jsonl")
+	if code == 0 {
+		t.Fatalf("exit 0 despite failing close; stderr: %s", errOut)
+	}
+	if w.wrote == 0 {
+		t.Error("no events were written before the close")
+	}
+}
+
+// TestTraceWriteFailureExitsNonzero: a failing -trace writer on the engine
+// path is reported, the file is closed, and the command exits nonzero even
+// though the run itself succeeded.
+func TestTraceWriteFailureExitsNonzero(t *testing.T) {
+	writers := map[string]*failingWriter{}
+	interceptCreate(t, func(path string) (io.WriteCloser, error) {
+		w := &failingWriter{failWrite: true}
+		writers[filepath.Base(path)] = w
+		return w, nil
+	})
+
+	code, out, errOut := runCLI(t, "-alg", "FloodSet", "-model", "RS", "-values", "0,5,9",
+		"-trace", "out.trace.json", "-trace-html", "out.trace.html")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut)
+	}
+	// The narrative still printed — the trace failure is additive.
+	if !strings.Contains(out, "round 1") {
+		t.Errorf("run narrative missing despite trace-only failure:\n%s", out)
+	}
+	if len(writers) != 2 {
+		t.Fatalf("expected 2 trace files created, got %d", len(writers))
+	}
+	for name, w := range writers {
+		if !w.closed {
+			t.Errorf("%s was not closed after its write failed", name)
+		}
+	}
+	if !strings.Contains(errOut, "injected write failure") {
+		t.Errorf("stderr does not surface the write failure:\n%s", errOut)
+	}
+}
+
+// TestTraceCreateFailureOnConformPath: when the trace file cannot even be
+// created on the live -conform path, the conformance verdict still prints
+// and the exit code is 1.
+func TestTraceCreateFailureOnConformPath(t *testing.T) {
+	interceptCreate(t, func(path string) (io.WriteCloser, error) {
+		return nil, errors.New("injected create failure")
+	})
+
+	code, out, errOut := runCLI(t, "-alg", "FloodSet", "-model", "RS", "-values", "0,5,9",
+		"-conform", "-trace", "out.trace.json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "conformance FloodSet/RS") {
+		t.Errorf("conformance verdict missing:\n%s", out)
+	}
+	if !strings.Contains(errOut, "injected create failure") {
+		t.Errorf("stderr does not surface the create failure:\n%s", errOut)
+	}
+}
+
+// TestTraceFilesWrittenOnSuccess is the happy-path twin: real files land on
+// disk, the attribution table prints, and the reconcile verdict appears.
+func TestTraceFilesWrittenOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "run.trace.json")
+	htmlPath := filepath.Join(dir, "run.trace.html")
+	code, out, errOut := runCLI(t, "-alg", "FloodSetWS", "-model", "RWS", "-values", "0,1,2",
+		"-conform", "-trace", jsonPath, "-trace-html", htmlPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut, out)
+	}
+	for _, want := range []string{"latency degree", "observed rounds reconcile with the engine replay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, p := range []string{jsonPath, htmlPath} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("trace file missing: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command ssfd-trace analyzes a saved causal trace: it reads the Chrome
+// trace-event JSON that ssfd-run -trace writes, decomposes each process's
+// decision latency into round-barrier, detector-timeout, transport and
+// compute time, and prints the attribution table. The same file loads
+// unchanged in Perfetto (ui.perfetto.dev) or chrome://tracing; this
+// command is the terminal-side view of it.
+//
+// Usage:
+//
+//	ssfd-run -alg A1 -model RS -values 3,1,2 -conform -trace run.trace.json
+//	ssfd-trace run.trace.json
+//	ssfd-trace -json run.trace.json            # attribution as JSON
+//	ssfd-trace -html timeline.html run.trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obscli"
+	"repro/internal/tracing"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ssfd-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "print the attribution as JSON instead of a table")
+	htmlOut := fs.String("html", "", "additionally re-export the trace as a self-contained HTML timeline to this file")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: ssfd-trace [-json] [-html out.html] trace.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	tr, err := tracing.ReadChrome(f)
+	closeErr := f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if closeErr != nil {
+		fmt.Fprintln(stderr, closeErr)
+		return 1
+	}
+
+	if *htmlOut != "" {
+		out, err := obscli.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := tr.WriteHTML(out)
+		cerr := out.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintf(stderr, "html export: write=%v close=%v\n", werr, cerr)
+			return 1
+		}
+	}
+
+	attr := tracing.Attribute(tr)
+	code := 0
+	if err := attr.CheckSums(); err != nil {
+		// A trace whose components do not tile its latency is corrupt or
+		// hand-edited; report but still print what was computed.
+		fmt.Fprintln(stderr, err)
+		code = 1
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(attr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return code
+	}
+	fmt.Fprint(stdout, attr.Table())
+	return code
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// golden is the committed deterministic trace shared with the exporter
+// golden tests; analyzing it exercises the full read→attribute→print path
+// on a known input.
+const golden = "../../internal/tracing/testdata/golden_floodsetws_rws_seed42.trace.json"
+
+func runTrace(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestTableOutput(t *testing.T) {
+	code, out, errOut := runTrace(t, golden)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	for _, want := range []string{"FloodSetWS/RWS", "latency degree", "share:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, errOut := runTrace(t, "-json", golden)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var attr struct {
+		Algorithm string `json:"algorithm"`
+		Procs     []struct {
+			Proc  int   `json:"proc"`
+			Total int64 `json:"total"`
+		} `json:"procs"`
+	}
+	if err := json.Unmarshal([]byte(out), &attr); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if attr.Algorithm != "FloodSetWS" || len(attr.Procs) == 0 {
+		t.Errorf("unexpected attribution: %+v", attr)
+	}
+}
+
+func TestHTMLReExport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "timeline.html")
+	code, _, errOut := runTrace(t, "-html", out, golden)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<!DOCTYPE html>") {
+		t.Errorf("re-export is not an HTML document")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if code, _, _ := runTrace(t); code != 2 {
+		t.Errorf("no arguments exited %d, want 2", code)
+	}
+	if code, _, _ := runTrace(t, "missing.json"); code != 2 {
+		t.Errorf("missing file exited %d, want 2", code)
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runTrace(t, garbage); code != 1 {
+		t.Errorf("garbage trace exited %d, want 1", code)
+	}
+}

@@ -228,7 +228,13 @@ type Injector struct {
 
 	closeOnce sync.Once
 	done      chan struct{}
-	wg        sync.WaitGroup
+	// closeMu orders delayed-delivery spawns against Close: Send takes the
+	// read side around wg.Add, so every Add happens before Close's Wait and
+	// no goroutine is spawned once closed is set (a WaitGroup alone cannot
+	// guarantee that — Add concurrent with Wait is a race).
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
 
 	dropLoss, dropPartition, dropCrash *obs.Counter
 	duplicated, reordered, delayed     *obs.Counter
@@ -312,7 +318,12 @@ func (in *Injector) runSchedule(sched []Transition) {
 // Close stops the scheduler and joins every delayed delivery. It does not
 // close the underlying transports — their owner does.
 func (in *Injector) Close() error {
-	in.closeOnce.Do(func() { close(in.done) })
+	in.closeOnce.Do(func() {
+		in.closeMu.Lock()
+		in.closed = true
+		in.closeMu.Unlock()
+		close(in.done)
+	})
 	in.wg.Wait()
 	return nil
 }
@@ -529,7 +540,15 @@ func (t *transport) Send(to model.ProcessID, data []byte) error {
 	// Held-back copy: deliver after the injected delay from a goroutine the
 	// injector owns and joins on Close. Late send errors are dropped — by
 	// then the message is "in the network", and a lossy network loses it.
+	// A send racing Close is likewise lost: the goroutine would only have
+	// parked on in.done.
+	in.closeMu.RLock()
+	if in.closed {
+		in.closeMu.RUnlock()
+		return nil
+	}
 	in.wg.Add(1)
+	in.closeMu.RUnlock()
 	go func() {
 		defer in.wg.Done()
 		timer := time.NewTimer(delay)

@@ -34,6 +34,16 @@ const (
 	// round-model delivery pattern from these events.
 	EventRecv EventType = "recv"
 
+	// EventArrive marks one data message landing at a live node's
+	// demultiplexer: Proc received sender From's message for Round. Emitted
+	// by the live runtime only, and only when an event sink is attached —
+	// it is the per-message arrival record the causal tracer (package
+	// tracing) needs to separate transport delay from barrier and
+	// detector-timeout waits, and to propagate Lamport clocks along
+	// message edges. The conformance projector ignores it: round-level
+	// reception is established by EventRecv alone.
+	EventArrive EventType = "arrive"
+
 	// EventPartition marks a scheduled network partition forming: To holds
 	// the isolated group, Value the schedule offset in milliseconds.
 	EventPartition EventType = "partition"
@@ -77,6 +87,18 @@ type Event struct {
 	Value *int64 `json:"value,omitempty"` // decision value (decide)
 
 	Truncated bool `json:"truncated,omitempty"` // run hit its round limit (run_end)
+
+	// Span context, stamped by a tracing.Tracer interposed on the sink
+	// chain (zero when no tracer is attached — the fields are omitted and
+	// the JSONL encoding is byte-identical to an untraced stream).
+	//
+	// TS is the event's wall-clock offset from the trace epoch in
+	// nanoseconds; Clock is the emitting process's Lamport clock after the
+	// event (receives join with the matching send's clock); Span is the
+	// enclosing span's identifier in the assembled trace.
+	TS    int64 `json:"ts,omitempty"`
+	Clock int64 `json:"clock,omitempty"`
+	Span  int64 `json:"span,omitempty"`
 }
 
 // Int64 is a convenience for populating pointer-valued event fields.

@@ -84,7 +84,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for name := range s.Histograms {
 		names = append(names, name)
 	}
-	return emitFamily(names, "histogram", func(name string) error {
+	if err := emitFamily(names, "histogram", func(name string) error {
 		base, labels := splitName(name)
 		h := s.Histograms[name]
 		var cum uint64
@@ -103,7 +103,40 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		}
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels), h.Count)
 		return err
-	})
+	}); err != nil {
+		return err
+	}
+
+	// Bucket-estimated quantiles (stats.BucketQuantile via Snapshot.Quantile)
+	// as a companion gauge family, so a scrape without a query engine still
+	// shows p50/p95/p99 — the summary view the CLIs print, server-side.
+	sort.Strings(names)
+	seen := map[string]bool{}
+	for _, name := range names {
+		base, labels := splitName(name)
+		h := s.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		qbase := base + "_quantile_estimate"
+		if !seen[qbase] {
+			seen[qbase] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", qbase); err != nil {
+				return err
+			}
+		}
+		for _, q := range [...]struct {
+			tag string
+			q   float64
+		}{{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}} {
+			qt := fmt.Sprintf("quantile=%q", q.tag)
+			if _, err := fmt.Fprintf(w, "%s%s %d\n",
+				qbase, joinLabels(labels, qt), h.Quantile(q.q)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Server exposes a registry over HTTP: GET /metrics serves the Prometheus

@@ -1,16 +1,29 @@
 // Package obscli wires the shared observability flags (-metrics, -events,
 // -cpuprofile, -memprofile) into the command-line tools. Each cmd registers
 // the flags before flag.Parse and calls Setup after; everything the flags
-// start is torn down by the returned func.
+// start is torn down by the returned func, which reports any write or
+// close failure so callers can fail the process instead of silently
+// truncating output files.
 package obscli
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/obs"
 )
+
+// Create is the file-creation seam every output file of the CLIs goes
+// through (the -events stream here, the trace exporters in ssfd-run).
+// Tests inject failing writers through it to prove the error paths still
+// flush, close and report.
+var Create = func(path string) (io.WriteCloser, error) {
+	return os.Create(path)
+}
 
 // Flags holds the registered flag values.
 type Flags struct {
@@ -37,14 +50,19 @@ func RegisterOn(fs *flag.FlagSet) *Flags {
 
 // Setup starts whatever the parsed flags requested: the metrics endpoint
 // (over obs.Default), the CPU profile, and the JSONL event emitter. It
-// returns the event sink (nil when -events is unset) and a teardown to
-// defer, which also writes the -memprofile.
-func (f *Flags) Setup() (obs.Sink, func(), error) {
-	var teardowns []func()
-	teardown := func() {
+// returns the event sink (nil when -events is unset) and a teardown to run
+// on every exit path — including error exits — which flushes and closes
+// everything and returns the first failure (it also writes -memprofile).
+func (f *Flags) Setup() (obs.Sink, func() error, error) {
+	var teardowns []func() error
+	teardown := func() error {
+		var errs []error
 		for i := len(teardowns) - 1; i >= 0; i-- {
-			teardowns[i]()
+			if err := teardowns[i](); err != nil {
+				errs = append(errs, err)
+			}
 		}
+		return errors.Join(errs...)
 	}
 
 	if *f.CPUProfile != "" {
@@ -52,47 +70,50 @@ func (f *Flags) Setup() (obs.Sink, func(), error) {
 		if err != nil {
 			return nil, teardown, err
 		}
-		teardowns = append(teardowns, func() {
-			if err := stop(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		})
+		teardowns = append(teardowns, stop)
 	}
 	if *f.Metrics != "" {
 		srv, err := obs.StartServer(*f.Metrics, nil)
 		if err != nil {
-			teardown()
-			return nil, func() {}, err
+			terr := teardown()
+			return nil, func() error { return terr }, err
 		}
 		fmt.Fprintf(os.Stderr, "metrics: %s/metrics\n", srv.URL())
-		teardowns = append(teardowns, func() { _ = srv.Close() })
+		teardowns = append(teardowns, srv.Close)
 	}
 
 	var sink obs.Sink
 	if *f.Events != "" {
-		file, err := os.Create(*f.Events)
+		file, err := Create(*f.Events)
 		if err != nil {
-			teardown()
-			return nil, func() {}, fmt.Errorf("obscli: create events file: %w", err)
+			terr := teardown()
+			return nil, func() error { return terr }, fmt.Errorf("obscli: create events file: %w", err)
 		}
-		em := obs.NewEmitter(file)
+		// Buffered: a JSONL stream is many small writes, and the flush on
+		// teardown is what makes "the run failed mid-way" still leave a
+		// complete, parseable file behind.
+		buf := bufio.NewWriter(file)
+		em := obs.NewEmitter(buf)
 		sink = em
-		teardowns = append(teardowns, func() {
+		teardowns = append(teardowns, func() error {
+			var errs []error
 			if err := em.Err(); err != nil {
-				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+				errs = append(errs, fmt.Errorf("obscli: events stream: %w", err))
+			}
+			if err := buf.Flush(); err != nil {
+				errs = append(errs, fmt.Errorf("obscli: flushing events file: %w", err))
 			}
 			if err := file.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "events: %v\n", err)
+				errs = append(errs, fmt.Errorf("obscli: closing events file: %w", err))
 			}
+			return errors.Join(errs...)
 		})
 	}
 
 	if *f.MemProfile != "" {
 		path := *f.MemProfile
-		teardowns = append(teardowns, func() {
-			if err := obs.WriteHeapProfile(path); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
+		teardowns = append(teardowns, func() error {
+			return obs.WriteHeapProfile(path)
 		})
 	}
 	return sink, teardown, nil

@@ -123,7 +123,7 @@ func NewNode(alg rounds.Algorithm, cfg NodeConfig) (*Node, error) {
 		byRnd:     make(map[int]map[model.ProcessID]rounds.Message),
 		arrive:    make(chan struct{}, 1),
 		stopDemux: make(chan struct{}),
-		metrics:   newNodeMetrics(reg),
+		metrics:   newNodeMetrics(reg, alg.Name(), cfg.Kind),
 		result:    NodeResult{ID: cfg.ID},
 	}, nil
 }
@@ -157,8 +157,16 @@ func (n *Node) demuxLoop() {
 				m = make(map[model.ProcessID]rounds.Message, n.cfg.N)
 				n.byRnd[env.Round] = m
 			}
+			_, dup := m[env.From]
 			m[env.From] = env.Payload
 			n.mu.Unlock()
+			if n.cfg.Events != nil && !dup {
+				// Per-message arrival record for the causal tracer: one per
+				// (sender, round), so duplicated deliveries don't double the
+				// happens-before edges.
+				n.cfg.Events.Emit(obs.Event{Type: obs.EventArrive, Round: env.Round,
+					Proc: int(n.cfg.ID), From: int(env.From)})
+			}
 			select {
 			case n.arrive <- struct{}{}:
 			default:
@@ -171,18 +179,23 @@ func (n *Node) demuxLoop() {
 // (crash semantics). It returns the generated message slice.
 func (n *Node) sendRound(round, reach int) ([]rounds.Message, error) {
 	msgs := n.proc.Msgs(round)
-	sent := 0
 	var dests []int
-	for j := 1; j <= n.cfg.N; j++ {
+	for j := 1; j <= n.cfg.N && len(dests) < reach; j++ {
+		if model.ProcessID(j) != n.cfg.ID {
+			dests = append(dests, j)
+		}
+	}
+	// The send event precedes the first transmission: a causal tracer on
+	// the sink chain must record this broadcast's Lamport clock before any
+	// of its packets can land at a receiver (whose arrival event joins with
+	// it). The conformance projector ignores send events, and on a
+	// transport error below the whole run aborts, so the optimistic
+	// emission never misleads a consumer.
+	if n.cfg.Events != nil && len(dests) > 0 {
+		n.cfg.Events.Emit(obs.Event{Type: obs.EventSend, Round: round, From: int(n.cfg.ID), To: dests})
+	}
+	for _, j := range dests {
 		dest := model.ProcessID(j)
-		if dest == n.cfg.ID {
-			continue
-		}
-		if sent >= reach {
-			break
-		}
-		sent++
-		dests = append(dests, j)
 		var payload rounds.Message
 		if msgs != nil {
 			payload = msgs[dest]
@@ -198,9 +211,6 @@ func (n *Node) sendRound(round, reach int) ([]rounds.Message, error) {
 		if err := n.cfg.Transport.Send(dest, data); err != nil {
 			return nil, err
 		}
-	}
-	if n.cfg.Events != nil && len(dests) > 0 {
-		n.cfg.Events.Emit(obs.Event{Type: obs.EventSend, Round: round, From: int(n.cfg.ID), To: dests})
 	}
 	return msgs, nil
 }

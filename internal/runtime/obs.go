@@ -2,10 +2,12 @@ package runtime
 
 import (
 	"repro/internal/obs"
+	"repro/internal/rounds"
 )
 
 // Metric names exported by the live runtime. Transport metrics carry a
-// {transport="chan"} or {transport="tcp"} label.
+// {transport="chan"} or {transport="tcp"} label; the round-duration
+// histogram carries {algorithm="...",model="..."}.
 const (
 	MetricRoundDuration       = "ssfd_node_round_duration_ns" // histogram, nanoseconds
 	MetricNodeRounds          = "ssfd_node_rounds_total"
@@ -36,9 +38,13 @@ type nodeMetrics struct {
 	waitTimeouts  *obs.Counter // RWS wait-bound expiries (liveness guard)
 }
 
-func newNodeMetrics(reg *obs.Registry) nodeMetrics {
+func newNodeMetrics(reg *obs.Registry, algorithm string, kind rounds.ModelKind) nodeMetrics {
+	// Per-round wall-clock is the trace-level quantity the paper's §5
+	// efficiency claim is about; labelling it by algorithm and model lets
+	// one exposition endpoint show the RS-vs-RWS latency split directly.
+	name := obs.Label(obs.Label(MetricRoundDuration, "algorithm", algorithm), "model", kind.String())
 	return nodeMetrics{
-		roundDuration: reg.Histogram(MetricRoundDuration, obs.DefaultDurationBuckets),
+		roundDuration: reg.Histogram(name, obs.DefaultDurationBuckets),
 		rounds:        reg.Counter(MetricNodeRounds),
 		heartbeats:    reg.Counter(MetricHeartbeatsReceived),
 		waitTimeouts:  reg.Counter(MetricNodeWaitTimeouts),

@@ -64,8 +64,9 @@ func TestClusterMetricsEndpoint(t *testing.T) {
 	if got := snap.Counter(MetricSuspicionsRaised); got < 2 {
 		t.Errorf("suspicions raised = %d, want ≥ 2", got)
 	}
-	if got := snap.Histograms[MetricRoundDuration].Count; got == 0 {
-		t.Error("no round durations observed")
+	labeled := obs.Label(obs.Label(MetricRoundDuration, "algorithm", "FloodSetWS"), "model", "RWS")
+	if got := snap.Histograms[labeled].Count; got == 0 {
+		t.Error("no round durations observed under the algorithm/model label")
 	}
 	// Perfect detection over the synchronous default network: the retracted
 	// counter must agree with the result's false-suspicion tally (both 0).

@@ -1,0 +1,326 @@
+package tracing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rounds"
+)
+
+// Components decomposes a stretch of decision latency into the four places
+// time can go in these protocols:
+//
+//   - Barrier: an RS round's residual wait after the last message arrived —
+//     the lock-step discipline's fixed price, paid even when every message
+//     is already in.
+//   - FDTimeout: an RWS round's residual wait for the failure detector to
+//     suspect a crashed peer — the receive-or-suspect loop blocked on
+//     missing senders, released only by suspicion.
+//   - Transport: time spent waiting for messages actually in flight (and,
+//     in an RWS round where every peer delivered, the full wait — nothing
+//     but transport held the round open).
+//   - Compute: broadcast, transition and decision testing.
+//
+// All values are trace nanoseconds (wall for live traces, synthetic units
+// for engine traces). The decomposition is exact by construction: the four
+// components tile the contiguous send/wait/compute phases of each round,
+// so they sum to the measured decision latency with no residue.
+type Components struct {
+	Barrier   int64 `json:"barrier"`
+	FDTimeout int64 `json:"fd_timeout"`
+	Transport int64 `json:"transport"`
+	Compute   int64 `json:"compute"`
+}
+
+// Total returns the component sum.
+func (c Components) Total() int64 { return c.Barrier + c.FDTimeout + c.Transport + c.Compute }
+
+func (c *Components) add(d Components) {
+	c.Barrier += d.Barrier
+	c.FDTimeout += d.FDTimeout
+	c.Transport += d.Transport
+	c.Compute += d.Compute
+}
+
+// RoundComponents is one round's share of a process's decision latency.
+type RoundComponents struct {
+	Round int `json:"round"`
+	Components
+}
+
+// ProcAttribution is one process's decision-latency decomposition.
+type ProcAttribution struct {
+	Proc        int   `json:"proc"`
+	Decided     bool  `json:"decided"`
+	Crashed     bool  `json:"crashed"`
+	DecideRound int   `json:"decide_round,omitempty"`
+	Start       int64 `json:"start"` // first round's open, trace ns
+	Total       int64 `json:"total"` // decide TS − Start (0 if undecided)
+
+	Rounds []RoundComponents `json:"rounds,omitempty"`
+	Components
+}
+
+// Attribution is a whole trace's latency decomposition.
+type Attribution struct {
+	Algorithm string `json:"algorithm"`
+	Model     string `json:"model"`
+	N         int    `json:"n"`
+	T         int    `json:"t"`
+	Timebase  string `json:"timebase"`
+
+	Procs []ProcAttribution `json:"procs"`
+}
+
+// ObservedRounds returns the trace-observed latency degree: the maximum
+// decide round over the processes that decided and never crashed — the
+// same population rounds.Run.Latency ranges over, so the two reconcile.
+// Zero when no correct process decided.
+func (a *Attribution) ObservedRounds() int {
+	max := 0
+	for i := range a.Procs {
+		if p := &a.Procs[i]; p.Decided && !p.Crashed && p.DecideRound > max {
+			max = p.DecideRound
+		}
+	}
+	return max
+}
+
+// Attribute decomposes each process's decision latency. For every round up
+// to the decision round, the send span is compute, and the wait span splits
+// at the last in-wait arrival from the round's reception record: the prefix
+// is transport, the tail is barrier (RS), detector timeout (RWS with a
+// missing sender), or more transport (RWS where every peer delivered — the
+// last arrival itself released the wait). The decision round's compute span
+// is truncated at the decide instant, so the per-round components sum
+// exactly to decideTS − firstRoundStart.
+func Attribute(tr *Trace) *Attribution {
+	a := &Attribution{Algorithm: tr.Algorithm, Model: tr.Model, N: tr.N, T: tr.T, Timebase: tr.Timebase}
+
+	type key struct{ proc, round int }
+	phases := make(map[key]map[string]*Span) // (proc, round) → kind → span
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		switch sp.Kind {
+		case KindSend, KindWait, KindCompute:
+			k := key{sp.Proc, sp.Round}
+			if phases[k] == nil {
+				phases[k] = make(map[string]*Span, 3)
+			}
+			phases[k][sp.Kind] = sp
+		}
+	}
+	lastArrive := make(map[key]int64) // (proc, round) → latest in-wait arrival TS
+	decideTS := make(map[int]int64)
+	decideRound := make(map[int]int)
+	crashed := make(map[int]bool)
+	for i := range tr.Points {
+		pt := &tr.Points[i]
+		switch pt.Kind {
+		case PointArrive:
+			k := key{pt.Proc, pt.Round}
+			if pt.TS > lastArrive[k] {
+				lastArrive[k] = pt.TS
+			}
+		case PointDecide:
+			if _, dup := decideRound[pt.Proc]; !dup {
+				decideRound[pt.Proc] = pt.Round
+				decideTS[pt.Proc] = pt.TS
+			}
+		case PointCrash:
+			if pt.Proc != 0 {
+				crashed[pt.Proc] = true
+			}
+		}
+	}
+
+	for p := 1; p <= tr.N; p++ {
+		pa := ProcAttribution{Proc: p, Crashed: crashed[p]}
+		dr, decided := decideRound[p]
+		pa.Decided = decided
+		if first := phases[key{p, 1}]; first != nil && first[KindSend] != nil {
+			pa.Start = first[KindSend].Start
+		}
+		if decided {
+			pa.DecideRound = dr
+			pa.Total = decideTS[p] - pa.Start
+			for r := 1; r <= dr; r++ {
+				ph := phases[key{p, r}]
+				if ph == nil {
+					continue
+				}
+				var rc RoundComponents
+				rc.Round = r
+				if sp := ph[KindSend]; sp != nil {
+					rc.Compute += sp.Duration()
+				}
+				if sp := ph[KindWait]; sp != nil {
+					arr := lastArrive[key{p, r}]
+					if arr < sp.Start || len(sp.Peers) == 0 {
+						arr = sp.Start // nothing arrived inside the wait
+					}
+					if arr > sp.End {
+						arr = sp.End
+					}
+					rc.Transport += arr - sp.Start
+					tail := sp.End - arr
+					switch {
+					case tr.Model == rounds.RS.String():
+						rc.Barrier += tail
+					case len(sp.Peers) < tr.N-1:
+						// Some sender never delivered: the receive-or-suspect
+						// loop was released by suspicion, not reception.
+						rc.FDTimeout += tail
+					default:
+						rc.Transport += tail
+					}
+				}
+				if sp := ph[KindCompute]; sp != nil {
+					end := sp.End
+					if r == dr {
+						end = decideTS[p] // decision latency stops here
+					}
+					rc.Compute += end - sp.Start
+				}
+				pa.Rounds = append(pa.Rounds, rc)
+				pa.Components.add(rc.Components)
+			}
+		}
+		a.Procs = append(a.Procs, pa)
+	}
+	return a
+}
+
+// CheckSums verifies the decomposition invariant: every decided process's
+// components sum exactly to its measured decision latency.
+func (a *Attribution) CheckSums() error {
+	for i := range a.Procs {
+		p := &a.Procs[i]
+		if !p.Decided {
+			continue
+		}
+		if got := p.Components.Total(); got != p.Total {
+			return fmt.Errorf("tracing: p%d components sum to %d, measured total %d", p.Proc, got, p.Total)
+		}
+	}
+	return nil
+}
+
+// ReconcileRounds checks the trace against the engine replay of the same
+// schedule: the trace-observed latency degree must match the run's, and
+// every decided process's decide round must agree. A mismatch means the
+// live execution diverged from the round-model semantics the conformance
+// projector assigned it.
+func ReconcileRounds(a *Attribution, run *rounds.Run) error {
+	want, ok := run.Latency()
+	if !ok {
+		return fmt.Errorf("tracing: replay has no finite latency (a correct process never decided)")
+	}
+	if got := a.ObservedRounds(); got != want {
+		return fmt.Errorf("tracing: trace observed %d rounds to decision, replay latency is %d", got, want)
+	}
+	for i := range a.Procs {
+		p := &a.Procs[i]
+		if p.Proc >= len(run.DecidedAt) {
+			return fmt.Errorf("tracing: trace process p%d outside replay's n=%d", p.Proc, run.N)
+		}
+		if wantAt := run.DecidedAt[p.Proc]; p.Decided && wantAt != p.DecideRound {
+			return fmt.Errorf("tracing: p%d decided at round %d in trace, %d in replay", p.Proc, p.DecideRound, wantAt)
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a component value for the attribution table: milliseconds
+// for wall traces, units for synthetic ones.
+func fmtDur(v int64, timebase string) string {
+	if timebase == "synthetic" {
+		return fmt.Sprintf("%gu", float64(v)/float64(Unit))
+	}
+	return fmt.Sprintf("%.3fms", float64(v)/1e6)
+}
+
+// Table renders the attribution as an aligned text table: one row per
+// decided process plus a totals row, with the share of each component.
+func (a *Attribution) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s n=%d t=%d (%s timebase)\n", a.Algorithm, a.Model, a.N, a.T, a.Timebase)
+
+	rows := [][]string{{"proc", "decided", "round", "barrier", "fd-timeout", "transport", "compute", "total"}}
+	var sum Components
+	var grand int64
+	for i := range a.Procs {
+		p := &a.Procs[i]
+		switch {
+		case p.Crashed:
+			rows = append(rows, []string{fmt.Sprintf("p%d", p.Proc), "crashed", "-", "-", "-", "-", "-", "-"})
+			continue
+		case !p.Decided:
+			rows = append(rows, []string{fmt.Sprintf("p%d", p.Proc), "no", "-", "-", "-", "-", "-", "-"})
+			continue
+		}
+		sum.add(p.Components)
+		grand += p.Total
+		rows = append(rows, []string{
+			fmt.Sprintf("p%d", p.Proc), "yes", fmt.Sprintf("%d", p.DecideRound),
+			fmtDur(p.Barrier, a.Timebase), fmtDur(p.FDTimeout, a.Timebase),
+			fmtDur(p.Transport, a.Timebase), fmtDur(p.Compute, a.Timebase),
+			fmtDur(p.Total, a.Timebase),
+		})
+	}
+	rows = append(rows, []string{"all", "", "", fmtDur(sum.Barrier, a.Timebase),
+		fmtDur(sum.FDTimeout, a.Timebase), fmtDur(sum.Transport, a.Timebase),
+		fmtDur(sum.Compute, a.Timebase), fmtDur(grand, a.Timebase)})
+
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			for c, w := range widths {
+				if c > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteString("\n")
+		}
+	}
+	if grand > 0 {
+		fmt.Fprintf(&b, "latency degree (rounds to all-correct decided): %d\n", a.ObservedRounds())
+		share := func(v int64) string { return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(grand)) }
+		fmt.Fprintf(&b, "share: barrier %s, fd-timeout %s, transport %s, compute %s\n",
+			share(sum.Barrier), share(sum.FDTimeout), share(sum.Transport), share(sum.Compute))
+	}
+	return b.String()
+}
+
+// procIDs returns the sorted process identifiers appearing in the trace —
+// the exporters' track order.
+func (t *Trace) procIDs() []int {
+	seen := map[int]bool{}
+	for i := range t.Spans {
+		if t.Spans[i].Proc != 0 {
+			seen[t.Spans[i].Proc] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,156 @@
+package tracing
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+func vals(vs ...int64) []model.Value {
+	out := make([]model.Value, len(vs)+1)
+	for i, v := range vs {
+		out[i+1] = model.Value(v)
+	}
+	return out
+}
+
+func mustRun(t *testing.T, kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value, tt int, adv rounds.Adversary) *rounds.Run {
+	t.Helper()
+	run, err := rounds.RunAlgorithm(kind, alg, initial, tt, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestAttributionSumsToTotal is the property test of the issue's acceptance
+// criteria: across every algorithm × model pairing and a battery of seeded
+// adversaries, the four attribution components of every decided process sum
+// exactly to its measured decision latency, and the trace-observed round
+// count reconciles against the run itself.
+func TestAttributionSumsToTotal(t *testing.T) {
+	cases := []struct {
+		kind rounds.ModelKind
+		alg  rounds.Algorithm
+	}{
+		{rounds.RS, consensus.FloodSet{}},
+		{rounds.RS, consensus.A1{}},
+		{rounds.RWS, consensus.FloodSetWS{}},
+		{rounds.RWS, consensus.A1{}}, // incorrect in RWS, but traces still attribute
+	}
+	for _, tc := range cases {
+		for seed := int64(0); seed < 8; seed++ {
+			name := fmt.Sprintf("%s/%s/seed=%d", tc.alg.Name(), tc.kind, seed)
+			t.Run(name, func(t *testing.T) {
+				adv := rounds.NewRandomAdversary(seed, 0.3, 0.2)
+				run := mustRun(t, tc.kind, tc.alg, vals(3, 1, 4, 1), 1, adv)
+				tr := Synthesize(run)
+				a := Attribute(tr)
+				if err := a.CheckSums(); err != nil {
+					t.Fatal(err)
+				}
+				if lat, ok := run.Latency(); ok {
+					if got := a.ObservedRounds(); got != lat {
+						t.Errorf("observed rounds %d, run latency %d", got, lat)
+					}
+					if err := ReconcileRounds(a, run); err != nil {
+						t.Error(err)
+					}
+				}
+				// RS traces must attribute no detector time; detector time is
+				// an RWS-only phenomenon.
+				for _, p := range a.Procs {
+					if tc.kind == rounds.RS && p.FDTimeout != 0 {
+						t.Errorf("p%d: RS attribution has fd-timeout %d", p.Proc, p.FDTimeout)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAttributionSectionFiveContrast is the paper-facing acceptance check:
+// on the same failure-free scenario (n=3, t=1), A1 over RS decides at round
+// 1 with no round-2 cost at all, while FloodSetWS over RWS — like every
+// correct RWS uniform consensus algorithm (§5.3, Λ ≥ 2) — pays a visible
+// round-2 wait.
+func TestAttributionSectionFiveContrast(t *testing.T) {
+	initial := vals(3, 1, 4)
+
+	rs := Attribute(Synthesize(mustRun(t, rounds.RS, consensus.A1{}, initial, 1, rounds.NoFailures)))
+	rws := Attribute(Synthesize(mustRun(t, rounds.RWS, consensus.FloodSetWS{}, initial, 1, rounds.NoFailures)))
+
+	if got := rs.ObservedRounds(); got != 1 {
+		t.Fatalf("A1/RS failure-free decides at round %d, want 1 (Λ(A1)=1)", got)
+	}
+	if got := rws.ObservedRounds(); got != 2 {
+		t.Fatalf("FloodSetWS/RWS failure-free decides at round %d, want 2 (Λ ≥ 2)", got)
+	}
+	for _, p := range rs.Procs {
+		if len(p.Rounds) != 1 {
+			t.Errorf("RS p%d attribution covers %d rounds, want exactly 1 — no round-2 cost", p.Proc, len(p.Rounds))
+		}
+	}
+	for _, p := range rws.Procs {
+		if len(p.Rounds) != 2 {
+			t.Fatalf("RWS p%d attribution covers %d rounds, want 2", p.Proc, len(p.Rounds))
+		}
+		r2 := p.Rounds[1]
+		if wait := r2.Transport + r2.FDTimeout + r2.Barrier; wait <= 0 {
+			t.Errorf("RWS p%d round 2 shows no wait cost; the ≥2-round price should be visible", p.Proc)
+		}
+	}
+}
+
+// TestAttributeCrashedAndUndecided covers the non-deciding rows: a crashed
+// process is flagged, attributes nothing, and keeps the table renderable.
+func TestAttributeCrashedAndUndecided(t *testing.T) {
+	adv := &rounds.CrashOnceAdversary{Victim: 1, Round: 1, Reach: 0}
+	run := mustRun(t, rounds.RS, consensus.FloodSet{}, vals(3, 1, 4), 1, adv)
+	a := Attribute(Synthesize(run))
+	if err := a.CheckSums(); err != nil {
+		t.Fatal(err)
+	}
+	var crashedRow *ProcAttribution
+	for i := range a.Procs {
+		if a.Procs[i].Proc == 1 {
+			crashedRow = &a.Procs[i]
+		}
+	}
+	if crashedRow == nil || !crashedRow.Crashed || crashedRow.Decided {
+		t.Fatalf("p1 row = %+v, want crashed and undecided", crashedRow)
+	}
+	if crashedRow.Components.Total() != 0 {
+		t.Errorf("crashed process attributed %d, want 0", crashedRow.Components.Total())
+	}
+
+	table := a.Table()
+	for _, want := range []string{"crashed", "barrier", "fd-timeout", "latency degree"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestReconcileRoundsDetectsDivergence checks the failure mode: a doctored
+// trace whose decide round disagrees with the replay must be rejected.
+func TestReconcileRoundsDetectsDivergence(t *testing.T) {
+	run := mustRun(t, rounds.RS, consensus.FloodSet{}, vals(3, 1, 4), 1, rounds.NoFailures)
+	a := Attribute(Synthesize(run))
+	if err := ReconcileRounds(a, run); err != nil {
+		t.Fatalf("faithful trace rejected: %v", err)
+	}
+	for i := range a.Procs {
+		if a.Procs[i].Decided {
+			a.Procs[i].DecideRound++ // doctor one decision round
+			break
+		}
+	}
+	if err := ReconcileRounds(a, run); err == nil {
+		t.Error("doctored trace reconciled cleanly")
+	}
+}

@@ -1,0 +1,155 @@
+package tracing
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/rounds"
+)
+
+var update = flag.Bool("update", false, "rewrite the exporter golden files")
+
+// goldenRun is the fixed scenario behind the exporter golden files: an RWS
+// FloodSetWS run under a seeded adversary, so the schedule — and therefore
+// the synthetic trace — is fully deterministic.
+func goldenRun(t *testing.T) *rounds.Run {
+	t.Helper()
+	return mustRun(t, rounds.RWS, consensus.FloodSetWS{}, vals(3, 1, 4), 1,
+		rounds.NewRandomAdversary(42, 0.5, 0.3))
+}
+
+// TestChromeGolden is the determinism check of the issue's acceptance
+// criteria: a fixed seed produces byte-identical Chrome trace JSON, pinned
+// by a committed golden file. Run with -update to regenerate.
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Synthesize(goldenRun(t)).WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two synthesize+export passes over the same schedule must agree byte
+	// for byte before we even consult the golden file.
+	var again bytes.Buffer
+	if err := Synthesize(goldenRun(t)).WriteChrome(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two exports of the same schedule differ")
+	}
+
+	golden := filepath.Join("testdata", "golden_floodsetws_rws_seed42.trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export drifted from the golden file (rerun with -update if intended)")
+	}
+
+	// The export must also be a valid Chrome trace container.
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("no trace events in the export")
+	}
+}
+
+// TestChromeRoundTrip checks ReadChrome inverts WriteChrome on everything
+// the attribution analyzer consumes: the re-read trace attributes
+// identically to the original.
+func TestChromeRoundTrip(t *testing.T) {
+	tr := Synthesize(goldenRun(t))
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != tr.Algorithm || back.Model != tr.Model ||
+		back.N != tr.N || back.T != tr.T || back.Timebase != tr.Timebase {
+		t.Errorf("round-tripped coordinate = %s/%s n=%d t=%d %s, want %s/%s n=%d t=%d %s",
+			back.Algorithm, back.Model, back.N, back.T, back.Timebase,
+			tr.Algorithm, tr.Model, tr.N, tr.T, tr.Timebase)
+	}
+	if len(back.Spans) != len(tr.Spans) || len(back.Points) != len(tr.Points) {
+		t.Fatalf("round trip lost records: %d/%d spans, %d/%d points",
+			len(back.Spans), len(tr.Spans), len(back.Points), len(tr.Points))
+	}
+	a, b := Attribute(tr), Attribute(back)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("attribution changed across the round trip:\n%s\nvs\n%s", a.Table(), b.Table())
+	}
+	if err := b.CheckSums(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHTMLGolden smoke-checks the HTML export — self-contained page, the
+// embedded data block parses, and the determinism golden holds.
+func TestHTMLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Synthesize(goldenRun(t)).WriteHTML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		`<script type="application/json" id="ssfd-trace-data">`,
+		"FloodSetWS", "RWS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html export missing %q", want)
+		}
+	}
+	if strings.Contains(out, "http://") || strings.Contains(out, "https://") {
+		t.Error("html export references external assets; it must be self-contained")
+	}
+
+	// The embedded block must parse back to the span counts of the trace.
+	start := strings.Index(out, `id="ssfd-trace-data">`) + len(`id="ssfd-trace-data">`)
+	end := strings.Index(out[start:], "</script>")
+	var data struct {
+		Spans  []map[string]any `json:"spans"`
+		Points []map[string]any `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(out[start:start+end]), &data); err != nil {
+		t.Fatalf("embedded data block is not valid JSON: %v", err)
+	}
+	tr := Synthesize(goldenRun(t))
+	if len(data.Spans) != len(tr.Spans) || len(data.Points) != len(tr.Points) {
+		t.Errorf("embedded block has %d spans / %d points, trace has %d / %d",
+			len(data.Spans), len(data.Points), len(tr.Spans), len(tr.Points))
+	}
+
+	golden := filepath.Join("testdata", "golden_floodsetws_rws_seed42.trace.html")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("html export drifted from the golden file (rerun with -update if intended)")
+	}
+}

@@ -1,0 +1,132 @@
+package tracing
+
+import (
+	"repro/internal/model"
+	"repro/internal/rounds"
+)
+
+// Unit is the synthetic timebase's base unit in trace nanoseconds: one
+// phase-quarter of a round. Synthesize lays every round out on a fixed
+// grid — send [0,1u), wait [1u,3u), compute [3u,4u) — so two engine runs
+// with the same schedule produce byte-identical traces, and a synthetic
+// trace renders side-by-side with a live one in the same viewer.
+const Unit = int64(1e6)
+
+// roundSpan is the synthetic extent of round r (1-based): 4 units.
+func roundStart(r int) int64 { return int64(r-1) * 4 * Unit }
+
+// Synthesize builds a causal trace from an engine run record. The engines
+// execute rounds atomically, so the trace's times are synthetic (Timebase
+// "synthetic"): deterministic functions of the schedule alone. The span
+// structure — run→round→send/wait/compute per process, arrival and decide
+// points, Lamport clocks joined along message edges — is exactly what a
+// live Tracer assembles, so emulated and live executions of the same
+// schedule render identically and feed the same attribution analyzer.
+func Synthesize(run *rounds.Run) *Trace {
+	tr := &Trace{
+		Algorithm: run.Algorithm,
+		Model:     run.Model.String(),
+		N:         run.N,
+		T:         run.T,
+		Timebase:  "synthetic",
+	}
+
+	var nextID SpanID
+	span := func(parent SpanID, proc int, kind, cat string, round int, start, end, c0, c1 int64) SpanID {
+		nextID++
+		tr.Spans = append(tr.Spans, Span{
+			ID: nextID, Parent: parent, Proc: proc, Kind: kind, Cat: cat, Round: round,
+			Start: start, End: end, StartClock: c0, EndClock: c1,
+		})
+		return nextID
+	}
+
+	total := roundStart(len(run.Rounds) + 1)
+	sched := span(0, 0, KindSchedule, CatRounds, 0, 0, total, 0, 0)
+
+	clock := make([]int64, run.N+1)
+	roots := make([]SpanID, run.N+1)
+	for p := 1; p <= run.N; p++ {
+		end := total
+		if cr := run.CrashRound[p]; cr != 0 {
+			end = roundStart(cr) + Unit
+		}
+		roots[p] = span(sched, p, KindRun, CatRounds, 0, 0, end, 0, 0)
+	}
+
+	openClock := make([]int64, run.N+1) // clock at round open, this round
+	sendClock := make([]int64, run.N+1) // clock after the round's broadcast
+	for ri := range run.Rounds {
+		rec := &run.Rounds[ri]
+		r := rec.Round
+		r0 := roundStart(r)
+
+		// Broadcast half-step first, for every participant: arrival joins in
+		// the reception half-step below need all of the round's send clocks.
+		for p := 1; p <= run.N; p++ {
+			if !rec.AliveStart.Has(model.ProcessID(p)) {
+				continue
+			}
+			clock[p]++ // round open
+			openClock[p] = clock[p]
+			clock[p]++ // broadcast
+			sendClock[p] = clock[p]
+		}
+
+		for p := 1; p <= run.N; p++ {
+			if !rec.AliveStart.Has(model.ProcessID(p)) {
+				continue
+			}
+			if rec.Crashed.Has(model.ProcessID(p)) {
+				// A crashing process performs its (partial) broadcast and
+				// halts: the round truncates after the send phase.
+				rd := span(roots[p], p, KindRound, CatRounds, r, r0, r0+Unit, openClock[p], clock[p])
+				span(rd, p, KindSend, CatRounds, r, r0, r0+Unit, openClock[p], sendClock[p])
+				clock[p]++
+				tr.Points = append(tr.Points, Point{Parent: rd, Proc: p, Kind: PointCrash,
+					Cat: CatRounds, Round: r, TS: r0 + Unit, Clock: clock[p]})
+				continue
+			}
+
+			rd := span(roots[p], p, KindRound, CatRounds, r, r0, r0+4*Unit, openClock[p], 0)
+			span(rd, p, KindSend, CatRounds, r, r0, r0+Unit, openClock[p], sendClock[p])
+
+			// Reception: one arrival per sender whose message reached p,
+			// joining p's clock with the sender's broadcast clock.
+			var peers []int
+			wait := span(rd, p, KindWait, CatRounds, r, r0+Unit, r0+3*Unit, sendClock[p], 0)
+			for j := 1; j <= run.N; j++ {
+				if j == p || !rec.Reached[j].Has(model.ProcessID(p)) {
+					continue
+				}
+				peers = append(peers, j)
+				c := clock[p]
+				if sendClock[j] > c {
+					c = sendClock[j]
+				}
+				clock[p] = c + 1
+				tr.Points = append(tr.Points, Point{Parent: wait, Proc: p, Kind: PointArrive,
+					Cat: CatRounds, Round: r, From: j, TS: r0 + 2*Unit, Clock: clock[p]})
+			}
+			clock[p]++ // round close: the reception record is taken
+			ws := &tr.Spans[wait-1]
+			ws.EndClock = clock[p]
+			ws.Peers = peers
+
+			comp := span(rd, p, KindCompute, CatRounds, r, r0+3*Unit, r0+4*Unit, clock[p], 0)
+			if run.DecidedAt[p] == r {
+				clock[p]++
+				v := int64(run.DecisionOf[p])
+				tr.Points = append(tr.Points, Point{Parent: comp, Proc: p, Kind: PointDecide,
+					Cat: CatRounds, Round: r, Value: &v, TS: r0 + 3*Unit + Unit/2, Clock: clock[p]})
+			}
+			tr.Spans[comp-1].EndClock = clock[p]
+			tr.Spans[rd-1].EndClock = clock[p]
+		}
+	}
+
+	for p := 1; p <= run.N; p++ {
+		tr.Spans[roots[p]-1].EndClock = clock[p]
+	}
+	return tr
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/sdd"
 	"repro/internal/trace"
+	"repro/internal/tracing"
 )
 
 // Fundamental re-exported types.
@@ -345,3 +346,62 @@ func RunFingerprint(run *RoundRun) string { return conform.Fingerprint(run) }
 func EnumerateRunSpace(meta ConformMeta, opts ExploreOptions) (*RunSpace, error) {
 	return conform.EnumerateSpace(meta, opts)
 }
+
+// ---------------------------------------------------------------------------
+// Causal tracing & latency attribution (internal/tracing): happens-before
+// spans over live or emulated executions, Perfetto-loadable exports, and the
+// decomposition of each process's decision latency into round-barrier,
+// detector-timeout, transport and compute time.
+type (
+	// CausalTrace is an assembled happens-before trace: per-process span
+	// trees (run → round → send/wait/compute) Lamport-stamped so the
+	// receive of a message is ordered after its send across processes.
+	CausalTrace = tracing.Trace
+	// CausalSpan is one interval of a trace.
+	CausalSpan = tracing.Span
+	// CausalPoint is one instantaneous trace event (arrive, suspect,
+	// decide, crash).
+	CausalPoint = tracing.Point
+	// CausalTracer observes a live cluster's event stream (plug it in as
+	// ClusterConfig.Events) and assembles the CausalTrace; chain the
+	// original sink through NewCausalTracer to keep JSONL logging.
+	CausalTracer = tracing.Tracer
+	// LatencyAttribution decomposes decision latency per process and per
+	// round; see Attribute.
+	LatencyAttribution = tracing.Attribution
+	// LatencyComponents is one barrier/fd-timeout/transport/compute split.
+	LatencyComponents = tracing.Components
+)
+
+// NewCausalTracer returns a tracer for a live run of algorithm alg in the
+// given model with n processes tolerating t crashes. next (may be nil)
+// receives every event after stamping, so tracing composes with -events
+// style JSONL sinks.
+func NewCausalTracer(algorithm, model string, n, t int, next EventSink) *CausalTracer {
+	return tracing.NewTracer(algorithm, model, n, t, next)
+}
+
+// SynthesizeTrace renders a completed round-model run as a CausalTrace on a
+// synthetic timebase, so emulated and live executions draw identically.
+func SynthesizeTrace(run *RoundRun) *CausalTrace { return tracing.Synthesize(run) }
+
+// Attribute decomposes each process's decision latency into its components;
+// the components tile the latency exactly (Attribution.CheckSums).
+func Attribute(tr *CausalTrace) *LatencyAttribution { return tracing.Attribute(tr) }
+
+// ReconcileTrace cross-checks a trace's attribution against the engine
+// replay of the same schedule: observed decision rounds must match.
+func ReconcileTrace(a *LatencyAttribution, run *RoundRun) error {
+	return tracing.ReconcileRounds(a, run)
+}
+
+// WriteChromeTrace exports tr as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing; ReadChromeTrace is its
+// inverse.
+func WriteChromeTrace(tr *CausalTrace, w io.Writer) error { return tr.WriteChrome(w) }
+
+// ReadChromeTrace parses a trace previously written by WriteChromeTrace.
+func ReadChromeTrace(r io.Reader) (*CausalTrace, error) { return tracing.ReadChrome(r) }
+
+// WriteHTMLTimeline exports tr as a self-contained HTML timeline.
+func WriteHTMLTimeline(tr *CausalTrace, w io.Writer) error { return tr.WriteHTML(w) }
