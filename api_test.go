@@ -3,6 +3,7 @@ package repro
 import (
 	"bytes"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -102,6 +103,53 @@ func TestRunLiveAPI(t *testing.T) {
 	}
 	if v, ok := cr.Agreement(); !ok || v != 2 {
 		t.Errorf("live agreement = (%d,%v), want (2,true)", v, ok)
+	}
+	// Every live run carries its transport cost accounting.
+	var cost *CostSummary = cr.Cost
+	if cost == nil || cost.Decisions != 3 || cost.DataMessagesPerDecision <= 0 {
+		t.Errorf("cost summary = %+v, want 3 decisions with positive data cost", cost)
+	}
+	var links *LinkTelemetry = cr.Links
+	if links == nil || links.Totals().MsgsSent == 0 {
+		t.Error("no per-link telemetry on the cluster result")
+	}
+}
+
+func TestFlightRecorderAPI(t *testing.T) {
+	rec := NewFlightRecorder(64, nil)
+	cr, err := RunLive(FloodSet(), ClusterConfig{
+		Kind: RS, Initial: []Value{4, 2, 7}, T: 1,
+		Flight: rec, Events: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cr.Agreement(); !ok {
+		t.Fatal("no agreement")
+	}
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	if err := rec.DumpTo(path); err != nil {
+		t.Fatal(err)
+	}
+	dump, err := ReadFlightDump(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Records) == 0 {
+		t.Fatal("empty flight dump")
+	}
+	var sends, decides int
+	for _, r := range dump.Records {
+		var rec FlightRecord = r
+		switch rec.Kind {
+		case "send":
+			sends++
+		case "decide":
+			decides++
+		}
+	}
+	if sends == 0 || decides != 3 {
+		t.Errorf("flight dump has %d sends and %d decides, want >0 and 3", sends, decides)
 	}
 }
 

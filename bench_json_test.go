@@ -19,7 +19,9 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/explore"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rounds"
+	"repro/internal/runtime"
 )
 
 type exploreBenchRow struct {
@@ -31,11 +33,28 @@ type exploreBenchRow struct {
 	Speedup     float64 `json:"speedup_vs_1_worker"`
 }
 
+// exploreCostRow records one live cluster's transport cost per decision.
+// The data_* figures count only round/protocol traffic (heartbeats
+// excluded), so they are deterministic at fixed topology and comparable
+// across machines; the totals include the failure detector's heartbeats,
+// whose count depends on run wall-clock and is therefore informational
+// only (ssfd-bench -compare never enforces a tolerance on them).
+type exploreCostRow struct {
+	Algorithm               string  `json:"algorithm"`
+	Model                   string  `json:"model"`
+	Decisions               int     `json:"decisions"`
+	MessagesPerDecision     float64 `json:"messages_per_decision"`
+	BytesPerDecision        float64 `json:"bytes_per_decision"`
+	DataMessagesPerDecision float64 `json:"data_messages_per_decision"`
+	DataBytesPerDecision    float64 `json:"data_bytes_per_decision"`
+}
+
 type exploreBenchReport struct {
 	Sweep     string            `json:"sweep"`
 	CPUs      int               `json:"cpus"` // speedup is bounded by this
 	GoVersion string            `json:"go_version"`
 	Rows      []exploreBenchRow `json:"rows"`
+	CostRows  []exploreCostRow  `json:"cost_rows,omitempty"`
 }
 
 func TestWriteExploreBenchJSON(t *testing.T) {
@@ -89,6 +108,43 @@ func TestWriteExploreBenchJSON(t *testing.T) {
 	}
 	for i := range report.Rows {
 		report.Rows[i].Speedup = report.Rows[i].RunsPerSec / base
+	}
+
+	// Transport cost baselines: one failure-free live cluster (n=3, t=1)
+	// per algorithm/model pair. The data_* columns are what -compare
+	// enforces; see exploreCostRow.
+	costCases := []struct {
+		name string
+		alg  rounds.Algorithm
+		kind rounds.ModelKind
+	}{
+		{"FloodSet", consensus.FloodSet{}, rounds.RS},
+		{"C_OptFloodSet", consensus.COptFloodSet{}, rounds.RS},
+		{"A1", consensus.A1{}, rounds.RS},
+		{"FloodSetWS", consensus.FloodSetWS{}, rounds.RWS},
+		{"C_OptFloodSetWS", consensus.COptFloodSetWS{}, rounds.RWS},
+		{"A1", consensus.A1{}, rounds.RWS},
+	}
+	for _, cc := range costCases {
+		cr, err := runtime.RunCluster(cc.alg, runtime.ClusterConfig{
+			Kind: cc.kind, Initial: []model.Value{0, 1, 2}, T: 1,
+			Metrics: obs.NewRegistry(), RWSWaitBound: 150 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("cost baseline %s/%v: %v", cc.name, cc.kind, err)
+		}
+		if cr.Cost == nil || cr.Cost.Decisions == 0 {
+			t.Fatalf("cost baseline %s/%v: no cost summary (%+v)", cc.name, cc.kind, cr.Cost)
+		}
+		report.CostRows = append(report.CostRows, exploreCostRow{
+			Algorithm:               cc.name,
+			Model:                   cc.kind.String(),
+			Decisions:               cr.Cost.Decisions,
+			MessagesPerDecision:     cr.Cost.MessagesPerDecision,
+			BytesPerDecision:        cr.Cost.BytesPerDecision,
+			DataMessagesPerDecision: cr.Cost.DataMessagesPerDecision,
+			DataBytesPerDecision:    cr.Cost.DataBytesPerDecision,
+		})
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -18,11 +18,26 @@ type compareRow struct {
 	Speedup     float64 `json:"speedup_vs_1_worker"`
 }
 
+// compareCostRow mirrors the artifact's cost_rows: per-algorithm transport
+// cost of one live n=3 t=1 cluster. Only the data_* columns are enforced —
+// the totals include failure-detector heartbeats, whose count scales with
+// run wall-clock and is not comparable across machines or loads.
+type compareCostRow struct {
+	Algorithm               string  `json:"algorithm"`
+	Model                   string  `json:"model"`
+	Decisions               int     `json:"decisions"`
+	MessagesPerDecision     float64 `json:"messages_per_decision"`
+	BytesPerDecision        float64 `json:"bytes_per_decision"`
+	DataMessagesPerDecision float64 `json:"data_messages_per_decision"`
+	DataBytesPerDecision    float64 `json:"data_bytes_per_decision"`
+}
+
 type compareReport struct {
-	Sweep     string       `json:"sweep"`
-	CPUs      int          `json:"cpus"`
-	GoVersion string       `json:"go_version"`
-	Rows      []compareRow `json:"rows"`
+	Sweep     string           `json:"sweep"`
+	CPUs      int              `json:"cpus"`
+	GoVersion string           `json:"go_version"`
+	Rows      []compareRow     `json:"rows"`
+	CostRows  []compareCostRow `json:"cost_rows"`
 }
 
 func readCompareReport(path string) (*compareReport, error) {
@@ -113,6 +128,44 @@ func runCompare(oldPath, newPath string, tolerance float64, stdout, stderr io.Wr
 				nr.Workers, or.AllocsPerOp, nr.AllocsPerOp, (ratio-1)*100, verdict)
 		}
 	}
+	// Transport cost regression: data messages/bytes per decision are
+	// deterministic at fixed topology, so they get the same tolerance gate
+	// as throughput. The heartbeat-inclusive totals are printed for context
+	// but never enforced (their count is wall-clock-dependent).
+	oldCost := make(map[string]compareCostRow, len(oldRep.CostRows))
+	for _, r := range oldRep.CostRows {
+		oldCost[r.Algorithm+"/"+r.Model] = r
+	}
+	for _, nr := range newRep.CostRows {
+		key := nr.Algorithm + "/" + nr.Model
+		or, ok := oldCost[key]
+		if !ok {
+			fmt.Fprintf(stdout, "  cost %s: new row has no old counterpart, skipped\n", key)
+			continue
+		}
+		matched++
+		check := func(metric string, oldV, newV float64) {
+			if oldV <= 0 {
+				return
+			}
+			ratio := newV / oldV
+			verdict := "ok"
+			if ratio > 1+tolerance {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "  cost %s %s: %.2f -> %.2f (%+.1f%%) %s\n",
+				key, metric, oldV, newV, (ratio-1)*100, verdict)
+		}
+		check("data_messages_per_decision", or.DataMessagesPerDecision, nr.DataMessagesPerDecision)
+		check("data_bytes_per_decision", or.DataBytesPerDecision, nr.DataBytesPerDecision)
+		if or.MessagesPerDecision > 0 && nr.MessagesPerDecision > 0 {
+			fmt.Fprintf(stdout, "  cost %s totals (informational, heartbeats included): %.2f -> %.2f msgs/decision, %.1f -> %.1f B/decision\n",
+				key, or.MessagesPerDecision, nr.MessagesPerDecision,
+				or.BytesPerDecision, nr.BytesPerDecision)
+		}
+	}
+
 	if matched == 0 {
 		fmt.Fprintln(stderr, "no comparable rows (worker counts disjoint)")
 		return 2

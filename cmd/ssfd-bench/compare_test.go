@@ -140,6 +140,55 @@ func TestCompareDifferentCPUsSkipsTiming(t *testing.T) {
 	}
 }
 
+// TestCompareDetectsCostRegression: growing data bytes/decision beyond the
+// tolerance fails, and the artifact's cost rows are all compared.
+func TestCompareDetectsCostRegression(t *testing.T) {
+	rep := loadArtifact(t)
+	if len(rep.CostRows) == 0 {
+		t.Fatal("committed artifact has no cost_rows; regenerate BENCH_explore.json")
+	}
+	rep.CostRows[0].DataBytesPerDecision *= 1.5
+	costly := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, costly, 0.15, &stdout, &stderr); code != 1 {
+		t.Fatalf("cost regression exited %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "data_bytes_per_decision") {
+		t.Errorf("cost column not named in output:\n%s", stdout.String())
+	}
+	for _, r := range loadArtifact(t).CostRows {
+		if !strings.Contains(stdout.String(), "cost "+r.Algorithm+"/"+r.Model) {
+			t.Errorf("cost row %s/%s missing from comparison output", r.Algorithm, r.Model)
+		}
+	}
+}
+
+// TestCompareHeartbeatTotalsNotEnforced: the heartbeat-inclusive totals
+// scale with wall-clock, so even a large total growth must not fail as long
+// as the data_* columns hold — the totals appear only as informational
+// lines.
+func TestCompareHeartbeatTotalsNotEnforced(t *testing.T) {
+	rep := loadArtifact(t)
+	if len(rep.CostRows) == 0 {
+		t.Fatal("committed artifact has no cost_rows; regenerate BENCH_explore.json")
+	}
+	for i := range rep.CostRows {
+		rep.CostRows[i].MessagesPerDecision *= 10
+		rep.CostRows[i].BytesPerDecision *= 10
+	}
+	slow := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, slow, 0.15, &stdout, &stderr); code != 0 {
+		t.Fatalf("heartbeat total growth exited %d, want 0 (totals must be informational)\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "informational") {
+		t.Errorf("informational totals line missing:\n%s", stdout.String())
+	}
+}
+
 // TestCompareBadInputs: unreadable files, empty reports, disjoint worker
 // sets and nonsense tolerances are usage errors (exit 2), not regressions.
 func TestCompareBadInputs(t *testing.T) {
@@ -159,6 +208,7 @@ func TestCompareBadInputs(t *testing.T) {
 	for i := range rep.Rows {
 		rep.Rows[i].Workers += 1000
 	}
+	rep.CostRows = nil // cost rows alone would still be comparable
 	disjoint := writeReport(t, rep)
 	if code := runCompare(benchArtifact, disjoint, 0.15, &stdout, &stderr); code != 2 {
 		t.Errorf("disjoint worker sets exited %d, want 2", code)

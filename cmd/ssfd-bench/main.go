@@ -87,7 +87,7 @@ func run() (code int) {
 	}()
 
 	if *faultSpec != "" {
-		return runChaos(*faultSpec, sink)
+		return runChaos(*faultSpec, sink, obsFlags)
 	}
 
 	cfg := core.Config{Trials: *trials, Seed: *seed, Live: *live, Events: sink, Workers: *workers}
@@ -146,7 +146,7 @@ func run() (code int) {
 // runChaos executes one live FloodSetWS cluster (n=3, t=1) under the
 // scripted fault spec and prints the verdict plus the deterministic
 // fault-decision log.
-func runChaos(spec string, sink obs.Sink) int {
+func runChaos(spec string, sink obs.Sink, obsFlags *obscli.Flags) int {
 	fcfg, err := faults.ParseSpec(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -157,6 +157,7 @@ func runChaos(spec string, sink obs.Sink) int {
 	cr, err := runtime.RunCluster(consensus.FloodSetWS{}, runtime.ClusterConfig{
 		Kind: rounds.RWS, Initial: []model.Value{4, 2, 7}, T: 1,
 		Faults: &fcfg, RWSWaitBound: 150 * time.Millisecond, Events: sink,
+		Flight: obsFlags.FlightRecorder(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -172,6 +173,7 @@ func runChaos(spec string, sink obs.Sink) int {
 	fmt.Printf("  detector perfect: %v (retractions %d, sticky false suspicions %d), agreement: %v, encode errors: %d, elapsed %v\n",
 		cr.DetectorWasPerfect, cr.FalseSuspicions, cr.FalselySuspected, agree, cr.EncodeErrors,
 		cr.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  %s\n", cr.Cost)
 	for _, tr := range cr.PartitionLog {
 		fmt.Printf("  transition: %s\n", tr)
 	}
@@ -191,6 +193,13 @@ func runChaos(spec string, sink obs.Sink) int {
 	// Exit status reflects the detector verdict only: agreement loss under
 	// an adversary powerful enough to break P is a finding, not a failure.
 	if !cr.DetectorWasPerfect {
+		// A chaos run that broke the detector is exactly what the flight
+		// recorder exists for; dump the ring for post-mortem (-flight).
+		if ok, err := obsFlags.DumpFlight(); err != nil {
+			fmt.Fprintf(os.Stderr, "flight: dump failed: %v\n", err)
+		} else if ok {
+			fmt.Fprintf(os.Stderr, "flight: dumped recorder to %s\n", *obsFlags.Flight)
+		}
 		return 1
 	}
 	return 0

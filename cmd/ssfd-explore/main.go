@@ -57,6 +57,7 @@ func run() (code int) {
 	refute := flag.Bool("refute", false, "run the §5.3 round-1 refuter against the algorithm")
 	counter := flag.Bool("counterexample", false, "search exhaustively for a uniform-consensus violation and print it")
 	progress := flag.Int("progress", 0, "report exploration progress to stderr every N runs (0 = silent)")
+	expect := flag.Int("expect", 0, "anticipated total run count (e.g. from a prior sweep); adds % done and ETA to -progress lines")
 	workers := flag.Int("workers", 0, "explorer worker goroutines (0 = sequential, -1 = one per CPU)")
 	obsFlags := obscli.Register()
 	flag.Parse()
@@ -86,12 +87,17 @@ func run() (code int) {
 		return 2
 	}
 
-	opts := explore.Options{Workers: *workers}
+	opts := explore.Options{Workers: *workers, ExpectedRuns: *expect}
 	if *progress > 0 {
 		opts.ProgressEvery = *progress
 		opts.Progress = func(p explore.Progress) {
-			fmt.Fprintf(os.Stderr, "progress: %d runs (%.0f/s), %d plans, %d forks, depth %d, %v elapsed\n",
+			line := fmt.Sprintf("progress: %d runs (%.0f/s), %d plans, %d forks, depth %d, %v elapsed",
 				p.Runs, p.RunsPerSec, p.Plans, p.Clones, p.Depth, p.Elapsed.Round(time.Millisecond))
+			if p.Expected > 0 {
+				line += fmt.Sprintf(", %.1f%% done, ETA %v",
+					100*float64(p.Runs)/float64(p.Expected), p.ETA.Round(time.Second))
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	// emitRun streams a printed witness run to the -events file, so the

@@ -23,12 +23,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/conform"
 	"repro/internal/consensus"
 	"repro/internal/faults"
 	"repro/internal/model"
+	"repro/internal/netobs"
 	"repro/internal/obs"
 	"repro/internal/obscli"
 	"repro/internal/rounds"
@@ -126,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	faultsSpec := fs.String("faults", "", "fault-injector spec for -conform (see internal/faults.ParseSpec, e.g. seed=7,dup=0.25,spike=1ms-2ms@0.2)")
 	tracePath := fs.String("trace", "", "write the run's causal trace as Chrome trace-event JSON (load in Perfetto) to this file")
 	traceHTML := fs.String("trace-html", "", "write the run's causal trace as a self-contained HTML timeline to this file")
+	roundDur := fs.Duration("round-duration", 0, "override the live cluster's RS round duration (-conform only; 0 keeps the default)")
 	obsFlags := obscli.RegisterOn(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -175,8 +178,18 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	n := len(initial)
 
 	if *conformFlag {
-		return runConform(alg, kind, initial, *t, *crashSpec, *dropSpec, *faultsSpec, *seed,
-			*tracePath, *traceHTML, sink, stdout, stderr)
+		code := runConform(alg, kind, initial, *t, *crashSpec, *dropSpec, *faultsSpec, *seed,
+			*tracePath, *traceHTML, *roundDur, obsFlags.FlightRecorder(), sink, stdout, stderr)
+		if code != 0 {
+			// Post-mortem: a failing live run leaves its flight dump behind
+			// (ssfd-trace -flight reads it).
+			if dumped, err := obsFlags.DumpFlight(); err != nil {
+				fmt.Fprintf(stderr, "flight: %v\n", err)
+			} else if dumped {
+				fmt.Fprintf(stderr, "flight: dumped recorder to %s\n", *obsFlags.Flight)
+			}
+		}
+		return code
 	}
 
 	var adv rounds.Adversary
@@ -260,7 +273,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 // trace-observed decision rounds must match the engine replay.
 func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Value, t int,
 	crashSpec, dropSpec, faultsSpec string, seed int64,
-	tracePath, traceHTML string, sink obs.Sink, stdout, stderr io.Writer) int {
+	tracePath, traceHTML string, roundDur time.Duration, flight *netobs.Recorder,
+	sink obs.Sink, stdout, stderr io.Writer) int {
 	if dropSpec != "" {
 		fmt.Fprintln(stderr, "-drop is an engine-adversary event; a live network cannot script pending messages (use -faults to perturb the network instead)")
 		return 2
@@ -269,7 +283,8 @@ func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Val
 		fmt.Fprintln(stderr, "-seed selects the engine's random adversary; it has no live counterpart (use -faults seed=... instead)")
 		return 2
 	}
-	cfg := runtime.ClusterConfig{Kind: kind, Initial: initial, T: t, Events: sink}
+	cfg := runtime.ClusterConfig{Kind: kind, Initial: initial, T: t, Events: sink,
+		RoundDuration: roundDur, Flight: flight}
 	var tracer *tracing.Tracer
 	if tracePath != "" || traceHTML != "" {
 		tracer = tracing.NewTracer(alg.Name(), kind.String(), len(initial), t, sink)
@@ -295,7 +310,7 @@ func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Val
 	// The explorer is exponential in n and t; past the paper's coordinates
 	// the replay diff alone certifies the run.
 	opts := conform.Options{ExpectConsensus: true, Enumerate: len(initial) <= 4 && t <= 2}
-	rep, _, err := conform.CheckLive(alg, cfg, opts)
+	rep, cres, err := conform.CheckLive(alg, cfg, opts)
 
 	tracesOK := true
 	var attr *tracing.Attribution
@@ -309,6 +324,13 @@ func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Val
 		return 1
 	}
 	fmt.Fprint(stdout, rep.String())
+	if cres != nil && cres.Cost != nil {
+		fmt.Fprintln(stdout, cres.Cost.String())
+		for _, kt := range cres.WireKinds {
+			fmt.Fprintf(stdout, "  wire %-9s encoded %5d (%6d B)  decoded %5d (%6d B)\n",
+				kt.Kind, kt.Encoded, kt.EncodedBytes, kt.Decoded, kt.DecodedBytes)
+		}
+	}
 	if attr != nil {
 		fmt.Fprint(stdout, attr.Table())
 		if err := attr.CheckSums(); err != nil {

@@ -5,12 +5,19 @@
 // unchanged in Perfetto (ui.perfetto.dev) or chrome://tracing; this
 // command is the terminal-side view of it.
 //
+// With -flight it instead ingests a flight-recorder dump (the deterministic
+// JSONL ring that ssfd-run and ssfd-bench write on crash, conformance
+// failure or SIGQUIT) and prints the post-mortem: per-kind transport
+// activity, per-link totals, drops by reason, and the final records before
+// the dump.
+//
 // Usage:
 //
 //	ssfd-run -alg A1 -model RS -values 3,1,2 -conform -trace run.trace.json
 //	ssfd-trace run.trace.json
 //	ssfd-trace -json run.trace.json            # attribution as JSON
 //	ssfd-trace -html timeline.html run.trace.json
+//	ssfd-trace -flight flight.jsonl            # flight-dump post-mortem
 package main
 
 import (
@@ -19,7 +26,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"repro/internal/netobs"
 	"repro/internal/obscli"
 	"repro/internal/tracing"
 )
@@ -33,8 +42,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "print the attribution as JSON instead of a table")
 	htmlOut := fs.String("html", "", "additionally re-export the trace as a self-contained HTML timeline to this file")
+	flightIn := fs.Bool("flight", false, "treat the input as a flight-recorder dump and print its post-mortem")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: ssfd-trace [-json] [-html out.html] trace.json")
+		fmt.Fprintln(stderr, "       ssfd-trace -flight flight.jsonl")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -43,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return 2
+	}
+	if *flightIn {
+		return runFlight(fs.Arg(0), stdout, stderr)
 	}
 
 	f, err := os.Open(fs.Arg(0))
@@ -94,4 +108,106 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprint(stdout, attr.Table())
 	return code
+}
+
+// runFlight ingests a flight-recorder dump and prints the post-mortem.
+func runFlight(path string, stdout, stderr io.Writer) int {
+	d, err := netobs.ReadDumpFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "flight dump: %d records (ring capacity %d, %d evicted before dump)\n",
+		d.Header.Count, d.Header.Capacity, d.Header.Dropped)
+
+	type key struct{ cat, kind string }
+	kinds := map[key]int{}
+	links := map[string]struct {
+		msgs  int
+		bytes int
+	}{}
+	drops := map[string]int{}
+	for _, r := range d.Records {
+		kinds[key{r.Cat, r.Kind}]++
+		if r.Link != "" && r.Kind == "send" {
+			l := links[r.Link]
+			l.msgs++
+			l.bytes += r.Bytes
+			links[r.Link] = l
+		}
+		if r.Kind == "drop" || r.Kind == "inject-drop" {
+			reason := r.Note
+			if reason == "" {
+				reason = r.Kind
+			}
+			drops[reason]++
+		}
+	}
+
+	sortedKeys := make([]key, 0, len(kinds))
+	for k := range kinds {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Slice(sortedKeys, func(i, j int) bool {
+		if sortedKeys[i].cat != sortedKeys[j].cat {
+			return sortedKeys[i].cat < sortedKeys[j].cat
+		}
+		return sortedKeys[i].kind < sortedKeys[j].kind
+	})
+	fmt.Fprintln(stdout, "activity:")
+	for _, k := range sortedKeys {
+		fmt.Fprintf(stdout, "  %-4s %-12s %6d\n", k.cat, k.kind, kinds[k])
+	}
+
+	if len(links) > 0 {
+		names := make([]string, 0, len(links))
+		for l := range links {
+			names = append(names, l)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(stdout, "per-link sends:")
+		for _, l := range names {
+			fmt.Fprintf(stdout, "  %-8s %6d msgs %8d B\n", l, links[l].msgs, links[l].bytes)
+		}
+	}
+	if len(drops) > 0 {
+		reasons := make([]string, 0, len(drops))
+		for r := range drops {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Fprintln(stdout, "drops:")
+		for _, r := range reasons {
+			fmt.Fprintf(stdout, "  %-12s %6d\n", r, drops[r])
+		}
+	}
+
+	tail := d.Records
+	const lastN = 10
+	if len(tail) > lastN {
+		tail = tail[len(tail)-lastN:]
+	}
+	if len(tail) > 0 {
+		fmt.Fprintf(stdout, "last %d records:\n", len(tail))
+		for _, r := range tail {
+			fmt.Fprintf(stdout, "  #%-6d %-4s %-12s", r.Seq, r.Cat, r.Kind)
+			if r.Link != "" {
+				fmt.Fprintf(stdout, " %s", r.Link)
+			}
+			if r.Proc != 0 {
+				fmt.Fprintf(stdout, " p%d", r.Proc)
+			}
+			if r.Round != 0 {
+				fmt.Fprintf(stdout, " r%d", r.Round)
+			}
+			if r.Bytes != 0 {
+				fmt.Fprintf(stdout, " %dB", r.Bytes)
+			}
+			if r.Note != "" {
+				fmt.Fprintf(stdout, " (%s)", r.Note)
+			}
+			fmt.Fprintln(stdout)
+		}
+	}
+	return 0
 }

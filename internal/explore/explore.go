@@ -45,6 +45,12 @@ type Options struct {
 	// MaxRuns aborts the exploration after this many complete runs
 	// (0 = unlimited). ErrBudget is returned when the cap is hit.
 	MaxRuns int
+	// ExpectedRuns is the anticipated size of the run space, used only to
+	// derive Progress.Expected/ETA (a prior sweep at the same parameters is
+	// the usual source). It never bounds the exploration — use MaxRuns for
+	// that. 0 falls back to MaxRuns, so budgeted sweeps get an ETA for
+	// free.
+	ExpectedRuns int
 
 	// Workers selects the execution mode: 0 runs the classic sequential
 	// DFS; n ≥ 1 drains the same space over a pool of n workers; any
@@ -209,7 +215,10 @@ func Explore(kind rounds.ModelKind, alg rounds.Algorithm, initial []model.Value,
 	if opts.Progress != nil && opts.ProgressEvery < 1 {
 		opts.ProgressEvery = 1000
 	}
-	sh := &shared{start: time.Now()}
+	sh := &shared{start: time.Now(), expected: opts.ExpectedRuns}
+	if sh.expected == 0 {
+		sh.expected = opts.MaxRuns
+	}
 	if workers := opts.workerCount(); workers > 0 {
 		return exploreParallel(root, opts, sh, reg, mkVisitor, workers)
 	}

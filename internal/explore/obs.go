@@ -25,6 +25,14 @@ type Progress struct {
 
 	Elapsed    time.Duration
 	RunsPerSec float64
+
+	// Expected is the anticipated total run count (Options.ExpectedRuns,
+	// falling back to MaxRuns); 0 when the size of the space is unknown.
+	Expected int
+	// ETA estimates the remaining wall-clock at the current rate. Only
+	// meaningful when Expected > 0 and RunsPerSec has stabilized; 0
+	// otherwise (or once Runs >= Expected).
+	ETA time.Duration
 }
 
 // exploreMetrics caches the explorer's counters.

@@ -25,6 +25,7 @@ type shared struct {
 
 	progressMu sync.Mutex
 	start      time.Time
+	expected   int // anticipated total runs (0 = unknown), for Progress ETA
 }
 
 // progress emits one Progress snapshot built from the shared totals. The
@@ -40,6 +41,10 @@ func (sh *shared) progress(fn func(Progress), depth int) {
 	if s := elapsed.Seconds(); s > 0 {
 		rps = float64(runs) / s
 	}
+	var eta time.Duration
+	if sh.expected > 0 && rps > 0 && runs < sh.expected {
+		eta = time.Duration(float64(sh.expected-runs) / rps * float64(time.Second))
+	}
 	fn(Progress{
 		Runs:       runs,
 		Plans:      int(sh.plans.Load()),
@@ -47,6 +52,8 @@ func (sh *shared) progress(fn func(Progress), depth int) {
 		Depth:      depth,
 		Elapsed:    elapsed,
 		RunsPerSec: rps,
+		Expected:   sh.expected,
+		ETA:        eta,
 	})
 }
 

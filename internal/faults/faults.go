@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/netobs"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -133,6 +134,9 @@ type Config struct {
 	Metrics *obs.Registry
 	// Events, when non-nil, receives partition/heal/crash/recover events.
 	Events obs.Sink
+	// Flight, when non-nil, mirrors every injected fault into the flight
+	// recorder.
+	Flight *netobs.Recorder
 }
 
 // Decision is one per-message fault verdict.
@@ -239,6 +243,8 @@ type Injector struct {
 	dropLoss, dropPartition, dropCrash *obs.Counter
 	duplicated, reordered, delayed     *obs.Counter
 	transitions                        *obs.Counter
+
+	flight *netobs.Recorder
 }
 
 // NewInjector builds an injector for the config.
@@ -258,6 +264,7 @@ func NewInjector(cfg Config) *Injector {
 		reordered:     reg.Counter(MetricReordered),
 		delayed:       reg.Counter(MetricDelayed),
 		transitions:   reg.Counter(MetricTransitions),
+		flight:        cfg.Flight,
 	}
 }
 
@@ -459,6 +466,16 @@ func (in *Injector) partitioned(from, to model.ProcessID, now time.Duration) boo
 	return false
 }
 
+// record mirrors one injected fault into the flight recorder (no-op
+// without one).
+func (in *Injector) record(from, to model.ProcessID, kind, note string) {
+	if in.flight == nil {
+		return
+	}
+	in.flight.Record(netobs.Record{Cat: netobs.CatNet, Kind: kind,
+		Transport: "faults", Link: netobs.Link{From: from, To: to}.String(), Note: note})
+}
+
 // Wrap subjects every send through t to the fault schedule. Receives pass
 // through untouched (faults are injected at the sending side, where the
 // link identity is known).
@@ -493,9 +510,11 @@ func (t *transport) Send(to model.ProcessID, data []byte) error {
 	switch {
 	case in.crashed(from, now) || in.crashed(to, now):
 		in.dropCrash.Inc()
+		in.record(from, to, "inject-drop", "crash")
 		return nil
 	case in.partitioned(from, to, now):
 		in.dropPartition.Inc()
+		in.record(from, to, "inject-drop", "partition")
 		return nil
 	}
 	l := Link{From: from, To: to}
@@ -509,19 +528,23 @@ func (t *transport) Send(to model.ProcessID, data []byte) error {
 	d := in.decide(l, lf)
 	if d.Drop {
 		in.dropLoss.Inc()
+		in.record(from, to, "inject-drop", "loss")
 		return nil
 	}
 	copies := 1
 	if d.Duplicate {
 		copies = 2
 		in.duplicated.Inc()
+		in.record(from, to, "inject-dup", "")
 	}
 	delay := d.Spike
 	if d.Spike > 0 {
 		in.delayed.Inc()
+		in.record(from, to, "inject-delay", "spike")
 	}
 	if d.Reorder {
 		in.reordered.Inc()
+		in.record(from, to, "inject-delay", "reorder")
 		rd := lf.ReorderDelay
 		if rd <= 0 {
 			rd = 2 * time.Millisecond

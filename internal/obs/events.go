@@ -52,7 +52,52 @@ const (
 	// EventRecover marks an injected crash-recovery: Proc rejoins the
 	// network after a blackhole window (its earlier EventCrash has Round 0).
 	EventRecover EventType = "recover"
+
+	// EventCost closes a live run with its transport cost accounting: the
+	// Cost field carries the run's message/byte totals and the derived
+	// messages/decision and bytes/decision figures. Emitted once per run by
+	// the live runtime, after every node has finished.
+	EventCost EventType = "cost"
 )
+
+// CostSummary is a live run's transport cost accounting — the quantity the
+// paper's efficiency results bound in rounds (Λ), measured here in messages
+// and bytes. Messages/Bytes count transport-level sends (heartbeats
+// included); DataMessages/DataBytes count wire-codec encodes of round
+// messages only (heartbeats excluded), which makes them deterministic for a
+// fixed scenario — the regression-comparable figures. Per-decision ratios
+// are zero when no process decided.
+type CostSummary struct {
+	Decisions int `json:"decisions"`
+
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+
+	DataMessages int64 `json:"data_messages"`
+	DataBytes    int64 `json:"data_bytes"`
+	Heartbeats   int64 `json:"heartbeats"`
+	Dropped      int64 `json:"dropped,omitempty"`
+
+	MessagesPerDecision     float64 `json:"messages_per_decision"`
+	BytesPerDecision        float64 `json:"bytes_per_decision"`
+	DataMessagesPerDecision float64 `json:"data_messages_per_decision"`
+	DataBytesPerDecision    float64 `json:"data_bytes_per_decision"`
+}
+
+// String renders the cost summary as the one-line figure the CLIs print.
+func (c *CostSummary) String() string {
+	if c == nil {
+		return "cost: (not measured)"
+	}
+	if c.Decisions == 0 {
+		return fmt.Sprintf("cost: %d msgs (%d B) sent, %d data msgs (%d B); no decisions",
+			c.Messages, c.Bytes, c.DataMessages, c.DataBytes)
+	}
+	return fmt.Sprintf("cost: %d msgs (%d B) sent, %d decisions -> %.2f msgs/decision (%.1f B); data only: %.2f msgs/decision (%.1f B)",
+		c.Messages, c.Bytes, c.Decisions,
+		c.MessagesPerDecision, c.BytesPerDecision,
+		c.DataMessagesPerDecision, c.DataBytesPerDecision)
+}
 
 // Event is one structured run event — the machine-readable twin of one
 // line of trace.RenderRun's narrative. Unused fields are omitted from the
@@ -87,6 +132,9 @@ type Event struct {
 	Value *int64 `json:"value,omitempty"` // decision value (decide)
 
 	Truncated bool `json:"truncated,omitempty"` // run hit its round limit (run_end)
+
+	// Cost is the run's transport cost accounting (cost events only).
+	Cost *CostSummary `json:"cost,omitempty"`
 
 	// Span context, stamped by a tracing.Tracer interposed on the sink
 	// chain (zero when no tracer is attached — the fields are omitted and

@@ -88,6 +88,21 @@ func (g *Gauge) Add(d int64) {
 	g.v.Add(d)
 }
 
+// Max raises the gauge to v if v exceeds the current value — the high-water
+// update used by queue-depth telemetry. Safe under concurrent Max calls; a
+// no-op on a nil gauge.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on a nil gauge).
 func (g *Gauge) Value() int64 {
 	if g == nil {

@@ -1,9 +1,9 @@
 // Package obscli wires the shared observability flags (-metrics, -events,
-// -cpuprofile, -memprofile) into the command-line tools. Each cmd registers
-// the flags before flag.Parse and calls Setup after; everything the flags
-// start is torn down by the returned func, which reports any write or
-// close failure so callers can fail the process instead of silently
-// truncating output files.
+// -flight, -cpuprofile, -memprofile) into the command-line tools. Each cmd
+// registers the flags before flag.Parse and calls Setup after; everything
+// the flags start is torn down by the returned func, which reports any
+// write or close failure so callers can fail the process instead of
+// silently truncating output files.
 package obscli
 
 import (
@@ -13,7 +13,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/netobs"
 	"repro/internal/obs"
 )
 
@@ -25,12 +28,23 @@ var Create = func(path string) (io.WriteCloser, error) {
 	return os.Create(path)
 }
 
-// Flags holds the registered flag values.
+// Flags holds the registered flag values. Unset pointer fields read as ""
+// (tests build partial literals).
 type Flags struct {
 	Metrics    *string
 	Events     *string
+	Flight     *string
 	CPUProfile *string
 	MemProfile *string
+
+	flight *netobs.Recorder
+}
+
+func strv(p *string) string {
+	if p == nil {
+		return ""
+	}
+	return *p
 }
 
 // Register installs the observability flags on the default FlagSet.
@@ -43,6 +57,7 @@ func RegisterOn(fs *flag.FlagSet) *Flags {
 	return &Flags{
 		Metrics:    fs.String("metrics", "", "serve Prometheus metrics and /healthz on this address (e.g. 127.0.0.1:9090) for the program's lifetime"),
 		Events:     fs.String("events", "", "append structured JSONL run events to this file"),
+		Flight:     fs.String("flight", "", "arm the flight recorder; dump recent transport/FD records to this file on failure or SIGQUIT"),
 		CPUProfile: fs.String("cpuprofile", "", "write a CPU profile to this file"),
 		MemProfile: fs.String("memprofile", "", "write a heap profile to this file on exit"),
 	}
@@ -65,14 +80,14 @@ func (f *Flags) Setup() (obs.Sink, func() error, error) {
 		return errors.Join(errs...)
 	}
 
-	if *f.CPUProfile != "" {
+	if strv(f.CPUProfile) != "" {
 		stop, err := obs.StartCPUProfile(*f.CPUProfile)
 		if err != nil {
 			return nil, teardown, err
 		}
 		teardowns = append(teardowns, stop)
 	}
-	if *f.Metrics != "" {
+	if strv(f.Metrics) != "" {
 		srv, err := obs.StartServer(*f.Metrics, nil)
 		if err != nil {
 			terr := teardown()
@@ -83,7 +98,7 @@ func (f *Flags) Setup() (obs.Sink, func() error, error) {
 	}
 
 	var sink obs.Sink
-	if *f.Events != "" {
+	if strv(f.Events) != "" {
 		file, err := Create(*f.Events)
 		if err != nil {
 			terr := teardown()
@@ -110,11 +125,52 @@ func (f *Flags) Setup() (obs.Sink, func() error, error) {
 		})
 	}
 
-	if *f.MemProfile != "" {
+	if strv(f.Flight) != "" {
+		// The recorder becomes the outermost event sink so detector and
+		// lifecycle events are captured alongside the transport records the
+		// runtime writes into it directly (via FlightRecorder below).
+		f.flight = netobs.NewRecorder(0, sink)
+		sink = f.flight
+		path := *f.Flight
+		// SIGQUIT dumps the ring and exits — the in-flight post-mortem hook
+		// CI's smoke test exercises. The goroutine is process-lifetime by
+		// design; teardown does not join it.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			<-quit
+			if err := f.flight.DumpTo(path); err != nil {
+				fmt.Fprintf(os.Stderr, "flight: dump failed: %v\n", err)
+				os.Exit(3)
+			}
+			fmt.Fprintf(os.Stderr, "flight: SIGQUIT, dumped recorder to %s\n", path)
+			os.Exit(2)
+		}()
+	}
+
+	if strv(f.MemProfile) != "" {
 		path := *f.MemProfile
 		teardowns = append(teardowns, func() error {
 			return obs.WriteHeapProfile(path)
 		})
 	}
 	return sink, teardown, nil
+}
+
+// FlightRecorder returns the armed flight recorder (nil without -flight).
+// Commands pass it to the runtime so transports and injectors record into
+// it.
+func (f *Flags) FlightRecorder() *netobs.Recorder { return f.flight }
+
+// DumpFlight writes the flight ring to the -flight path — the hook
+// commands call on a failing exit. A no-op (returning false) without
+// -flight.
+func (f *Flags) DumpFlight() (bool, error) {
+	if f.flight == nil {
+		return false, nil
+	}
+	if err := f.flight.DumpTo(*f.Flight); err != nil {
+		return false, err
+	}
+	return true, nil
 }

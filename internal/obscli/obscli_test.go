@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/netobs"
 	"repro/internal/obs"
 )
 
@@ -67,5 +68,60 @@ func TestSetupBadEventsPath(t *testing.T) {
 	if _, teardown, err := f.Setup(); err == nil {
 		teardown()
 		t.Fatal("expected error for uncreatable events file")
+	}
+}
+
+func TestSetupFlight(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "run.jsonl")
+	dump := filepath.Join(dir, "flight.jsonl")
+	f := &Flags{Events: str(events), Flight: str(dump)}
+	sink, teardown, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer teardown()
+
+	// The recorder is the outermost sink: events are captured into the
+	// ring AND forwarded to the -events stream.
+	rec := f.FlightRecorder()
+	if rec == nil || sink != obs.Sink(rec) {
+		t.Fatalf("flight recorder not chained as the sink (rec=%v)", rec)
+	}
+	sink.Emit(obs.Event{Type: obs.EventDecide, Round: 2, Proc: 1, Value: obs.Int64(7)})
+	if got := len(rec.Records()); got != 1 {
+		t.Fatalf("ring holds %d records, want 1", got)
+	}
+
+	dumped, err := f.DumpFlight()
+	if err != nil || !dumped {
+		t.Fatalf("DumpFlight = (%v, %v), want (true, nil)", dumped, err)
+	}
+	d, err := netobs.ReadDumpFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Records) != 1 || d.Records[0].Kind != "decide" {
+		t.Fatalf("dump records = %+v", d.Records)
+	}
+
+	if err := teardown(); err != nil {
+		t.Fatal(err)
+	}
+	// And the forwarded copy reached the -events stream.
+	if data, err := os.ReadFile(events); err != nil || len(data) == 0 {
+		t.Errorf("events file missing the forwarded event (err=%v, %d bytes)", err, len(data))
+	}
+}
+
+func TestDumpFlightUnarmed(t *testing.T) {
+	f := &Flags{}
+	if _, teardown, err := f.Setup(); err != nil {
+		t.Fatal(err)
+	} else {
+		defer teardown()
+	}
+	if dumped, err := f.DumpFlight(); dumped || err != nil {
+		t.Fatalf("unarmed DumpFlight = (%v, %v), want (false, nil)", dumped, err)
 	}
 }

@@ -7,8 +7,10 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/model"
+	"repro/internal/netobs"
 	"repro/internal/obs"
 	"repro/internal/rounds"
+	"repro/internal/wire"
 )
 
 // ClusterConfig assembles a full live execution.
@@ -72,6 +74,14 @@ type ClusterConfig struct {
 	// ClusterResult.MetricsServer — so callers can scrape the finished run;
 	// they own the server and must Close it.
 	MetricsAddr string
+
+	// Flight, when non-nil, receives the run's transport flight records:
+	// the default network and the fault injector record into it. To also
+	// capture detector and lifecycle records, chain the recorder into the
+	// event stream (it implements obs.Sink) — never both chain it and rely
+	// on this field for events, or records double. Callers dump it on
+	// crash or conformance failure (see netobs.Recorder).
+	Flight *netobs.Recorder
 }
 
 // ClusterResult aggregates the nodes' results.
@@ -98,6 +108,16 @@ type ClusterResult struct {
 	// ClusterConfig.Faults sets RecordDecisions.
 	FaultDecisions []faults.Decision
 	Elapsed        time.Duration
+
+	// Cost is the run's transport cost accounting — messages/decision and
+	// bytes/decision. Always populated.
+	Cost *obs.CostSummary
+	// WireKinds is the per-message-type codec accounting behind Cost, in
+	// kind-tag order.
+	WireKinds []netobs.KindTotals
+	// Links is the network's per-link telemetry (nil when the caller
+	// supplied a network that exposes none).
+	Links *netobs.LinkTap
 
 	// MetricsServer is the live exposition endpoint when
 	// ClusterConfig.MetricsAddr was set; the caller must Close it. Nil when
@@ -158,6 +178,23 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 	if reg == nil {
 		reg = obs.Default
 	}
+	// Pre-register the counter families a scrape should always see, even at
+	// zero: an absent ssfd_fd_encode_errors_total is indistinguishable from
+	// an unmeasured one.
+	reg.Counter(MetricFDEncodeErrors)
+	reg.Counter(obs.Label(faults.MetricDropped, "reason", "loss"))
+	reg.Counter(obs.Label(faults.MetricDropped, "reason", "partition"))
+	reg.Counter(obs.Label(faults.MetricDropped, "reason", "crash"))
+	reg.Counter(faults.MetricDuplicated)
+	reg.Counter(faults.MetricReordered)
+	reg.Counter(faults.MetricDelayed)
+
+	// Per-run wire accounting: one tap shared by every node and detector, so
+	// the run's per-message-type totals are independent of whatever else the
+	// (possibly shared) registry has seen.
+	ws := netobs.NewWireStats(reg)
+	codec := wire.Codec{Tap: ws}
+
 	var server *obs.Server
 	if cfg.MetricsAddr != "" {
 		var err error
@@ -177,7 +214,7 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 
 	network := cfg.Network
 	if network == nil {
-		network = NewChanNetwork(n, ChanConfig{MaxDelay: time.Millisecond, Metrics: reg})
+		network = NewChanNetwork(n, ChanConfig{MaxDelay: time.Millisecond, Metrics: reg, Flight: cfg.Flight})
 	}
 	defer func() { _ = network.Close() }()
 
@@ -192,6 +229,9 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 		}
 		if fcfg.Events == nil {
 			fcfg.Events = cfg.Events
+		}
+		if fcfg.Flight == nil {
+			fcfg.Flight = cfg.Flight
 		}
 		inj = faults.NewInjector(fcfg)
 		defer func() { _ = inj.Close() }()
@@ -210,6 +250,7 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 		if cfg.Kind == rounds.RWS {
 			fd = NewHeartbeatFD(transport, n, cfg.HeartbeatPeriod, cfg.SuspectTimeout)
 			fd.Instrument(reg, cfg.Events)
+			fd.UseCodec(codec)
 			if cfg.AdaptiveTimeout {
 				fd.EnableAdaptiveTimeout(cfg.AdaptiveTimeoutMax)
 			}
@@ -223,6 +264,7 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 			WaitBound: cfg.RWSWaitBound,
 			Crash:     cfg.Crashes[id],
 			Metrics:   reg, Events: cfg.Events,
+			Codec: codec,
 		})
 		if err != nil {
 			return nil, err
@@ -269,6 +311,26 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 		}
 	}
 	cr.DetectorWasPerfect = cr.FalseSuspicions == 0 && cr.FalselySuspected == 0
+
+	// Cost accounting: transport totals (when the network exposes its
+	// telemetry) over codec totals, per decision. Computed before the
+	// error returns below so even a failed run reports what it spent.
+	decisions := 0
+	for i := 1; i <= n; i++ {
+		if results[i].Decided {
+			decisions++
+		}
+	}
+	if ts, ok := network.(TelemetrySource); ok {
+		cr.Links = ts.Telemetry()
+	}
+	cr.Cost = netobs.ComputeCost(decisions, ws, cr.Links)
+	cr.WireKinds = ws.PerKind()
+	netobs.PublishCost(reg, cr.Cost)
+	if cfg.Events != nil {
+		cfg.Events.Emit(obs.Event{Type: obs.EventCost, Cost: cr.Cost})
+	}
+
 	for i := 1; i <= n; i++ {
 		if results[i].Err != nil {
 			return cr, fmt.Errorf("runtime: node %d: %w", i, results[i].Err)

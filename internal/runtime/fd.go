@@ -53,6 +53,7 @@ type HeartbeatFD struct {
 
 	metrics fdMetrics
 	sink    obs.Sink
+	codec   wire.Codec
 }
 
 // NewHeartbeatFD builds (but does not start) a detector for the endpoint.
@@ -82,6 +83,13 @@ func NewHeartbeatFD(t Transport, n int, period, timeout time.Duration) *Heartbea
 func (fd *HeartbeatFD) Instrument(reg *obs.Registry, sink obs.Sink) {
 	fd.metrics = newFDMetrics(reg)
 	fd.sink = sink
+}
+
+// UseCodec routes the broadcaster's heartbeat encodes through c, so a wire
+// tap sees detector traffic alongside the nodes' round messages. Call
+// before Start.
+func (fd *HeartbeatFD) UseCodec(c wire.Codec) {
+	fd.codec = c
 }
 
 // EnableAdaptiveTimeout switches the detector from P-over-a-synchronous-
@@ -144,7 +152,7 @@ func (fd *HeartbeatFD) broadcastLoop() {
 				}
 				e := env
 				e.To = dest
-				data, err := wire.Encode(e)
+				data, err := fd.codec.Encode(e)
 				if err != nil {
 					// A liveness beacon that fails to encode is a silent
 					// partial crash; count it so the run verdict can see it.

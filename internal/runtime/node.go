@@ -62,6 +62,9 @@ type NodeConfig struct {
 	// Metrics receives the node's round-duration histogram, round counter
 	// and heartbeat counter. Nil uses the process-wide obs.Default registry.
 	Metrics *obs.Registry
+	// Codec frames the node's round messages; its tap (if any) sees every
+	// encode and decode. The zero value is the plain wire codec.
+	Codec wire.Codec
 	// Events, when non-nil, receives the node's live event stream
 	// (round_start, send, crash, decide); the sink must be safe for
 	// concurrent use since every node of a cluster shares it.
@@ -140,7 +143,7 @@ func (n *Node) demuxLoop() {
 			if !ok {
 				return
 			}
-			env, err := wire.Decode(pkt.Data)
+			env, err := n.cfg.Codec.Decode(pkt.Data)
 			if err != nil {
 				continue // corrupt frame: drop
 			}
@@ -204,7 +207,7 @@ func (n *Node) sendRound(round, reach int) ([]rounds.Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		data, err := wire.Encode(env)
+		data, err := n.cfg.Codec.Encode(env)
 		if err != nil {
 			return nil, err
 		}

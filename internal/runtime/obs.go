@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"repro/internal/netobs"
 	"repro/internal/obs"
 	"repro/internal/rounds"
 )
@@ -16,16 +17,19 @@ const (
 	MetricSuspicionsRaised    = "ssfd_fd_suspicions_raised_total"
 	MetricSuspicionsRetracted = "ssfd_fd_suspicions_retracted_total"
 
-	MetricTransportMessagesSent     = "ssfd_transport_messages_sent_total"
-	MetricTransportMessagesReceived = "ssfd_transport_messages_received_total"
-	MetricTransportMessagesDropped  = "ssfd_transport_messages_dropped_total"
-	MetricTransportBytesSent        = "ssfd_transport_bytes_sent_total"
-	MetricTransportBytesReceived    = "ssfd_transport_bytes_received_total"
+	// The transport families are owned by package netobs since the per-link
+	// telemetry layer took over transport accounting; the aliases keep the
+	// runtime's historical exports stable.
+	MetricTransportMessagesSent     = netobs.MetricTransportMessagesSent
+	MetricTransportMessagesReceived = netobs.MetricTransportMessagesReceived
+	MetricTransportMessagesDropped  = netobs.MetricTransportMessagesDropped
+	MetricTransportBytesSent        = netobs.MetricTransportBytesSent
+	MetricTransportBytesReceived    = netobs.MetricTransportBytesReceived
 
 	MetricFDEncodeErrors = "ssfd_fd_encode_errors_total"
 	// TCP-only resilience counters, labelled {transport="tcp"}.
-	MetricTransportReconnects = "ssfd_transport_reconnects_total"
-	MetricTransportRetries    = "ssfd_transport_retries_total"
+	MetricTransportReconnects = netobs.MetricTransportReconnects
+	MetricTransportRetries    = netobs.MetricTransportRetries
 	MetricNodeWaitTimeouts    = "ssfd_node_wait_timeouts_total"
 )
 
@@ -68,42 +72,9 @@ func newFDMetrics(reg *obs.Registry) fdMetrics {
 	}
 }
 
-// transportMetrics caches one transport flavour's instruments.
-type transportMetrics struct {
-	msgsSent, msgsReceived   *obs.Counter
-	msgsDropped              *obs.Counter
-	bytesSent, bytesReceived *obs.Counter
-	reconnects, retries      *obs.Counter
-}
-
-func newTransportMetrics(reg *obs.Registry, flavour string) transportMetrics {
-	label := func(name string) *obs.Counter {
-		return reg.Counter(obs.Label(name, "transport", flavour))
-	}
-	return transportMetrics{
-		msgsSent:      label(MetricTransportMessagesSent),
-		msgsReceived:  label(MetricTransportMessagesReceived),
-		msgsDropped:   label(MetricTransportMessagesDropped),
-		bytesSent:     label(MetricTransportBytesSent),
-		bytesReceived: label(MetricTransportBytesReceived),
-		reconnects:    label(MetricTransportReconnects),
-		retries:       label(MetricTransportRetries),
-	}
-}
-
-func (tm *transportMetrics) sent(bytes int) {
-	tm.msgsSent.Inc()
-	tm.bytesSent.Add(int64(bytes))
-}
-
-func (tm *transportMetrics) received(bytes int) {
-	tm.msgsReceived.Inc()
-	tm.bytesReceived.Add(int64(bytes))
-}
-
-// dropped counts a message the transport itself lost: an injected drop (a
-// Delay hook returning a negative duration), an inbox overflow, or a TCP
-// frame abandoned after its retry budget.
-func (tm *transportMetrics) dropped() {
-	tm.msgsDropped.Inc()
+// TelemetrySource is implemented by networks that expose their per-link
+// telemetry. Both ChanNetwork and TCPNetwork satisfy it; RunCluster probes
+// for it to fold transport totals into the run's cost summary.
+type TelemetrySource interface {
+	Telemetry() *netobs.LinkTap
 }

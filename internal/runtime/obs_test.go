@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/consensus"
+	"repro/internal/faults"
 	"repro/internal/model"
+	"repro/internal/netobs"
 	"repro/internal/obs"
 	"repro/internal/rounds"
 )
@@ -52,6 +54,24 @@ func TestClusterMetricsEndpoint(t *testing.T) {
 		MetricNodeRounds,
 		MetricHeartbeatsSent,
 		obs.Label(MetricTransportMessagesSent, "transport", "chan"),
+		// Counters a scrape must see even at zero, so dashboards and alert
+		// rules never face a missing series: the FD's encode-error count
+		// and the injector's fault counters (pre-registered by RunCluster
+		// whether or not faults are configured).
+		MetricFDEncodeErrors,
+		obs.Label(faults.MetricDropped, "reason", "loss"),
+		obs.Label(faults.MetricDropped, "reason", "partition"),
+		obs.Label(faults.MetricDropped, "reason", "crash"),
+		faults.MetricDuplicated,
+		faults.MetricReordered,
+		faults.MetricDelayed,
+		// The telemetry layer's wire, per-link and cost series.
+		obs.Label(netobs.MetricWireEncoded, "kind", "heartbeat"),
+		obs.Label(netobs.MetricWireEncodedBytes, "kind", "W"),
+		netobs.MetricLinkBytesSent,
+		netobs.MetricCostMessagesPerDecisionMilli,
+		netobs.MetricCostBytesPerDecisionMilli,
+		netobs.MetricCostDecisions,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %s in:\n%s", want, out)

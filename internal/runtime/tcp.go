@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/netobs"
 	"repro/internal/obs"
 )
 
@@ -44,7 +45,7 @@ type TCPNetwork struct {
 	wg        sync.WaitGroup
 	done      chan struct{}
 
-	tm transportMetrics
+	tm *netobs.LinkTap
 }
 
 type linkKey struct{ from, to model.ProcessID }
@@ -88,6 +89,7 @@ type TCPOption func(*tcpOptions)
 type tcpOptions struct {
 	metrics *obs.Registry
 	retry   TCPRetryConfig
+	flight  *netobs.Recorder
 }
 
 // WithTCPMetrics redirects the mesh's message/byte counters (labelled
@@ -99,6 +101,12 @@ func WithTCPMetrics(reg *obs.Registry) TCPOption {
 // WithTCPRetry overrides the default reconnect/backoff policy.
 func WithTCPRetry(cfg TCPRetryConfig) TCPOption {
 	return func(o *tcpOptions) { o.retry = cfg }
+}
+
+// WithTCPFlight mirrors the mesh's transport records into a flight
+// recorder.
+func WithTCPFlight(rec *netobs.Recorder) TCPOption {
+	return func(o *tcpOptions) { o.flight = rec }
 }
 
 // NewTCPNetwork starts n listeners on 127.0.0.1 and returns the mesh.
@@ -115,7 +123,7 @@ func NewTCPNetwork(n int, opts ...TCPOption) (*TCPNetwork, error) {
 		inboxes:   make([]chan Packet, n+1),
 		links:     make(map[linkKey]*tcpLink),
 		done:      make(chan struct{}),
-		tm:        newTransportMetrics(options.metrics, "tcp"),
+		tm:        netobs.NewLinkTap(options.metrics, "tcp", options.flight),
 	}
 	for i := 1; i <= n; i++ {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -131,6 +139,9 @@ func NewTCPNetwork(n int, opts ...TCPOption) (*TCPNetwork, error) {
 	}
 	return nw, nil
 }
+
+// Telemetry returns the mesh's per-link telemetry tap.
+func (nw *TCPNetwork) Telemetry() *netobs.LinkTap { return nw.tm }
 
 // acceptLoop accepts inbound connections for endpoint id and spawns reader
 // goroutines.
@@ -175,7 +186,7 @@ func (nw *TCPNetwork) readLoop(id model.ProcessID, conn net.Conn) {
 		}
 		select {
 		case nw.inboxes[id] <- Packet{From: from, Data: buf}:
-			nw.tm.received(len(buf))
+			nw.tm.Received(from, id, len(buf))
 		case <-nw.done:
 			return
 		}
@@ -255,10 +266,11 @@ func (nw *TCPNetwork) send(from, to model.ProcessID, data []byte) error {
 	frame = append(frame, data...)
 	select {
 	case link.queue <- frame:
-		nw.tm.sent(len(data))
+		nw.tm.Sent(from, to, len(data))
+		nw.tm.QueueDepth(from, to, len(link.queue))
 		return nil
 	default:
-		nw.tm.dropped()
+		nw.tm.Dropped(from, to, netobs.DropOverflow)
 		return nil
 	}
 }
@@ -346,7 +358,7 @@ func (l *tcpLink) ensureConn() (net.Conn, error) {
 		return nil, err
 	}
 	l.setConn(c)
-	l.nw.tm.reconnects.Inc()
+	l.nw.tm.Reconnect(l.from, l.to)
 	return c, nil
 }
 
@@ -365,11 +377,11 @@ func (l *tcpLink) writeLoop() {
 		}
 		for attempt := 0; ; attempt++ {
 			if attempt >= l.nw.cfg.MaxAttempts {
-				l.nw.tm.dropped()
+				l.nw.tm.Dropped(l.from, l.to, netobs.DropGiveUp)
 				break
 			}
 			if attempt > 0 {
-				l.nw.tm.retries.Inc()
+				l.nw.tm.Retry(l.from, l.to)
 				if !l.backoff(attempt - 1) {
 					return
 				}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/netobs"
 	"repro/internal/obs"
 	"repro/internal/wire"
 )
@@ -66,6 +67,9 @@ type ChanConfig struct {
 	// Metrics receives the transport's message/byte counters (labelled
 	// {transport="chan"}). Nil uses the process-wide obs.Default registry.
 	Metrics *obs.Registry
+	// Flight, if set, mirrors every transport record into the flight
+	// recorder.
+	Flight *netobs.Recorder
 }
 
 // ChanNetwork is a fully connected in-process network with per-message
@@ -82,7 +86,7 @@ type ChanNetwork struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 
-	tm transportMetrics
+	tm *netobs.LinkTap
 }
 
 // NewChanNetwork builds an n-endpoint in-process network.
@@ -103,13 +107,16 @@ func NewChanNetwork(n int, cfg ChanConfig) *ChanNetwork {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		inboxes: make([]chan Packet, n+1),
 		done:    make(chan struct{}),
-		tm:      newTransportMetrics(reg, "chan"),
+		tm:      netobs.NewLinkTap(reg, "chan", cfg.Flight),
 	}
 	for i := 1; i <= n; i++ {
 		nw.inboxes[i] = make(chan Packet, cfg.Buffer)
 	}
 	return nw
 }
+
+// Telemetry returns the network's per-link telemetry tap.
+func (nw *ChanNetwork) Telemetry() *netobs.LinkTap { return nw.tm }
 
 // Endpoint returns process id's transport.
 func (nw *ChanNetwork) Endpoint(id model.ProcessID) Transport {
@@ -142,11 +149,11 @@ func (nw *ChanNetwork) send(from, to model.ProcessID, data []byte) error {
 	}
 	nw.wg.Add(1)
 	nw.mu.Unlock()
-	nw.tm.sent(len(data))
+	nw.tm.Sent(from, to, len(data))
 
 	if delay < 0 {
 		nw.wg.Done()
-		nw.tm.dropped() // injected link loss: sent but never delivered
+		nw.tm.Dropped(from, to, netobs.DropLoss) // injected link loss: sent but never delivered
 		return nil
 	}
 	// One goroutine per in-flight message, owned by the network and joined
@@ -163,13 +170,14 @@ func (nw *ChanNetwork) send(from, to model.ProcessID, data []byte) error {
 		pkt := Packet{From: from, Data: data}
 		select {
 		case nw.inboxes[to] <- pkt:
-			nw.tm.received(len(data))
+			nw.tm.Received(from, to, len(data))
+			nw.tm.QueueDepth(from, to, len(nw.inboxes[to]))
 		case <-nw.done:
 		default:
 			// Inbox full: a stalled receiver must not wedge the delivery
 			// goroutine (and, transitively, Close) forever. The overflow is
 			// documented link loss, visible in the dropped counter.
-			nw.tm.dropped()
+			nw.tm.Dropped(from, to, netobs.DropOverflow)
 		}
 	}()
 	return nil

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/nbac"
+	"repro/internal/rounds"
+)
+
+// TestGoldenWireSizes pins the encoded size of one canonical envelope per
+// message type. The table is the wire format's regression anchor: the
+// messages/decision and bytes/decision baselines in EXPERIMENTS.md are
+// stated against these sizes, and the planned zero-alloc codec rewrite
+// must reproduce them byte-for-byte. A diff here means the format changed
+// — update the table (and the recorded baselines) only deliberately.
+func TestGoldenWireSizes(t *testing.T) {
+	canon := func(k Kind, payload rounds.Message) Envelope {
+		return Envelope{From: 1, To: 2, Round: 1, Kind: k, Payload: payload}
+	}
+	cases := []struct {
+		env  Envelope
+		size int
+	}{
+		{canon(KindNull, nil), 4},
+		{canon(KindW, consensus.WMsg{W: model.NewValueSet(0, 1, 2)}), 8},
+		{canon(KindD, consensus.DMsg{V: 5}), 5},
+		{canon(KindA1Val, consensus.A1Val{V: 5}), 5},
+		{canon(KindA1Fwd, consensus.A1Fwd{V: 5}), 5},
+		{canon(KindVotes, nbac.VotesMsg{Known: []int8{1, 0, -1}}), 8},
+		{canon(KindHeartbeat, nil), 4},
+	}
+
+	// The case list covers every kind, in tag order.
+	if len(cases) != len(Kinds()) {
+		t.Fatalf("golden table has %d rows, wire has %d kinds", len(cases), len(Kinds()))
+	}
+	var table strings.Builder
+	for i, tc := range cases {
+		if tc.env.Kind != Kinds()[i] {
+			t.Fatalf("row %d is %v, want %v (keep tag order)", i, tc.env.Kind, Kinds()[i])
+		}
+		data, err := Encode(tc.env)
+		if err != nil {
+			t.Fatalf("encode %v: %v", tc.env.Kind, err)
+		}
+		fmt.Fprintf(&table, "%-9s %d\n", tc.env.Kind, len(data))
+		if len(data) != tc.size {
+			t.Errorf("kind %v: canonical envelope now encodes to %d bytes, want %d\n"+
+				"full table:\n%s", tc.env.Kind, len(data), tc.size, table.String())
+		}
+		// And the frame round-trips.
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode %v: %v", tc.env.Kind, err)
+		}
+		if back.Kind != tc.env.Kind || back.From != tc.env.From || back.Round != tc.env.Round {
+			t.Fatalf("kind %v: round-trip header mismatch: %+v", tc.env.Kind, back)
+		}
+	}
+}
+
+// TestCodecZeroValue proves the instrumented codec's zero value is
+// byte-identical to the plain functions — the no-telemetry path costs
+// nothing and changes nothing.
+func TestCodecZeroValue(t *testing.T) {
+	var c Codec
+	env := Envelope{From: 1, To: 2, Round: 3, Kind: KindD, Payload: consensus.DMsg{V: -7}}
+	plain, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapped, err := c.Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != string(tapped) {
+		t.Fatalf("zero-value codec produced different bytes: %x vs %x", plain, tapped)
+	}
+	back, err := c.Decode(tapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Payload.(consensus.DMsg).V != -7 {
+		t.Fatalf("round-trip payload: %+v", back.Payload)
+	}
+}
+
+// tapCount is a minimal Tap for the error-path test.
+type tapCount struct{ enc, dec int }
+
+func (tc *tapCount) OnEncode(Kind, int) { tc.enc++ }
+func (tc *tapCount) OnDecode(Kind, int) { tc.dec++ }
+
+// TestCodecTapSkipsErrors: failed conversions never reach the tap, so the
+// accounting counts only bytes that actually exist.
+func TestCodecTapSkipsErrors(t *testing.T) {
+	tap := &tapCount{}
+	c := Codec{Tap: tap}
+	if _, err := c.Encode(Envelope{Kind: Kind(99)}); err == nil {
+		t.Fatal("unknown kind should fail to encode")
+	}
+	if _, err := c.Decode([]byte{0x01}); err == nil {
+		t.Fatal("truncated frame should fail to decode")
+	}
+	if tap.enc != 0 || tap.dec != 0 {
+		t.Fatalf("tap saw failed conversions: enc=%d dec=%d", tap.enc, tap.dec)
+	}
+	if _, err := c.Encode(Envelope{From: 1, To: 2, Round: 1, Kind: KindNull}); err != nil {
+		t.Fatal(err)
+	}
+	if tap.enc != 1 {
+		t.Fatalf("tap missed a successful encode: %d", tap.enc)
+	}
+}

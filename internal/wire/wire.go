@@ -57,6 +57,12 @@ const (
 	KindHeartbeat
 )
 
+// Kinds lists every payload kind in tag order — the iteration order of
+// per-kind telemetry and the golden wire-size table.
+func Kinds() []Kind {
+	return []Kind{KindNull, KindW, KindD, KindA1Val, KindA1Fwd, KindVotes, KindHeartbeat}
+}
+
 // String names the kind.
 func (k Kind) String() string {
 	switch k {
@@ -265,6 +271,43 @@ func Decode(data []byte) (Envelope, error) {
 		return e, fmt.Errorf("%w: %d", ErrBadKind, kb)
 	}
 	return e, nil
+}
+
+// Tap observes codec traffic: one callback per successful Encode/Decode
+// with the envelope's kind and its encoded size in bytes. Implementations
+// must be safe for concurrent use (a cluster's nodes share one tap) and
+// must tolerate being invoked from hot paths — counting only, no I/O.
+// Package netobs provides the standard implementation.
+type Tap interface {
+	OnEncode(k Kind, bytes int)
+	OnDecode(k Kind, bytes int)
+}
+
+// Codec is an instrumented view of the package-level Encode/Decode pair:
+// the zero value behaves identically to the plain functions, and a non-nil
+// Tap additionally observes every successful conversion. It exists so the
+// runtime can thread per-message-type accounting through every codec call
+// site without the wire format itself growing global state.
+type Codec struct {
+	Tap Tap
+}
+
+// Encode serializes an envelope, reporting its kind and size to the tap.
+func (c Codec) Encode(e Envelope) ([]byte, error) {
+	data, err := Encode(e)
+	if err == nil && c.Tap != nil {
+		c.Tap.OnEncode(e.Kind, len(data))
+	}
+	return data, err
+}
+
+// Decode parses an envelope, reporting its kind and size to the tap.
+func (c Codec) Decode(data []byte) (Envelope, error) {
+	e, err := Decode(data)
+	if err == nil && c.Tap != nil {
+		c.Tap.OnDecode(e.Kind, len(data))
+	}
+	return e, err
 }
 
 // EnvelopeFor wraps a round-model payload, inferring the kind.

@@ -42,6 +42,7 @@ import (
 	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/nbac"
+	"repro/internal/netobs"
 	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/runtime"
@@ -95,7 +96,36 @@ type (
 	ExperimentReport = core.Report
 	// ExperimentConfig tunes the experiment drivers.
 	ExperimentConfig = core.Config
+
+	// CostSummary is a live run's transport cost accounting —
+	// messages/decision and bytes/decision, total and data-only — found on
+	// ClusterResult.Cost after every RunLive.
+	CostSummary = obs.CostSummary
+	// LinkTelemetry is a live network's per-link send/recv/drop counters
+	// and queue high-water marks (ClusterResult.Links).
+	LinkTelemetry = netobs.LinkTap
+	// FlightRecorder is the fixed-size ring of recent transport/FD records
+	// dumped for post-mortem on crash or conformance failure; plug into
+	// ClusterConfig.Flight and chain it into the event stream.
+	FlightRecorder = netobs.Recorder
+	// FlightRecord is one entry of a flight recorder ring or dump.
+	FlightRecord = netobs.Record
+	// FlightDump is a parsed flight-recorder dump file.
+	FlightDump = netobs.Dump
 )
+
+// NewFlightRecorder builds a flight recorder ring holding the most recent
+// capacity records (≤ 0 uses a 4096-record default). Events emitted into it
+// are captured and forwarded to next (which may be nil).
+func NewFlightRecorder(capacity int, next obs.Sink) *FlightRecorder {
+	return netobs.NewRecorder(capacity, next)
+}
+
+// ReadFlightDump parses a flight-recorder dump file written by
+// FlightRecorder.DumpTo (or the -flight flag of the CLIs).
+func ReadFlightDump(path string) (*FlightDump, error) {
+	return netobs.ReadDumpFile(path)
+}
 
 // The two round-based models (paper §4).
 const (
