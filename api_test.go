@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestQuickConsensusRun(t *testing.T) {
@@ -154,8 +155,31 @@ func TestFlightRecorderAPI(t *testing.T) {
 }
 
 func TestExperimentsAPI(t *testing.T) {
-	if len(Experiments()) != 14 {
-		t.Errorf("experiments = %d, want 14", len(Experiments()))
+	if len(Experiments()) != 15 {
+		t.Errorf("experiments = %d, want 15", len(Experiments()))
+	}
+}
+
+func TestDetectorZooAPI(t *testing.T) {
+	specs := DetectorSpecs()
+	if len(specs) != 4 {
+		t.Fatalf("zoo size = %d, want 4", len(specs))
+	}
+	if specs[0].Name != "heartbeat" {
+		t.Errorf("first spec = %q, want the default heartbeat", specs[0].Name)
+	}
+	scores, err := RaceDetectors(DetectorRace{
+		Detectors: []string{"heartbeat"},
+		Seed:      3, CrashAt: 30 * time.Millisecond, Window: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 1 || !scores[0].Detected {
+		t.Fatalf("race scores = %+v", scores)
+	}
+	if card := RenderDetectorScores(scores); !strings.Contains(card, "heartbeat") {
+		t.Errorf("scorecard missing the detector row:\n%s", card)
 	}
 }
 

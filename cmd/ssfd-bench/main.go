@@ -1,5 +1,5 @@
 // Command ssfd-bench regenerates every table and figure of the paper —
-// experiments E1–E14 of DESIGN.md — and prints them with paper-vs-measured
+// experiments E1–E15 of DESIGN.md — and prints them with paper-vs-measured
 // verdicts. It exits nonzero if any reproduction fails.
 //
 // Usage:
@@ -7,13 +7,22 @@
 //	ssfd-bench [-trials N] [-seed S] [-live] [-only E7]
 //	ssfd-bench -json reports.json -metrics 127.0.0.1:9090 -events run.jsonl
 //	ssfd-bench -faults "loss=0.2,spike=5ms@0.5,part=3@20ms+100ms,seed=7"
+//	ssfd-bench -faults "loss=0.2,seed=7" -detector bounded
+//	ssfd-bench -detectors -seed 7                      # race the full zoo, clean network
+//	ssfd-bench -detectors -faults "loss=0.2,seed=7"    # race it under one chaos schedule
 //	ssfd-bench -compare old.json new.json   # regression-check two BENCH_explore.json artifacts
 //
 // -faults skips the experiment suite and instead runs one live RWS
 // consensus cluster under the scripted adversarial network, printing the
 // run verdict and the seeded fault-decision log (the same spec and seed
 // always reproduce the identical log — replay a chaos run by rerunning
-// its spec).
+// its spec). -detector selects which failure-detector construction that
+// cluster runs (default heartbeat; see internal/fdimpl).
+//
+// -detectors skips the suite and races EVERY registered detector
+// construction under the same network seed (and, with -faults, the same
+// chaos schedule), printing the E15-style scorecard. Verdict columns are
+// seed-deterministic; latency/message columns are wall-clock measurements.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fdimpl"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/obscli"
@@ -59,6 +69,8 @@ func run() (code int) {
 	jsonPath := flag.String("json", "", "write per-experiment JSON reports to this file")
 	workers := flag.Int("workers", 0, "explorer worker goroutines for the exhaustive experiments (0 = sequential, -1 = one per CPU)")
 	faultSpec := flag.String("faults", "", "run one chaos cluster under this fault spec instead of the suite (see internal/faults.ParseSpec)")
+	detector := flag.String("detector", "", "failure-detector construction for the -faults chaos run (default heartbeat; -detectors lists the registry)")
+	detectors := flag.Bool("detectors", false, "race every registered detector construction under the same seed (and -faults schedule, if given) and print the scorecard")
 	comparePath := flag.String("compare", "", "regression-check: compare this old BENCH_explore.json against the new one given as the positional argument")
 	tolerance := flag.Float64("tolerance", 0.15, "relative tolerance for -compare (0.15 = 15%)")
 	obsFlags := obscli.Register()
@@ -86,8 +98,16 @@ func run() (code int) {
 		}
 	}()
 
+	if *detectors {
+		return runDetectorRace(*faultSpec, *seed)
+	}
+	if *detector != "" && *faultSpec == "" {
+		fmt.Fprintf(os.Stderr, "-detector selects the -faults chaos cluster's construction; give a -faults spec (or race the zoo with -detectors). registered: %s\n",
+			strings.Join(fdimpl.Names(), ", "))
+		return 2
+	}
 	if *faultSpec != "" {
-		return runChaos(*faultSpec, sink, obsFlags)
+		return runChaos(*faultSpec, *detector, sink, obsFlags)
 	}
 
 	cfg := core.Config{Trials: *trials, Seed: *seed, Live: *live, Events: sink, Workers: *workers}
@@ -143,10 +163,51 @@ func run() (code int) {
 	return 0
 }
 
+// runDetectorRace races every registered failure-detector construction
+// under one seeded schedule — the E15 harness as a CLI — and prints the
+// scorecard. A supported construction that misses the crash has lost
+// strong completeness, the one non-negotiable axiom, and fails the run.
+func runDetectorRace(faultSpec string, seed int64) int {
+	rc := fdimpl.RaceConfig{Seed: seed, Consensus: true}
+	if faultSpec != "" {
+		fc, err := faults.ParseSpec(faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if fc.Seed != 0 {
+			rc.Seed = fc.Seed // the spec's seed wins, as in the chaos runner
+		}
+		rc.Chaos = &fc
+		// Chaos slows convergence; give completeness room to show.
+		rc.Window = 500 * time.Millisecond
+	}
+	scores, err := fdimpl.Race(rc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	schedule := "fault-free"
+	if faultSpec != "" {
+		schedule = faultSpec
+	}
+	fmt.Printf("detector race (seed %d, schedule %s):\n", rc.Seed, schedule)
+	fmt.Print(fdimpl.RenderScores(scores))
+	code := 0
+	for _, s := range scores {
+		if s.Supported && !s.Detected {
+			fmt.Fprintf(os.Stderr, "%s: victim never detected — completeness lost\n", s.Detector)
+			code = 1
+		}
+	}
+	return code
+}
+
 // runChaos executes one live FloodSetWS cluster (n=3, t=1) under the
 // scripted fault spec and prints the verdict plus the deterministic
-// fault-decision log.
-func runChaos(spec string, sink obs.Sink, obsFlags *obscli.Flags) int {
+// fault-decision log. detector selects the failure-detector construction
+// ("" keeps the default all-to-all heartbeat).
+func runChaos(spec, detector string, sink obs.Sink, obsFlags *obscli.Flags) int {
 	fcfg, err := faults.ParseSpec(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -154,16 +215,27 @@ func runChaos(spec string, sink obs.Sink, obsFlags *obscli.Flags) int {
 	}
 	fcfg.RecordDecisions = true
 	fcfg.Events = sink
-	cr, err := runtime.RunCluster(consensus.FloodSetWS{}, runtime.ClusterConfig{
+	ccfg := runtime.ClusterConfig{
 		Kind: rounds.RWS, Initial: []model.Value{4, 2, 7}, T: 1,
 		Faults: &fcfg, RWSWaitBound: 150 * time.Millisecond, Events: sink,
 		Flight: obsFlags.FlightRecorder(),
-	})
+	}
+	detName := "heartbeat"
+	if detector != "" {
+		dspec, err := fdimpl.New(detector)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		ccfg.Detector = dspec
+		detName = dspec.Name
+	}
+	cr, err := runtime.RunCluster(consensus.FloodSetWS{}, ccfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	fmt.Printf("chaos run (seed %d): %s\n", fcfg.Seed, spec)
+	fmt.Printf("chaos run (seed %d, detector %s): %s\n", fcfg.Seed, detName, spec)
 	for i := 1; i < len(cr.Results); i++ {
 		r := cr.Results[i]
 		fmt.Printf("  p%d: decided=%v value=%d rounds=%d waitTimeouts=%d\n",

@@ -14,6 +14,7 @@
 //	ssfd-run -alg FloodSetWS -model RWS -values 0,1,2 -seed 7       # random adversary
 //	ssfd-run -alg FloodSet -model RS -values 0,5,9 -conform -crash "1@1:2"
 //	ssfd-run -alg FloodSetWS -model RWS -values 0,1,2 -conform -faults "seed=7,dup=0.25,spike=1ms-2ms@0.2"
+//	ssfd-run -alg FloodSetWS -model RWS -values 0,1,2 -conform -detector bounded  # swap the FD construction
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"repro/internal/conform"
 	"repro/internal/consensus"
 	"repro/internal/faults"
+	"repro/internal/fdimpl"
 	"repro/internal/model"
 	"repro/internal/netobs"
 	"repro/internal/obs"
@@ -126,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	seed := fs.Int64("seed", -1, "if ≥ 0, use a seeded random adversary instead of the scripted events (engine only)")
 	conformFlag := fs.Bool("conform", false, "execute as a live cluster and conformance-check it against the round model")
 	faultsSpec := fs.String("faults", "", "fault-injector spec for -conform (see internal/faults.ParseSpec, e.g. seed=7,dup=0.25,spike=1ms-2ms@0.2)")
+	detector := fs.String("detector", "", "failure-detector construction for the live cluster (-conform, RWS only; registered: "+strings.Join(fdimpl.Names(), ", ")+")")
 	tracePath := fs.String("trace", "", "write the run's causal trace as Chrome trace-event JSON (load in Perfetto) to this file")
 	traceHTML := fs.String("trace-html", "", "write the run's causal trace as a self-contained HTML timeline to this file")
 	roundDur := fs.Duration("round-duration", 0, "override the live cluster's RS round duration (-conform only; 0 keeps the default)")
@@ -177,8 +180,24 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	}
 	n := len(initial)
 
+	// Resolve -detector up front so an unknown name fails fast with the
+	// registry, whatever mode was requested.
+	var detSpec *runtime.DetectorSpec
+	if *detector != "" {
+		ds, err := fdimpl.New(*detector)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		detSpec = ds
+	}
+	if detSpec != nil && !*conformFlag {
+		fmt.Fprintln(stderr, "-detector selects the live cluster's failure-detector construction; the round engine has none (use -conform)")
+		return 2
+	}
+
 	if *conformFlag {
-		code := runConform(alg, kind, initial, *t, *crashSpec, *dropSpec, *faultsSpec, *seed,
+		code := runConform(alg, kind, initial, *t, *crashSpec, *dropSpec, *faultsSpec, *seed, detSpec,
 			*tracePath, *traceHTML, *roundDur, obsFlags.FlightRecorder(), sink, stdout, stderr)
 		if code != 0 {
 			// Post-mortem: a failing live run leaves its flight dump behind
@@ -272,7 +291,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 // trace — and a conforming traced run is additionally reconciled: the
 // trace-observed decision rounds must match the engine replay.
 func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Value, t int,
-	crashSpec, dropSpec, faultsSpec string, seed int64,
+	crashSpec, dropSpec, faultsSpec string, seed int64, detSpec *runtime.DetectorSpec,
 	tracePath, traceHTML string, roundDur time.Duration, flight *netobs.Recorder,
 	sink obs.Sink, stdout, stderr io.Writer) int {
 	if dropSpec != "" {
@@ -284,7 +303,7 @@ func runConform(alg rounds.Algorithm, kind rounds.ModelKind, initial []model.Val
 		return 2
 	}
 	cfg := runtime.ClusterConfig{Kind: kind, Initial: initial, T: t, Events: sink,
-		RoundDuration: roundDur, Flight: flight}
+		Detector: detSpec, RoundDuration: roundDur, Flight: flight}
 	var tracer *tracing.Tracer
 	if tracePath != "" || traceHTML != "" {
 		tracer = tracing.NewTracer(alg.Name(), kind.String(), len(initial), t, sink)

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/fdimpl"
 	"repro/internal/model"
 )
 
@@ -118,5 +119,55 @@ func TestConformRejectsEngineOnlyFlags(t *testing.T) {
 		if code, out, _ := runCLI(t, args...); code != 2 {
 			t.Errorf("args %v: exit %d, want 2\n%s", args, code, out)
 		}
+	}
+}
+
+// TestDetectorFlagValidation: -detector must resolve against the fdimpl
+// registry (unknown names exit 2 listing every registered construction)
+// and is live-only — without -conform the round engine has no detector to
+// swap.
+func TestDetectorFlagValidation(t *testing.T) {
+	cases := []struct {
+		args       []string
+		wantStderr []string
+	}{
+		{
+			args:       []string{"-conform", "-detector", "nosuch"},
+			wantStderr: fdimpl.Names(), // the rejection lists the whole registry
+		},
+		{
+			args:       []string{"-detector", "bounded"},
+			wantStderr: []string{"-conform"}, // live-only flag on an engine run
+		},
+		{
+			args:       []string{"-detector", "nosuch"}, // unknown beats mode: fail with the registry
+			wantStderr: []string{"unknown detector"},
+		},
+	}
+	for _, tc := range cases {
+		code, out, errOut := runCLI(t, tc.args...)
+		if code != 2 {
+			t.Errorf("args %v: exit %d, want 2\nstdout: %s", tc.args, code, out)
+			continue
+		}
+		for _, want := range tc.wantStderr {
+			if !strings.Contains(errOut, want) {
+				t.Errorf("args %v: stderr missing %q:\n%s", tc.args, want, errOut)
+			}
+		}
+	}
+}
+
+// TestConformLiveZooDetector swaps the cluster's failure detector for the
+// bounded-message construction and checks the run still conforms: the
+// detector is an implementation detail below the round abstraction.
+func TestConformLiveZooDetector(t *testing.T) {
+	code, out, errOut := runCLI(t, "-alg", "FloodSetWS", "-model", "RWS", "-values", "0,1,2",
+		"-conform", "-detector", "bounded")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut, out)
+	}
+	if !strings.Contains(out, "MEMBER of the enumerated space") {
+		t.Errorf("output missing membership verdict:\n%s", out)
 	}
 }

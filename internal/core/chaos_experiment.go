@@ -11,6 +11,7 @@ import (
 	"repro/internal/rounds"
 	"repro/internal/runtime"
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // E14Chaos puts the live RWS stack under a seeded adversarial network and
@@ -185,7 +186,7 @@ func adaptiveSoak(seed int64) (retractions int64, grewTo, initial time.Duration,
 				if !ok {
 					return
 				}
-				fd1.Observe(pkt.From)
+				fd1.Observe(wire.Envelope{From: pkt.From})
 			}
 		}
 	}()

@@ -1,5 +1,5 @@
 // Package core assembles the paper's artifacts into runnable experiments
-// E1–E14 (see DESIGN.md §4 for the index). Each experiment regenerates one
+// E1–E15 (see DESIGN.md §4 for the index). Each experiment regenerates one
 // table, figure or theorem-level claim of Charron-Bost, Guerraoui and
 // Schiper (DSN 2000) and reports measured-vs-paper outcomes; cmd/ssfd-bench
 // prints them all, the root package re-exports them, and bench_test.go
@@ -110,6 +110,7 @@ func All() []Experiment {
 		{"E12", "Extensions: early stopping; consensus vs uniform consensus", E12Extensions},
 		{"E13", "◇S consensus (Chandra–Toueg) on the step engine", E13DiamondS},
 		{"E14", "Chaos: fault injection degrades P to ◇P beyond the synchrony bounds", E14Chaos},
+		{"E15", "Detector zoo: four constructions raced for one oracle contract", E15DetectorZoo},
 	}
 }
 

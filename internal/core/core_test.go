@@ -11,8 +11,8 @@ func TestAllExperimentsPass(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 14 {
-		t.Fatalf("got %d reports, want 14", len(reports))
+	if len(reports) != 15 {
+		t.Fatalf("got %d reports, want 15", len(reports))
 	}
 	for _, r := range reports {
 		if !r.Pass {
@@ -28,7 +28,7 @@ func TestAllExperimentsPass(t *testing.T) {
 }
 
 func TestExperimentIDsOrdered(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("got %d experiments", len(all))

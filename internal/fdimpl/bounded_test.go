@@ -1,0 +1,140 @@
+package fdimpl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/netobs"
+	"repro/internal/runtime"
+	"repro/internal/wire"
+)
+
+// TestBoundedMessagesStayBoundedUnderSustainedLoss is the acceptance
+// check for the ADD-channel claim: with EVERY message lost, the bounded
+// detector's send rate per link must collapse to ~1 per suspicion bound
+// (resend-only-on-timeout), not the heartbeat's 1 per period — verified
+// through the network's per-link counters, which count sends before the
+// loss hook eats them.
+func TestBoundedMessagesStayBoundedUnderSustainedLoss(t *testing.T) {
+	const (
+		period = 2 * time.Millisecond
+		bound  = 16 * time.Millisecond
+		window = 400 * time.Millisecond
+	)
+	nw := runtime.NewChanNetwork(2, runtime.ChanConfig{
+		// Total sustained loss: everything is sent, nothing is delivered.
+		Delay: func(from, to model.ProcessID, data []byte) time.Duration { return -1 },
+	})
+	defer func() { _ = nw.Close() }()
+	spec := BoundedDetector()
+	dets := make([]runtime.Detector, 3)
+	for i := 1; i <= 2; i++ {
+		d, err := spec.New(runtime.DetectorConfig{
+			Transport: nw.Endpoint(model.ProcessID(i)), N: 2, Period: period, Timeout: bound,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets[i] = d
+	}
+	dets[1].Start()
+	dets[2].Start()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		dets[1].Suspects()
+		time.Sleep(period)
+	}
+	dets[1].Stop()
+	dets[2].Stop()
+
+	// Completeness first: total loss is indistinguishable from a crash.
+	if !dets[1].Suspects().Has(2) {
+		t.Error("peer not suspected under total loss")
+	}
+
+	// The bound: one ping at bound/2 silence, then one resend per bound.
+	// The heartbeat construction would have sent ~window/period ≈ 200.
+	budget := int64(window/bound) + 5
+	for _, l := range []netobs.Link{{From: 1, To: 2}, {From: 2, To: 1}} {
+		sent := nw.Telemetry().PerLink()[l].MsgsSent
+		if sent == 0 {
+			t.Errorf("link %v: no probes at all", l)
+		}
+		if sent > budget {
+			t.Errorf("link %v: %d sends under sustained loss, budget %d (unbounded resending?)", l, sent, budget)
+		}
+	}
+}
+
+// TestBoundedRetractionGrowsLinkBound is the adaptive-retraction contract
+// (run under -race in CI): a falsely suspected peer whose evidence resumes
+// must leave Suspects, count one retraction, and double that link's bound.
+func TestBoundedRetractionGrowsLinkBound(t *testing.T) {
+	nw := runtime.NewChanNetwork(2, runtime.ChanConfig{})
+	defer func() { _ = nw.Close() }()
+	d, err := BoundedDetector().New(runtime.DetectorConfig{
+		Transport: nw.Endpoint(1), N: 2, Period: time.Millisecond, Timeout: 8 * time.Millisecond,
+		AdaptiveMax: 12 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := d.(*BoundedFD)
+	// Never started: liveness evidence is driven by hand.
+	fd.Observe(wire.Envelope{From: 2, Kind: wire.KindHeartbeat})
+	time.Sleep(12 * time.Millisecond)
+	if s := fd.Suspects(); !s.Has(2) {
+		t.Fatalf("p2 not suspected after silence: %v", s)
+	}
+	fd.Observe(wire.Envelope{From: 2, Kind: wire.KindHeartbeat}) // late evidence: the suspicion was false
+	if s := fd.Suspects(); s.Has(2) {
+		t.Fatalf("suspicion not retracted: %v", s)
+	}
+	if got := fd.Retractions(); got != 1 {
+		t.Errorf("Retractions = %d, want 1", got)
+	}
+	if got := fd.FalseSuspicions(); got != 1 {
+		t.Errorf("FalseSuspicions = %d, want 1", got)
+	}
+	if got := fd.LinkBound(2); got != 12*time.Millisecond {
+		t.Errorf("link bound after retraction = %v, want the 12ms cap (8ms doubled, capped)", got)
+	}
+	if ever := fd.EverSuspected(); !ever.Has(2) {
+		t.Errorf("sticky audit lost the suspicion: %v", ever)
+	}
+	fd.Stop() // never started: must still be a safe no-op
+}
+
+// TestBoundedPingAckConversation: with no data traffic at all, liveness is
+// sustained purely by the ping/ack conversation — and stays cheaper than a
+// heartbeat stream.
+func TestBoundedPingAckConversation(t *testing.T) {
+	z := startZoo(t, BoundedDetector(), 2, 5, nil, 2*time.Millisecond, 20*time.Millisecond)
+	defer z.teardown()
+	soak := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(soak) {
+		for i := 1; i <= 2; i++ {
+			if s := z.dets[i].Suspects(); !s.Empty() {
+				t.Fatalf("observer %d falsely suspects %v on a healthy network", i, s)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	fd := z.dets[1].(*BoundedFD)
+	if fd.LinkPings(2) == 0 {
+		t.Error("no pings on a silent link: liveness evidence came from nowhere")
+	}
+	if fd.LinkBound(2) != 20*time.Millisecond {
+		t.Errorf("bound moved to %v without any retraction", fd.LinkBound(2))
+	}
+	msgs, bytes := z.ws.ControlEncoded()
+	if msgs == 0 || bytes == 0 {
+		t.Errorf("control accounting empty: msgs=%d bytes=%d", msgs, bytes)
+	}
+	// Ping at bound/2 silence ⇒ at most ~2 conversations (4 messages) per
+	// bound per direction; a heartbeat pair would have sent ~150/2 × 2 = 150.
+	if msgs > 80 {
+		t.Errorf("%d control messages in 150ms: not meaningfully cheaper than heartbeats", msgs)
+	}
+}

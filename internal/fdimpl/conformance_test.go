@@ -1,0 +1,112 @@
+package fdimpl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/runtime"
+)
+
+// confN is the cluster size each construction is conformance-checked at:
+// the sdd harness is definitionally two-process, the rest race at 3.
+func confN(spec *runtime.DetectorSpec) int {
+	if spec.Name == "sdd" {
+		return 3 - 1
+	}
+	return 3
+}
+
+// TestConformanceFaultFree is the zoo's shared perfection suite: over a
+// synchronous fault-free network every construction must behave as a
+// perfect detector — no false suspicions while everyone is alive (strong
+// accuracy), and a crash-stopped member suspected by every live observer
+// (strong completeness) with zero retractions afterwards.
+func TestConformanceFaultFree(t *testing.T) {
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			n := confN(spec)
+			z := startZoo(t, spec, n, 11, nil, 2*time.Millisecond, 30*time.Millisecond)
+			defer z.teardown()
+
+			// Accuracy phase: nobody crashed, nobody may be suspected.
+			soak := time.Now().Add(120 * time.Millisecond)
+			for time.Now().Before(soak) {
+				for i := 1; i <= n; i++ {
+					if s := z.dets[i].Suspects(); !s.Empty() {
+						t.Fatalf("observer %d falsely suspects %v with everyone alive", i, s)
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+
+			// Completeness phase: the highest id crash-stops.
+			victim := model.ProcessID(n)
+			z.dets[victim].Stop()
+			for i := 1; i < n; i++ {
+				if !awaitSuspicion(z.dets[i], victim, 2*time.Second) {
+					t.Errorf("observer %d never suspected crashed %d", i, victim)
+				}
+			}
+			for i := 1; i < n; i++ {
+				if got := z.dets[i].FalseSuspicions(); got != 0 {
+					t.Errorf("observer %d: %d false suspicions over a fault-free synchronous network", i, got)
+				}
+				if got := z.dets[i].Retractions(); got != 0 {
+					t.Errorf("observer %d: %d retractions over a fault-free synchronous network", i, got)
+				}
+				if ever := z.dets[i].EverSuspected(); !ever.Has(victim) || ever.Count() != 1 {
+					t.Errorf("observer %d sticky audit = %v, want exactly {%d}", i, ever, victim)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceUnderChaos drives the E14-grade adversary — loss,
+// duplication and delay spikes on every link — and checks the half of
+// perfection the zoo must NOT lose: strong completeness. A crash-stopped
+// member is eventually suspected by every live observer no matter the
+// chaos; accuracy (false suspicions, retractions) is allowed to degrade
+// and is what E15 scores.
+func TestConformanceUnderChaos(t *testing.T) {
+	chaos := &faults.Config{
+		Default: faults.LinkFaults{
+			Drop:      0.25,
+			Duplicate: 0.10,
+			Spike:     0.30,
+			SpikeMin:  2 * time.Millisecond,
+			SpikeMax:  5 * time.Millisecond,
+		},
+	}
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			n := confN(spec)
+			z := startZoo(t, spec, n, 23, chaos, 2*time.Millisecond, 25*time.Millisecond)
+			defer z.teardown()
+
+			// Let the adversary and the adaptive bounds fight for a while;
+			// polling drives edge accounting (and adaptive growth).
+			soak := time.Now().Add(100 * time.Millisecond)
+			for time.Now().Before(soak) {
+				for i := 1; i <= n; i++ {
+					z.dets[i].Suspects()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+
+			victim := model.ProcessID(n)
+			z.dets[victim].Stop()
+			for i := 1; i < n; i++ {
+				if !awaitSuspicion(z.dets[i], victim, 5*time.Second) {
+					t.Errorf("completeness lost under chaos: observer %d never suspected crashed %d", i, victim)
+				}
+			}
+		})
+	}
+}

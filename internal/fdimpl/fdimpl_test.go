@@ -1,0 +1,38 @@
+package fdimpl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistry pins the zoo's names and order ("heartbeat" first: it is
+// the runtime's default) and the unknown-name error the CLIs print.
+func TestRegistry(t *testing.T) {
+	want := []string{"heartbeat", "bounded", "ring", "sdd"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	for _, name := range want {
+		spec, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		} else if spec.Name != name || spec.New == nil {
+			t.Errorf("New(%q) returned spec %+v", name, spec)
+		}
+	}
+	_, err := New("nope")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	for _, name := range want {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-name error %q does not list %q", err, name)
+		}
+	}
+}

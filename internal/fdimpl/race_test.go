@@ -1,0 +1,126 @@
+package fdimpl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// TestRaceFullZoo sweeps every registered construction at n=3 with the
+// consensus phase on: the three general detectors must detect the crash
+// and carry FloodSetWS to agreement; the sdd harness (two-process only)
+// must degrade to an unsupported row, not an error.
+func TestRaceFullZoo(t *testing.T) {
+	scores, err := Race(RaceConfig{
+		Seed:      7,
+		CrashAt:   50 * time.Millisecond,
+		Window:    250 * time.Millisecond,
+		Consensus: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(Names()) {
+		t.Fatalf("%d rows for %d detectors", len(scores), len(Names()))
+	}
+	for i, name := range Names() {
+		if scores[i].Detector != name {
+			t.Errorf("row %d is %q, want %q (registry order)", i, scores[i].Detector, name)
+		}
+	}
+	for _, s := range scores {
+		if s.Detector == "sdd" {
+			if s.Supported {
+				t.Error("sdd claimed support at n=3")
+			}
+			if !strings.Contains(s.Note, "2 processes") {
+				t.Errorf("sdd note %q does not explain the restriction", s.Note)
+			}
+			continue
+		}
+		if !s.Supported {
+			t.Errorf("%s unsupported: %s", s.Detector, s.Note)
+			continue
+		}
+		if !s.Detected {
+			t.Errorf("%s never completed detection of the crashed victim", s.Detector)
+		}
+		if s.DetectLatency <= 0 {
+			t.Errorf("%s: non-positive detection latency %v", s.Detector, s.DetectLatency)
+		}
+		if s.CtrlMsgs == 0 {
+			t.Errorf("%s: no control traffic accounted", s.Detector)
+		}
+		if !s.ConsensusRan || !s.ConsensusDecided || !s.ConsensusAgree {
+			t.Errorf("%s: consensus ran=%v decided=%v agree=%v (note %q)",
+				s.Detector, s.ConsensusRan, s.ConsensusDecided, s.ConsensusAgree, s.Note)
+		}
+		if s.ConsensusRounds < 2 {
+			t.Errorf("%s: FloodSetWS decided at round %d in RWS — below the paper's lower bound", s.Detector, s.ConsensusRounds)
+		}
+	}
+
+	card := RenderScores(scores)
+	for _, want := range append([]string{"detector", "msgs/period", "Λ-round"}, Names()...) {
+		if !strings.Contains(card, want) {
+			t.Errorf("scorecard missing %q:\n%s", want, card)
+		}
+	}
+}
+
+// TestRaceTwoProcessIncludesSDD: at n=2 the boundary harness is a
+// first-class racer.
+func TestRaceTwoProcessIncludesSDD(t *testing.T) {
+	scores, err := Race(RaceConfig{
+		Detectors: []string{"sdd", "bounded"},
+		N:         2,
+		Seed:      13,
+		CrashAt:   40 * time.Millisecond,
+		Window:    250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if !s.Supported {
+			t.Errorf("%s unsupported at n=2: %s", s.Detector, s.Note)
+		}
+		if !s.Detected {
+			t.Errorf("%s missed the crash at n=2", s.Detector)
+		}
+	}
+}
+
+// TestRaceUnderChaosKeepsCompleteness: the same seeded chaos schedule for
+// every row; completeness (Detected) must survive even where accuracy
+// degrades.
+func TestRaceUnderChaosKeepsCompleteness(t *testing.T) {
+	scores, err := Race(RaceConfig{
+		Detectors: []string{"heartbeat", "bounded", "ring"},
+		Seed:      29,
+		Chaos: &faults.Config{
+			Default: faults.LinkFaults{Drop: 0.2, Spike: 0.3, SpikeMin: 2 * time.Millisecond, SpikeMax: 5 * time.Millisecond},
+		},
+		CrashAt: 60 * time.Millisecond,
+		Window:  400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if !s.Supported || !s.Detected {
+			t.Errorf("%s: supported=%v detected=%v under chaos", s.Detector, s.Supported, s.Detected)
+		}
+	}
+}
+
+// TestRaceUnknownDetectorErrors: a sweep over a bogus name fails loudly
+// with the registered list.
+func TestRaceUnknownDetectorErrors(t *testing.T) {
+	_, err := Race(RaceConfig{Detectors: []string{"bogus"}})
+	if err == nil || !strings.Contains(err.Error(), "heartbeat") {
+		t.Fatalf("err = %v, want unknown-detector error listing the registry", err)
+	}
+}

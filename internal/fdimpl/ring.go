@@ -1,0 +1,237 @@
+package fdimpl
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/runtime"
+	"repro/internal/wire"
+)
+
+// RingFD is the logical-ring/forwarding construction: each period a
+// process bumps its own sequence number and sends ONE KindFDRing digest —
+// the freshest sequence it knows for every member — to its ring successor.
+// Freshness information circulates hop by hop, so the cluster spends O(n)
+// messages per period where the all-to-all heartbeat spends O(n²), and
+// pays with detection latency: evidence of p's liveness reaches p's
+// farthest predecessor only after up to n−1 hops, so the stall window must
+// cover ~n·Period plus delivery slack.
+//
+// A member j is suspected once j's sequence has not advanced (nor any
+// direct traffic from j arrived) for the stall window. A crashed member's
+// sequence stops advancing everywhere, so strong completeness survives any
+// chaos; a slow hop can stall a live member's sequence past the window,
+// which is the accuracy degradation the E15 scorecard prices.
+//
+// Rerouting: the digest goes to the first ring successor not currently
+// suspected, so a crashed successor only delays propagation until it is
+// detected, after which the ring heals around it.
+type RingFD struct {
+	*runtime.DetectorCore
+	transport runtime.Transport
+	period    time.Duration
+	maxStall  time.Duration
+
+	life  runtime.Lifecycle
+	codec wire.Codec
+
+	mu           sync.Mutex
+	stall        time.Duration // current stall window (adaptive growth)
+	seq          uint64        // own sequence, bumped per period
+	maxSeq       []uint64      // freshest known sequence per member
+	lastAdvanced []time.Time   // when that freshness last improved
+	forwards     int64         // digests sent
+	reroutes     int64         // digests sent past a suspected successor
+}
+
+var _ runtime.Detector = (*RingFD)(nil)
+
+// RingDetector registers the logical-ring forwarding construction.
+func RingDetector() *runtime.DetectorSpec {
+	return &runtime.DetectorSpec{
+		Name: "ring",
+		New: func(cfg runtime.DetectorConfig) (runtime.Detector, error) {
+			return newRingFD(cfg), nil
+		},
+	}
+}
+
+func newRingFD(cfg runtime.DetectorConfig) *RingFD {
+	// The stall window must cover a full circulation: n−1 forwarding hops,
+	// each waiting up to one period, plus delivery slack. The configured
+	// timeout is honored when it is already generous enough.
+	stall := cfg.Timeout
+	if ringFloor := time.Duration(4*cfg.N) * cfg.Period; stall < ringFloor {
+		stall = ringFloor
+	}
+	maxStall := cfg.AdaptiveMax
+	if maxStall <= 0 {
+		maxStall = stall * 64
+	}
+	fd := &RingFD{
+		DetectorCore: runtime.NewDetectorCore("ring", cfg.Transport.LocalID(), cfg.N),
+		transport:    cfg.Transport,
+		period:       cfg.Period,
+		stall:        stall,
+		maxStall:     maxStall,
+		maxSeq:       make([]uint64, cfg.N+1),
+		lastAdvanced: make([]time.Time, cfg.N+1),
+	}
+	now := time.Now()
+	for j := 1; j <= cfg.N; j++ {
+		fd.lastAdvanced[j] = now
+	}
+	return fd
+}
+
+// UseCodec routes digest encodes through c. Call before Start.
+func (fd *RingFD) UseCodec(c wire.Codec) { fd.codec = c }
+
+// Start launches the ring forwarder.
+func (fd *RingFD) Start() { fd.life.Go(fd.forwardLoop) }
+
+// Stop halts it; idempotent and safe before Start.
+func (fd *RingFD) Stop() { fd.life.Stop() }
+
+func (fd *RingFD) forwardLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(fd.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			fd.forward(time.Now())
+		}
+	}
+}
+
+// forward bumps the own sequence and ships the digest to the successor.
+func (fd *RingFD) forward(now time.Time) {
+	fd.mu.Lock()
+	fd.seq++
+	fd.maxSeq[fd.ID()] = fd.seq
+	fd.lastAdvanced[fd.ID()] = now
+	info := wire.RingInfo{Origins: make([]wire.RingOrigin, 0, fd.N())}
+	for j := 1; j <= fd.N(); j++ {
+		if fd.maxSeq[j] > 0 {
+			info.Origins = append(info.Origins, wire.RingOrigin{Proc: model.ProcessID(j), Seq: fd.maxSeq[j]})
+		}
+	}
+	succ, rerouted := fd.successorLocked(now)
+	if succ != 0 {
+		fd.forwards++
+		if rerouted {
+			fd.reroutes++
+		}
+	}
+	fd.mu.Unlock()
+	if succ == 0 {
+		return // every other member looks dead; nobody to tell
+	}
+	env, err := wire.EnvelopeFor(fd.ID(), succ, int(fd.seq), info)
+	if err != nil {
+		fd.NoteEncodeError()
+		return
+	}
+	data, err := fd.codec.Encode(env)
+	if err != nil {
+		fd.NoteEncodeError()
+		return
+	}
+	if fd.transport.Send(succ, data) == nil {
+		fd.NoteSent()
+	}
+}
+
+// successorLocked picks the first member after the local id in ring order
+// whose freshness is younger than HALF the stall window; rerouted reports
+// whether a nearer (stale) successor was skipped. Rerouting at stall/2 —
+// before the successor is formally suspected — matters for accuracy: while
+// a digest goes to a dead successor, everything this process knows stops
+// propagating, so waiting for full suspicion would let third parties stall
+// past their own windows and falsely suspect live members. Requires fd.mu.
+func (fd *RingFD) successorLocked(now time.Time) (succ model.ProcessID, rerouted bool) {
+	n := fd.N()
+	for k := 1; k < n; k++ {
+		j := model.ProcessID((int(fd.ID())-1+k)%n + 1)
+		if now.Sub(fd.lastAdvanced[j]) <= fd.stall/2 {
+			return j, k > 1
+		}
+	}
+	// Everyone looks stale: fall back to the immediate successor rather
+	// than going silent (staleness may be our inbound problem, not theirs).
+	return model.ProcessID(int(fd.ID())%n + 1), false
+}
+
+// Observe folds a digest (or any direct traffic) into the freshness table.
+func (fd *RingFD) Observe(env wire.Envelope) {
+	if !env.From.Valid(fd.N()) || env.From == fd.ID() {
+		return
+	}
+	now := time.Now()
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	fd.lastAdvanced[env.From] = now // direct traffic is firsthand evidence
+	info, ok := env.Payload.(wire.RingInfo)
+	if !ok {
+		return
+	}
+	for _, o := range info.Origins {
+		if !o.Proc.Valid(fd.N()) || o.Proc == fd.ID() {
+			continue
+		}
+		if o.Seq > fd.maxSeq[o.Proc] {
+			fd.maxSeq[o.Proc] = o.Seq
+			fd.lastAdvanced[o.Proc] = now
+		}
+	}
+}
+
+// Suspects returns the members whose freshness stalled past the window.
+func (fd *RingFD) Suspects() model.ProcSet {
+	var s model.ProcSet
+	now := time.Now()
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	for j := 1; j <= fd.N(); j++ {
+		if model.ProcessID(j) == fd.ID() {
+			continue
+		}
+		if now.Sub(fd.lastAdvanced[j]) > fd.stall {
+			s = s.Add(model.ProcessID(j))
+			fd.Raise(model.ProcessID(j))
+		} else if fd.Retract(model.ProcessID(j)) {
+			// A retraction means the window undershot the ring's actual
+			// circulation time; grow it (the ◇P move, always on — the
+			// ring's latency depends on load, not just the network).
+			if fd.stall *= 2; fd.stall > fd.maxStall {
+				fd.stall = fd.maxStall
+			}
+		}
+	}
+	return s
+}
+
+// Forwards reports digests sent; Reroutes how many skipped a suspected
+// successor (the ring healing around a crash).
+func (fd *RingFD) Forwards() int64 {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.forwards
+}
+
+// Reroutes reports digests routed past a stalled successor.
+func (fd *RingFD) Reroutes() int64 {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.reroutes
+}
+
+// StallWindow reports the current stall window (grown by retractions).
+func (fd *RingFD) StallWindow() time.Duration {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.stall
+}

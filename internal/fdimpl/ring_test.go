@@ -1,0 +1,81 @@
+package fdimpl
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRingMessageRateIsLinear pins the construction's reason to exist:
+// cluster-wide control traffic is one digest per member per period — O(n)
+// — where the all-to-all heartbeat pays n(n−1).
+func TestRingMessageRateIsLinear(t *testing.T) {
+	const (
+		n      = 4
+		period = 2 * time.Millisecond
+		window = 200 * time.Millisecond
+	)
+	z := startZoo(t, RingDetector(), n, 3, nil, period, 30*time.Millisecond)
+	defer z.teardown()
+	time.Sleep(window)
+	z.teardown() // stop the forwarders before reading the accounting
+
+	msgs, _ := z.ws.ControlEncoded()
+	periods := int64(window / period)
+	// One digest per member per period, with scheduling slack; the
+	// heartbeat construction would be n(n−1) = 12 per period.
+	budget := periods * (n + 1)
+	if msgs == 0 {
+		t.Fatal("ring sent nothing")
+	}
+	if msgs > budget {
+		t.Errorf("ring sent %d control messages in %d periods (budget %d): not O(n)", msgs, periods, budget)
+	}
+}
+
+// TestRingReroutesAroundCrashedSuccessor: p1's successor p2 crash-stops.
+// p1 must (a) suspect p2, (b) reroute its digest to p3 so that p3 keeps
+// seeing p1 fresh — p3's suspicion set must converge to exactly {p2}.
+func TestRingReroutesAroundCrashedSuccessor(t *testing.T) {
+	z := startZoo(t, RingDetector(), 3, 9, nil, 2*time.Millisecond, 30*time.Millisecond)
+	defer z.teardown()
+
+	// Healthy soak: freshness circulates, nobody suspected.
+	soak := time.Now().Add(80 * time.Millisecond)
+	for time.Now().Before(soak) {
+		for i := 1; i <= 3; i++ {
+			if s := z.dets[i].Suspects(); !s.Empty() {
+				t.Fatalf("observer %d falsely suspects %v on a healthy ring", i, s)
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	z.dets[2].Stop() // p2, p1's ring successor, crash-stops
+	if !awaitSuspicion(z.dets[1], 2, 2*time.Second) {
+		t.Fatal("p1 never suspected its crashed successor")
+	}
+	if !awaitSuspicion(z.dets[3], 2, 2*time.Second) {
+		t.Fatal("p3 never suspected p2")
+	}
+
+	// With the ring healed (p1 → p3 directly), p1's freshness must keep
+	// flowing: p3 may not accumulate a false suspicion of p1.
+	heal := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(heal) {
+		if s := z.dets[3].Suspects(); s.Has(1) {
+			t.Fatalf("p3 falsely suspects live p1 after reroute: %v", s)
+		}
+		z.dets[1].Suspects() // keep p1's edge accounting moving too
+		time.Sleep(2 * time.Millisecond)
+	}
+	fd1 := z.dets[1].(*RingFD)
+	if fd1.Reroutes() == 0 {
+		t.Error("p1 never rerouted past its crashed successor")
+	}
+	if fd1.Forwards() == 0 {
+		t.Error("p1 forwarded nothing")
+	}
+	if fd1.StallWindow() < 30*time.Millisecond {
+		t.Errorf("stall window shrank to %v", fd1.StallWindow())
+	}
+}

@@ -1,0 +1,151 @@
+package fdimpl
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/runtime"
+	"repro/internal/wire"
+)
+
+// SDDFD is the two-process harness for the paper's §3 hardness boundary.
+// The Strongly Dependent Decision problem separates SS from SP because a
+// synchronous system can act on a *calibrated* silence — after Φ+1+Δ the
+// peer is provably crashed — while SP's perfect detector only promises
+// that a crash is eventually reported, never when.
+//
+// The harness runs one heartbeat stream between exactly two processes and
+// times silence against two windows at once:
+//
+//   - the SS window (the configured Timeout): the bound a synchronous
+//     deployment would be entitled to act on;
+//   - the SP window (4× that): the conservative bound the operational
+//     Suspects() actually uses, so the detector stays safe where the
+//     network is merely slow.
+//
+// Every Suspects poll that lands between the windows — SS would have
+// decided, SP cannot yet distinguish slow from crashed — increments
+// BoundaryPolls. That counter is the experiment's measurement of §SDD:
+// over a network honoring its bounds it stays 0 and both windows agree;
+// under chaos it counts exactly the polls where an SDD algorithm built on
+// this detector would have diverged from its SS twin.
+type SDDFD struct {
+	*runtime.DetectorCore
+	transport runtime.Transport
+	peer      model.ProcessID
+	period    time.Duration
+	ssWindow  time.Duration
+	spWindow  time.Duration
+
+	life  runtime.Lifecycle
+	codec wire.Codec
+
+	lastHeard     atomic.Int64 // unix nanos of last traffic from the peer
+	boundaryPolls atomic.Int64 // polls with SS-suspected but not SP-suspected
+	ssRaises      atomic.Int64 // SS-window suspicion edges
+	ssSuspected   atomic.Bool
+}
+
+var _ runtime.Detector = (*SDDFD)(nil)
+
+// SDDDetector registers the two-process SDD boundary harness. Its factory
+// rejects any cluster size but 2 — the hardness argument is specifically
+// about one observer timing one peer.
+func SDDDetector() *runtime.DetectorSpec {
+	return &runtime.DetectorSpec{
+		Name: "sdd",
+		New: func(cfg runtime.DetectorConfig) (runtime.Detector, error) {
+			if cfg.N != 2 {
+				return nil, fmt.Errorf("sdd detector requires exactly 2 processes, got %d", cfg.N)
+			}
+			id := cfg.Transport.LocalID()
+			fd := &SDDFD{
+				DetectorCore: runtime.NewDetectorCore("sdd", id, cfg.N),
+				transport:    cfg.Transport,
+				peer:         model.ProcessID(3 - int(id)),
+				period:       cfg.Period,
+				ssWindow:     cfg.Timeout,
+				spWindow:     4 * cfg.Timeout,
+			}
+			fd.lastHeard.Store(time.Now().UnixNano())
+			return fd, nil
+		},
+	}
+}
+
+// UseCodec routes heartbeat encodes through c. Call before Start.
+func (fd *SDDFD) UseCodec(c wire.Codec) { fd.codec = c }
+
+// Start launches the heartbeat stream to the single peer.
+func (fd *SDDFD) Start() { fd.life.Go(fd.beatLoop) }
+
+// Stop halts it; idempotent and safe before Start.
+func (fd *SDDFD) Stop() { fd.life.Stop() }
+
+func (fd *SDDFD) beatLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(fd.period)
+	defer ticker.Stop()
+	seq := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			seq++
+			data, err := fd.codec.Encode(wire.Envelope{From: fd.ID(), To: fd.peer, Round: seq, Kind: wire.KindHeartbeat})
+			if err != nil {
+				fd.NoteEncodeError()
+				continue
+			}
+			if fd.transport.Send(fd.peer, data) == nil {
+				fd.NoteSent()
+			}
+		}
+	}
+}
+
+// Observe records liveness evidence from the peer.
+func (fd *SDDFD) Observe(env wire.Envelope) {
+	if env.From != fd.peer {
+		return
+	}
+	fd.lastHeard.Store(time.Now().UnixNano())
+}
+
+// Suspects times the peer's silence against both windows: the SP window
+// drives the returned set (and the edge accounting), the SS window drives
+// the boundary instrumentation.
+func (fd *SDDFD) Suspects() model.ProcSet {
+	var s model.ProcSet
+	silence := time.Duration(time.Now().UnixNano() - fd.lastHeard.Load())
+	ss := silence > fd.ssWindow
+	sp := silence > fd.spWindow
+	if ss && !fd.ssSuspected.Swap(true) {
+		fd.ssRaises.Add(1)
+	} else if !ss {
+		fd.ssSuspected.Store(false)
+	}
+	if ss && !sp {
+		fd.boundaryPolls.Add(1)
+	}
+	if sp {
+		s = s.Add(fd.peer)
+		fd.Raise(fd.peer)
+	} else {
+		fd.Retract(fd.peer)
+	}
+	return s
+}
+
+// BoundaryPolls counts polls inside the SS/SP gap — where a synchronous
+// system would already have acted while SP provably must keep waiting.
+func (fd *SDDFD) BoundaryPolls() int64 { return fd.boundaryPolls.Load() }
+
+// SSRaises counts SS-window suspicion edges (how often the tight bound
+// fired at all, retracted or not).
+func (fd *SDDFD) SSRaises() int64 { return fd.ssRaises.Load() }
+
+// Windows reports the harness's two silence bounds (SS, SP).
+func (fd *SDDFD) Windows() (ss, sp time.Duration) { return fd.ssWindow, fd.spWindow }

@@ -80,10 +80,10 @@ const (
 // hand it to a wire.Codec and every successful Encode/Decode lands in both
 // the registry counters and the private per-kind totals.
 type WireStats struct {
-	perKind [wire.KindHeartbeat + 1]struct {
+	perKind [wire.MaxKind + 1]struct {
 		encMsgs, encBytes, decMsgs, decBytes atomic.Int64
 	}
-	enc, encB, dec, decB [wire.KindHeartbeat + 1]*obs.Counter
+	enc, encB, dec, decB [wire.MaxKind + 1]*obs.Counter
 }
 
 var _ wire.Tap = (*WireStats)(nil)
@@ -106,7 +106,7 @@ func NewWireStats(reg *obs.Registry) *WireStats {
 }
 
 // valid reports whether k indexes the per-kind tables.
-func validKind(k wire.Kind) bool { return k >= wire.KindNull && k <= wire.KindHeartbeat }
+func validKind(k wire.Kind) bool { return k >= wire.KindNull && k <= wire.MaxKind }
 
 // OnEncode implements wire.Tap.
 func (ws *WireStats) OnEncode(k wire.Kind, bytes int) {
@@ -174,14 +174,15 @@ func (ws *WireStats) Encoded() (msgs, bytes int64) {
 }
 
 // DataEncoded sums encode-side totals across the round-message kinds —
-// everything except heartbeats, whose volume is a wall-clock artifact of
-// the detector period rather than a property of the algorithm.
+// everything except detector control traffic (heartbeats, pings, acks, ring
+// digests), whose volume is a wall-clock artifact of the detector period
+// rather than a property of the algorithm.
 func (ws *WireStats) DataEncoded() (msgs, bytes int64) {
 	if ws == nil {
 		return 0, 0
 	}
 	for _, k := range wire.Kinds() {
-		if k == wire.KindHeartbeat {
+		if k.Control() {
 			continue
 		}
 		msgs += ws.perKind[k].encMsgs.Load()
@@ -190,12 +191,35 @@ func (ws *WireStats) DataEncoded() (msgs, bytes int64) {
 	return msgs, bytes
 }
 
-// Heartbeats returns the encode-side heartbeat count.
+// Heartbeats returns the encode-side detector control-message count —
+// heartbeat beacons plus the zoo detectors' pings, acks and ring digests.
 func (ws *WireStats) Heartbeats() int64 {
 	if ws == nil {
 		return 0
 	}
-	return ws.perKind[wire.KindHeartbeat].encMsgs.Load()
+	var msgs int64
+	for _, k := range wire.Kinds() {
+		if k.Control() {
+			msgs += ws.perKind[k].encMsgs.Load()
+		}
+	}
+	return msgs
+}
+
+// ControlEncoded sums encode-side totals across the detector control kinds
+// — the detector zoo's message-cost figure (count and bytes).
+func (ws *WireStats) ControlEncoded() (msgs, bytes int64) {
+	if ws == nil {
+		return 0, 0
+	}
+	for _, k := range wire.Kinds() {
+		if !k.Control() {
+			continue
+		}
+		msgs += ws.perKind[k].encMsgs.Load()
+		bytes += ws.perKind[k].encBytes.Load()
+	}
+	return msgs, bytes
 }
 
 // Link is one ordered sender→receiver pair.

@@ -539,8 +539,8 @@ func TestKindLabelsExhaustive(t *testing.T) {
 			t.Fatalf("kind %v not pre-registered (%s missing)", k, name)
 		}
 	}
-	if len(wire.Kinds()) != 7 {
-		t.Fatalf("wire.Kinds() = %d entries, want 7", len(wire.Kinds()))
+	if len(wire.Kinds()) != 10 {
+		t.Fatalf("wire.Kinds() = %d entries, want 10", len(wire.Kinds()))
 	}
 }
 

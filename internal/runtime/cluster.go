@@ -35,6 +35,13 @@ type ClusterConfig struct {
 	HeartbeatPeriod time.Duration
 	SuspectTimeout  time.Duration
 
+	// Detector selects the failure-detector construction for RWS runs; nil
+	// means the default all-to-all heartbeat. The spec's factory is invoked
+	// once per node with the node's (fault-wrapped) transport; its name
+	// labels the ssfd_fd_* metric families. The implementations live in
+	// internal/fdimpl — resolve CLI names through its registry.
+	Detector *DetectorSpec
+
 	MaxRounds int
 
 	// Crashes schedules crash plans per process.
@@ -90,6 +97,11 @@ type ClusterResult struct {
 	// FalseSuspicions sums detector retractions across nodes: 0 means
 	// failure detection was perfect in this run.
 	FalseSuspicions int64
+	// Retractions sums the detectors' retraction edges — numerically equal
+	// to FalseSuspicions under crash-stop, surfaced separately because the
+	// adaptive constructions consume it as their tuning signal and the E15
+	// scorecard reports it as a rate.
+	Retractions int64
 	// FalselySuspected counts (observer, target) pairs where the observer
 	// suspected a process that never crash-stopped — the strong-accuracy
 	// audit, catching even suspicions the run ended too early to retract.
@@ -178,10 +190,14 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 	if reg == nil {
 		reg = obs.Default
 	}
+	spec := cfg.Detector
+	if spec == nil {
+		spec = HeartbeatDetector()
+	}
 	// Pre-register the counter families a scrape should always see, even at
 	// zero: an absent ssfd_fd_encode_errors_total is indistinguishable from
 	// an unmeasured one.
-	reg.Counter(MetricFDEncodeErrors)
+	reg.Counter(obs.Label(MetricFDEncodeErrors, "detector", spec.Name))
 	reg.Counter(obs.Label(faults.MetricDropped, "reason", "loss"))
 	reg.Counter(obs.Label(faults.MetricDropped, "reason", "partition"))
 	reg.Counter(obs.Label(faults.MetricDropped, "reason", "crash"))
@@ -239,21 +255,29 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 
 	epoch := time.Now().Add(10 * time.Millisecond)
 	nodes := make([]*Node, n+1)
-	fds := make([]*HeartbeatFD, n+1)
+	fds := make([]Detector, n+1)
 	for i := 1; i <= n; i++ {
 		id := model.ProcessID(i)
 		var transport Transport = network.Endpoint(id)
 		if inj != nil {
 			transport = inj.Wrap(transport)
 		}
-		var fd *HeartbeatFD
+		// fd stays an untyped nil for RS runs: assigning a nil concrete
+		// pointer into the interface would defeat the nodes' FD != nil
+		// guards.
+		var fd Detector
 		if cfg.Kind == rounds.RWS {
-			fd = NewHeartbeatFD(transport, n, cfg.HeartbeatPeriod, cfg.SuspectTimeout)
-			fd.Instrument(reg, cfg.Events)
-			fd.UseCodec(codec)
-			if cfg.AdaptiveTimeout {
-				fd.EnableAdaptiveTimeout(cfg.AdaptiveTimeoutMax)
+			d, err := spec.New(DetectorConfig{
+				Transport: transport, N: n,
+				Period: cfg.HeartbeatPeriod, Timeout: cfg.SuspectTimeout,
+				Adaptive: cfg.AdaptiveTimeout, AdaptiveMax: cfg.AdaptiveTimeoutMax,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("runtime: node %d: detector %q: %w", i, spec.Name, err)
 			}
+			d.Instrument(reg, cfg.Events)
+			d.UseCodec(codec)
+			fd = d
 		}
 		fds[i] = fd
 		node, err := NewNode(alg, NodeConfig{
@@ -298,6 +322,7 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 		if fds[i] != nil {
 			fds[i].Stop()
 			cr.FalseSuspicions += fds[i].FalseSuspicions()
+			cr.Retractions += fds[i].Retractions()
 			cr.EncodeErrors += fds[i].EncodeErrors()
 			// Strong-accuracy audit: a sticky suspicion of a process that
 			// never crash-stopped is a perfection violation even when the run

@@ -1,12 +1,10 @@
 package runtime
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
-	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -28,9 +26,11 @@ import (
 // the degradation gracefully: growing the timeout on every retraction is
 // the classic ◇P construction, converging to accuracy once the timeout
 // overtakes the network's actual (unbounded-model) delays.
+//
+// It is the "heartbeat" entry of the detector zoo (see HeartbeatDetector
+// and internal/fdimpl); its cost is O(n²) messages per period cluster-wide.
 type HeartbeatFD struct {
-	id        model.ProcessID
-	n         int
+	*DetectorCore
 	period    time.Duration
 	timeout   atomic.Int64 // current suspicion window, nanoseconds
 	transport Transport
@@ -40,34 +40,17 @@ type HeartbeatFD struct {
 
 	lastHeard []atomic.Int64 // unix nanos of last traffic per peer
 
-	stopOnce sync.Once
-	stop     chan struct{}
-	wg       sync.WaitGroup
-
-	round atomic.Int64 // current protocol round, for event attribution
-
-	falseSuspicions atomic.Int64 // observed retractions (perfection counterexamples)
-	encodeErrors    atomic.Int64
-	everSuspected   []atomic.Bool // current suspicion edge state
-	stickySuspected []atomic.Bool // ever raised, never cleared (accuracy audit)
-
-	metrics fdMetrics
-	sink    obs.Sink
-	codec   wire.Codec
+	life  Lifecycle
+	codec wire.Codec
 }
 
 // NewHeartbeatFD builds (but does not start) a detector for the endpoint.
 func NewHeartbeatFD(t Transport, n int, period, timeout time.Duration) *HeartbeatFD {
 	fd := &HeartbeatFD{
-		id:              t.LocalID(),
-		n:               n,
-		period:          period,
-		transport:       t,
-		lastHeard:       make([]atomic.Int64, n+1),
-		everSuspected:   make([]atomic.Bool, n+1),
-		stickySuspected: make([]atomic.Bool, n+1),
-		stop:            make(chan struct{}),
-		metrics:         newFDMetrics(obs.Default),
+		DetectorCore: NewDetectorCore("heartbeat", t.LocalID(), n),
+		period:       period,
+		transport:    t,
+		lastHeard:    make([]atomic.Int64, n+1),
 	}
 	fd.timeout.Store(int64(timeout))
 	now := time.Now().UnixNano()
@@ -75,14 +58,6 @@ func NewHeartbeatFD(t Transport, n int, period, timeout time.Duration) *Heartbea
 		fd.lastHeard[i].Store(now)
 	}
 	return fd
-}
-
-// Instrument redirects the detector's counters to reg (nil disables them)
-// and streams suspect/retract events to sink (nil disables the stream).
-// Call before Start.
-func (fd *HeartbeatFD) Instrument(reg *obs.Registry, sink obs.Sink) {
-	fd.metrics = newFDMetrics(reg)
-	fd.sink = sink
 }
 
 // UseCodec routes the broadcaster's heartbeat encodes through c, so a wire
@@ -105,15 +80,6 @@ func (fd *HeartbeatFD) EnableAdaptiveTimeout(max time.Duration) {
 	fd.maxTimeout = max
 }
 
-// NoteRound tags subsequent suspect/retract events with the protocol round
-// the owning node is executing. The detector itself is round-free (it times
-// out on wall-clock silence); the tag only gives event consumers — the
-// conformance projector in particular — the round attribution that a raw
-// suspicion edge lacks.
-func (fd *HeartbeatFD) NoteRound(r int) {
-	fd.round.Store(int64(r))
-}
-
 // CurrentTimeout returns the active suspicion window — grown past its
 // configured value only by adaptive retractions.
 func (fd *HeartbeatFD) CurrentTimeout() time.Duration {
@@ -122,32 +88,30 @@ func (fd *HeartbeatFD) CurrentTimeout() time.Duration {
 
 // Start launches the heartbeat broadcaster.
 func (fd *HeartbeatFD) Start() {
-	fd.wg.Add(1)
-	go fd.broadcastLoop()
+	fd.life.Go(fd.broadcastLoop)
 }
 
 // Stop halts the broadcaster (the process "crashes" from the peers'
-// viewpoint once its last heartbeat ages out).
+// viewpoint once its last heartbeat ages out). Idempotent, and safe to
+// call before Start.
 func (fd *HeartbeatFD) Stop() {
-	fd.stopOnce.Do(func() { close(fd.stop) })
-	fd.wg.Wait()
+	fd.life.Stop()
 }
 
-func (fd *HeartbeatFD) broadcastLoop() {
-	defer fd.wg.Done()
+func (fd *HeartbeatFD) broadcastLoop(stop <-chan struct{}) {
 	ticker := time.NewTicker(fd.period)
 	defer ticker.Stop()
 	seq := 0
 	for {
 		select {
-		case <-fd.stop:
+		case <-stop:
 			return
 		case <-ticker.C:
 			seq++
-			env := wire.Envelope{From: fd.id, Round: seq, Kind: wire.KindHeartbeat}
-			for j := 1; j <= fd.n; j++ {
+			env := wire.Envelope{From: fd.ID(), Round: seq, Kind: wire.KindHeartbeat}
+			for j := 1; j <= fd.N(); j++ {
 				dest := model.ProcessID(j)
-				if dest == fd.id {
+				if dest == fd.ID() {
 					continue
 				}
 				e := env
@@ -156,12 +120,11 @@ func (fd *HeartbeatFD) broadcastLoop() {
 				if err != nil {
 					// A liveness beacon that fails to encode is a silent
 					// partial crash; count it so the run verdict can see it.
-					fd.encodeErrors.Add(1)
-					fd.metrics.encodeErrors.Inc()
+					fd.NoteEncodeError()
 					continue
 				}
 				if fd.transport.Send(dest, data) == nil { // best effort; closure races are benign
-					fd.metrics.heartbeatsSent.Inc()
+					fd.NoteSent()
 				}
 			}
 		}
@@ -169,13 +132,13 @@ func (fd *HeartbeatFD) broadcastLoop() {
 }
 
 // Observe records liveness evidence from a peer. The node's demultiplexer
-// calls it for every packet (heartbeat or data): any traffic proves the
-// peer was recently alive.
-func (fd *HeartbeatFD) Observe(from model.ProcessID) {
-	if !from.Valid(fd.n) {
+// calls it for every decoded envelope (control or data): any traffic
+// proves the sender was recently alive.
+func (fd *HeartbeatFD) Observe(env wire.Envelope) {
+	if !env.From.Valid(fd.N()) {
 		return
 	}
-	fd.lastHeard[from].Store(time.Now().UnixNano())
+	fd.lastHeard[env.From].Store(time.Now().UnixNano())
 }
 
 // Suspects returns the current suspicion set. It also tracks retractions:
@@ -186,56 +149,20 @@ func (fd *HeartbeatFD) Suspects() model.ProcSet {
 	var s model.ProcSet
 	now := time.Now().UnixNano()
 	timeout := fd.timeout.Load()
-	for j := 1; j <= fd.n; j++ {
-		if model.ProcessID(j) == fd.id {
+	for j := 1; j <= fd.N(); j++ {
+		if model.ProcessID(j) == fd.ID() {
 			continue
 		}
 		if now-fd.lastHeard[j].Load() > timeout {
 			s = s.Add(model.ProcessID(j))
-			// Swap counts each raise exactly once per transition, so the
-			// raised/retracted counters track suspicion *edges*, not polls.
-			if !fd.everSuspected[j].Swap(true) {
-				fd.stickySuspected[j].Store(true)
-				fd.metrics.raised.Inc()
-				if fd.sink != nil {
-					fd.sink.Emit(obs.Event{Type: obs.EventSuspect, Round: int(fd.round.Load()), Proc: j, By: int(fd.id)})
-				}
+			fd.Raise(model.ProcessID(j))
+		} else if fd.Retract(model.ProcessID(j)) && fd.adaptive {
+			grown := timeout * 2
+			if grown > int64(fd.maxTimeout) {
+				grown = int64(fd.maxTimeout)
 			}
-		} else if fd.everSuspected[j].Swap(false) {
-			fd.falseSuspicions.Add(1)
-			fd.metrics.retracted.Inc()
-			if fd.adaptive {
-				grown := timeout * 2
-				if grown > int64(fd.maxTimeout) {
-					grown = int64(fd.maxTimeout)
-				}
-				// CompareAndSwap: concurrent pollers double once, not twice.
-				fd.timeout.CompareAndSwap(timeout, grown)
-			}
-			if fd.sink != nil {
-				fd.sink.Emit(obs.Event{Type: obs.EventRetract, Round: int(fd.round.Load()), Proc: j, By: int(fd.id)})
-			}
-		}
-	}
-	return s
-}
-
-// FalseSuspicions reports how many suspicion retractions this observer went
-// through — zero in a run where the detector behaved perfectly.
-func (fd *HeartbeatFD) FalseSuspicions() int64 { return fd.falseSuspicions.Load() }
-
-// EncodeErrors reports heartbeats lost to envelope encoding failures.
-func (fd *HeartbeatFD) EncodeErrors() int64 { return fd.encodeErrors.Load() }
-
-// EverSuspected returns every peer this observer suspected at any point,
-// retracted or not. Compared against which processes actually crashed it
-// yields the run's strong-accuracy audit: a member that never crashed is a
-// false suspicion even if the run ended before the retraction was polled.
-func (fd *HeartbeatFD) EverSuspected() model.ProcSet {
-	var s model.ProcSet
-	for j := 1; j <= fd.n; j++ {
-		if fd.stickySuspected[j].Load() {
-			s = s.Add(model.ProcessID(j))
+			// CompareAndSwap: concurrent pollers double once, not twice.
+			fd.timeout.CompareAndSwap(timeout, grown)
 		}
 	}
 	return s

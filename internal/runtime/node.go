@@ -40,8 +40,9 @@ type NodeConfig struct {
 	// (RS only).
 	Epoch time.Time
 
-	// FD is required for RWS.
-	FD *HeartbeatFD
+	// FD is required for RWS. Any Detector implementation works; the
+	// cluster builds one per node from ClusterConfig.Detector.
+	FD Detector
 
 	// MaxRounds bounds the execution (default t+2, every algorithm's worst
 	// case here).
@@ -148,9 +149,11 @@ func (n *Node) demuxLoop() {
 				continue // corrupt frame: drop
 			}
 			if n.cfg.FD != nil {
-				n.cfg.FD.Observe(env.From)
+				n.cfg.FD.Observe(env)
 			}
-			if env.Kind == wire.KindHeartbeat {
+			if env.Kind.Control() {
+				// Detector control traffic (heartbeat/ping/ack/ring) never
+				// reaches the round buffers.
 				n.metrics.heartbeats.Inc()
 				continue
 			}

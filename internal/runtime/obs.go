@@ -8,7 +8,10 @@ import (
 
 // Metric names exported by the live runtime. Transport metrics carry a
 // {transport="chan"} or {transport="tcp"} label; the round-duration
-// histogram carries {algorithm="...",model="..."}.
+// histogram carries {algorithm="...",model="..."}; the detector-owned
+// ssfd_fd_* families carry {detector="heartbeat"|"bounded"|...} (the
+// node-side ssfd_fd_heartbeats_received_total stays unlabelled — the
+// demultiplexer counts control traffic without knowing who sent it).
 const (
 	MetricRoundDuration       = "ssfd_node_round_duration_ns" // histogram, nanoseconds
 	MetricNodeRounds          = "ssfd_node_rounds_total"
@@ -55,7 +58,9 @@ func newNodeMetrics(reg *obs.Registry, algorithm string, kind rounds.ModelKind) 
 	}
 }
 
-// fdMetrics caches the failure detector's instruments.
+// fdMetrics caches the failure detector's instruments. Every family
+// carries a {detector="..."} label so the zoo's implementations stay
+// distinguishable on one exposition endpoint.
 type fdMetrics struct {
 	heartbeatsSent *obs.Counter
 	raised         *obs.Counter
@@ -63,12 +68,13 @@ type fdMetrics struct {
 	encodeErrors   *obs.Counter
 }
 
-func newFDMetrics(reg *obs.Registry) fdMetrics {
+func newFDMetrics(reg *obs.Registry, detector string) fdMetrics {
+	l := func(name string) string { return obs.Label(name, "detector", detector) }
 	return fdMetrics{
-		heartbeatsSent: reg.Counter(MetricHeartbeatsSent),
-		raised:         reg.Counter(MetricSuspicionsRaised),
-		retracted:      reg.Counter(MetricSuspicionsRetracted),
-		encodeErrors:   reg.Counter(MetricFDEncodeErrors),
+		heartbeatsSent: reg.Counter(l(MetricHeartbeatsSent)),
+		raised:         reg.Counter(l(MetricSuspicionsRaised)),
+		retracted:      reg.Counter(l(MetricSuspicionsRetracted)),
+		encodeErrors:   reg.Counter(l(MetricFDEncodeErrors)),
 	}
 }
 

@@ -81,7 +81,7 @@ func TestClusterMetricsEndpoint(t *testing.T) {
 	snap := reg.Snapshot()
 	// p1 crashed, so both survivors must have suspected it: the raised
 	// counter counts suspicion edges, one per (observer, suspect) pair.
-	if got := snap.Counter(MetricSuspicionsRaised); got < 2 {
+	if got := snap.Counter(obs.Label(MetricSuspicionsRaised, "detector", "heartbeat")); got < 2 {
 		t.Errorf("suspicions raised = %d, want ≥ 2", got)
 	}
 	labeled := obs.Label(obs.Label(MetricRoundDuration, "algorithm", "FloodSetWS"), "model", "RWS")
@@ -90,7 +90,7 @@ func TestClusterMetricsEndpoint(t *testing.T) {
 	}
 	// Perfect detection over the synchronous default network: the retracted
 	// counter must agree with the result's false-suspicion tally (both 0).
-	if got := snap.Counter(MetricSuspicionsRetracted); got != cr.FalseSuspicions {
+	if got := snap.Counter(obs.Label(MetricSuspicionsRetracted, "detector", "heartbeat")); got != cr.FalseSuspicions {
 		t.Errorf("retracted counter = %d, FalseSuspicions = %d", got, cr.FalseSuspicions)
 	}
 

@@ -107,7 +107,7 @@ func TestHeartbeatFDPerfectOverSynchronousNetwork(t *testing.T) {
 			case pkt := <-nw.Endpoint(1).Recv():
 				env, err := wire.Decode(pkt.Data)
 				if err == nil {
-					fd1.Observe(env.From)
+					fd1.Observe(env)
 				}
 			}
 		}
@@ -484,17 +484,20 @@ func TestHeartbeatFDAdaptiveTimeoutGrowsAndCaps(t *testing.T) {
 	fd := NewHeartbeatFD(nw.Endpoint(1), 2, time.Millisecond, 5*time.Millisecond)
 	fd.EnableAdaptiveTimeout(8 * time.Millisecond)
 	// Never started: we drive liveness evidence by hand.
-	fd.Observe(2)
+	fd.Observe(wire.Envelope{From: 2, Kind: wire.KindHeartbeat})
 	time.Sleep(10 * time.Millisecond)
 	if s := fd.Suspects(); !s.Has(2) {
 		t.Fatalf("p2 not suspected after silence: %v", s)
 	}
-	fd.Observe(2) // p2 shows life: the suspicion was false
+	fd.Observe(wire.Envelope{From: 2, Kind: wire.KindHeartbeat}) // p2 shows life: the suspicion was false
 	if s := fd.Suspects(); s.Has(2) {
 		t.Fatalf("suspicion not retracted: %v", s)
 	}
 	if got := fd.FalseSuspicions(); got != 1 {
 		t.Errorf("FalseSuspicions = %d, want 1", got)
+	}
+	if got := fd.Retractions(); got != 1 {
+		t.Errorf("Retractions = %d, want 1", got)
 	}
 	if got := fd.CurrentTimeout(); got != 8*time.Millisecond {
 		t.Errorf("timeout after retraction = %v, want the 8ms cap (5ms doubled, capped)", got)
@@ -502,6 +505,30 @@ func TestHeartbeatFDAdaptiveTimeoutGrowsAndCaps(t *testing.T) {
 	if ever := fd.EverSuspected(); !ever.Has(2) {
 		t.Errorf("sticky audit lost the suspicion: %v", ever)
 	}
+}
+
+// TestHeartbeatFDStopIdempotent pins the lifecycle contract every zoo
+// detector inherits from runtime.Lifecycle: Stop before Start is a no-op,
+// repeated Stops don't panic or hang, and a stopped detector cannot be
+// restarted (its broadcaster would outlive a "crashed" node otherwise).
+func TestHeartbeatFDStopIdempotent(t *testing.T) {
+	nw := NewChanNetwork(2, ChanConfig{})
+	defer func() { _ = nw.Close() }()
+
+	// Stop without Start: must return immediately, twice.
+	cold := NewHeartbeatFD(nw.Endpoint(1), 2, time.Millisecond, 5*time.Millisecond)
+	cold.Stop()
+	cold.Stop()
+	// Start after Stop must not revive the broadcaster.
+	cold.Start()
+	cold.Stop() // joins nothing; would hang if a goroutine had leaked past the guard
+
+	// The normal path: Start, then double Stop.
+	fd := NewHeartbeatFD(nw.Endpoint(2), 2, time.Millisecond, 5*time.Millisecond)
+	fd.Start()
+	time.Sleep(3 * time.Millisecond)
+	fd.Stop()
+	fd.Stop()
 }
 
 func TestRunClusterFaultsVerdict(t *testing.T) {

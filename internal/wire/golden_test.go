@@ -32,6 +32,9 @@ func TestGoldenWireSizes(t *testing.T) {
 		{canon(KindA1Fwd, consensus.A1Fwd{V: 5}), 5},
 		{canon(KindVotes, nbac.VotesMsg{Known: []int8{1, 0, -1}}), 8},
 		{canon(KindHeartbeat, nil), 4},
+		{canon(KindFDPing, nil), 4},
+		{canon(KindFDAck, nil), 4},
+		{canon(KindFDRing, RingInfo{Origins: []RingOrigin{{Proc: 1, Seq: 1}, {Proc: 2, Seq: 2}, {Proc: 3, Seq: 3}}}), 11},
 	}
 
 	// The case list covers every kind, in tag order.

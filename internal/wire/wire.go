@@ -55,12 +55,40 @@ const (
 	// KindHeartbeat is the failure detector's liveness beacon (round field
 	// carries the heartbeat sequence number).
 	KindHeartbeat
+	// KindFDPing is a bounded-message detector's liveness query (round field
+	// carries the ping sequence number). Unlike the blind heartbeat beacon it
+	// is sent only when the observer has heard nothing recently, and resent
+	// only on timeout — the ADD-channel construction's message bound.
+	KindFDPing
+	// KindFDAck answers a KindFDPing (round field echoes the ping sequence).
+	KindFDAck
+	// KindFDRing is the logical-ring detector's forwarded liveness digest:
+	// the payload (RingInfo) carries per-origin sequence numbers the sender
+	// vouches for, so liveness evidence travels the ring in O(n) messages
+	// per period instead of all-to-all broadcast.
+	KindFDRing
 )
+
+// MaxKind is the largest assigned kind tag — the bound for per-kind tables.
+const MaxKind = KindFDRing
 
 // Kinds lists every payload kind in tag order — the iteration order of
 // per-kind telemetry and the golden wire-size table.
 func Kinds() []Kind {
-	return []Kind{KindNull, KindW, KindD, KindA1Val, KindA1Fwd, KindVotes, KindHeartbeat}
+	return []Kind{KindNull, KindW, KindD, KindA1Val, KindA1Fwd, KindVotes, KindHeartbeat,
+		KindFDPing, KindFDAck, KindFDRing}
+}
+
+// Control reports whether the kind is runtime control traffic (failure-
+// detector beacons, queries and digests) rather than a round-model message.
+// The node demultiplexer hands control envelopes to the detector and never
+// files them as round messages.
+func (k Kind) Control() bool {
+	switch k {
+	case KindHeartbeat, KindFDPing, KindFDAck, KindFDRing:
+		return true
+	}
+	return false
 }
 
 // String names the kind.
@@ -80,9 +108,31 @@ func (k Kind) String() string {
 		return "Votes"
 	case KindHeartbeat:
 		return "heartbeat"
+	case KindFDPing:
+		return "fdping"
+	case KindFDAck:
+		return "fdack"
+	case KindFDRing:
+		return "fdring"
 	default:
 		return fmt.Sprintf("Kind(%d)", byte(k))
 	}
+}
+
+// RingOrigin is one process's liveness evidence inside a ring digest: the
+// freshest heartbeat sequence number the digest's sender can vouch for.
+type RingOrigin struct {
+	Proc model.ProcessID
+	Seq  uint64
+}
+
+// RingInfo is the KindFDRing payload: the set of origins (with per-origin
+// sequence numbers) whose liveness the sender forwards around the logical
+// ring. It lives here rather than in the detector package so the wire
+// format stays closed under its own kinds (the detector implementations
+// import wire, never the reverse).
+type RingInfo struct {
+	Origins []RingOrigin
 }
 
 // Envelope is one framed message.
@@ -119,8 +169,18 @@ func Encode(e Envelope) ([]byte, error) {
 	buf = appendUvarint(buf, uint64(e.Round))
 	buf = append(buf, byte(e.Kind))
 	switch e.Kind {
-	case KindNull, KindHeartbeat:
+	case KindNull, KindHeartbeat, KindFDPing, KindFDAck:
 		// no payload
+	case KindFDRing:
+		m, ok := e.Payload.(RingInfo)
+		if !ok {
+			return nil, fmt.Errorf("wire: kind fdring with payload %T", e.Payload)
+		}
+		buf = appendUvarint(buf, uint64(len(m.Origins)))
+		for _, o := range m.Origins {
+			buf = appendUvarint(buf, uint64(o.Proc))
+			buf = appendUvarint(buf, o.Seq)
+		}
 	case KindW:
 		m, ok := e.Payload.(consensus.WMsg)
 		if !ok {
@@ -219,8 +279,26 @@ func Decode(data []byte) (Envelope, error) {
 	}
 	e.From, e.To, e.Round, e.Kind = model.ProcessID(from), model.ProcessID(to), int(round), Kind(kb)
 	switch e.Kind {
-	case KindNull, KindHeartbeat:
+	case KindNull, KindHeartbeat, KindFDPing, KindFDAck:
 		// no payload
+	case KindFDRing:
+		count, err := r.uvarint()
+		if err != nil {
+			return e, err
+		}
+		origins := make([]RingOrigin, 0, count)
+		for i := uint64(0); i < count; i++ {
+			proc, err := r.uvarint()
+			if err != nil {
+				return e, err
+			}
+			seq, err := r.uvarint()
+			if err != nil {
+				return e, err
+			}
+			origins = append(origins, RingOrigin{Proc: model.ProcessID(proc), Seq: seq})
+		}
+		e.Payload = RingInfo{Origins: origins}
 	case KindW:
 		count, err := r.uvarint()
 		if err != nil {
@@ -327,6 +405,8 @@ func EnvelopeFor(from, to model.ProcessID, round int, payload rounds.Message) (E
 		e.Kind = KindA1Fwd
 	case nbac.VotesMsg:
 		e.Kind = KindVotes
+	case RingInfo:
+		e.Kind = KindFDRing
 	default:
 		return e, fmt.Errorf("wire: unsupported payload type %T", payload)
 	}

@@ -152,13 +152,53 @@ func TestWRoundTripProperty(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for k := KindNull; k <= KindHeartbeat; k++ {
+	for k := KindNull; k <= MaxKind; k++ {
 		if k.String() == "" {
 			t.Errorf("kind %d has empty name", k)
 		}
 	}
 	if Kind(200).String() == "" {
 		t.Error("unknown kind name empty")
+	}
+}
+
+// TestControlKinds pins the control/data split the node demultiplexer and
+// the cost accounting rely on: exactly the detector kinds are control.
+func TestControlKinds(t *testing.T) {
+	control := map[Kind]bool{KindHeartbeat: true, KindFDPing: true, KindFDAck: true, KindFDRing: true}
+	for _, k := range Kinds() {
+		if got := k.Control(); got != control[k] {
+			t.Errorf("kind %v: Control() = %v, want %v", k, got, control[k])
+		}
+	}
+}
+
+// TestDetectorControlRoundTrips covers the zoo detectors' control kinds:
+// bare ping/ack envelopes and a ring digest with per-origin sequences.
+func TestDetectorControlRoundTrips(t *testing.T) {
+	for _, k := range []Kind{KindFDPing, KindFDAck} {
+		e := Envelope{From: 4, To: 1, Round: 17, Kind: k}
+		got := roundTrip(t, e)
+		if got.Kind != k || got.Round != 17 || got.Payload != nil {
+			t.Errorf("%v mismatch: %+v", k, got)
+		}
+	}
+	info := RingInfo{Origins: []RingOrigin{{Proc: 1, Seq: 9}, {Proc: 3, Seq: 120}}}
+	e, err := EnvelopeFor(2, 3, 5, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindFDRing {
+		t.Fatalf("EnvelopeFor inferred kind %v", e.Kind)
+	}
+	got := roundTrip(t, e)
+	if !reflect.DeepEqual(got.Payload, info) {
+		t.Errorf("ring payload mismatch: %#v", got.Payload)
+	}
+	// An empty digest round-trips too (decode yields zero origins).
+	empty := roundTrip(t, Envelope{From: 1, To: 2, Round: 1, Kind: KindFDRing, Payload: RingInfo{}})
+	if ri, ok := empty.Payload.(RingInfo); !ok || len(ri.Origins) != 0 {
+		t.Errorf("empty ring digest: %#v", empty.Payload)
 	}
 }
 

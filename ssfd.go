@@ -23,7 +23,7 @@
 //     (Latency);
 //   - the live goroutine/channel runtime (RunLive) with heartbeat-based
 //     failure detection over in-process or TCP transports;
-//   - the paper's experiments E1–E11 (Experiments, RunExperiments).
+//   - the paper's experiments E1–E15 (Experiments, RunExperiments).
 //
 // See examples/quickstart for a five-minute tour.
 package repro
@@ -39,6 +39,7 @@ import (
 	"repro/internal/ctoueg"
 	"repro/internal/explore"
 	"repro/internal/faults"
+	"repro/internal/fdimpl"
 	"repro/internal/latency"
 	"repro/internal/model"
 	"repro/internal/nbac"
@@ -80,6 +81,16 @@ type (
 	ClusterConfig = runtime.ClusterConfig
 	// ClusterResult is a live cluster's outcome.
 	ClusterResult = runtime.ClusterResult
+
+	// Detector is the pluggable failure-detector contract the live RWS
+	// runtime programs against (the "oracle" of the paper's SP model).
+	Detector = runtime.Detector
+	// DetectorSpec names a detector construction and builds per-node
+	// instances; plug into ClusterConfig.Detector (nil: all-to-all
+	// heartbeat). See DetectorSpecs for the bundled zoo.
+	DetectorSpec = runtime.DetectorSpec
+	// DetectorConfig is what a DetectorSpec factory receives for each node.
+	DetectorConfig = runtime.DetectorConfig
 
 	// FaultConfig scripts a seeded adversarial network for live clusters
 	// (loss, duplication, reordering, delay spikes, partitions,
@@ -326,8 +337,29 @@ func RunObserved(kind ModelKind, alg Algorithm, initial []Value, t int, adv Adve
 	return rounds.RunAlgorithm(kind, alg, initial, t, adv, opts...)
 }
 
-// Experiments lists the paper's reproduced artifacts E1–E13.
+// Experiments lists the paper's reproduced artifacts E1–E15.
 func Experiments() []core.Experiment { return core.All() }
+
+// DetectorSpecs returns the bundled failure-detector zoo (internal/fdimpl)
+// in registry order: all-to-all heartbeat, bounded-message ◇P, ring
+// forwarding, and the two-process SDD harness. Plug one into
+// ClusterConfig.Detector, or race them with RaceDetectors.
+func DetectorSpecs() []*DetectorSpec { return fdimpl.Specs() }
+
+// DetectorRace parameterizes RaceDetectors; DetectorScore is one row of
+// its scorecard (RenderDetectorScores formats the card).
+type (
+	DetectorRace  = fdimpl.RaceConfig
+	DetectorScore = fdimpl.Score
+)
+
+// RaceDetectors runs every requested construction under identical seeded
+// chaos schedules and scores detection latency, accuracy and message cost
+// — the E15 harness as a library call.
+func RaceDetectors(cfg DetectorRace) ([]DetectorScore, error) { return fdimpl.Race(cfg) }
+
+// RenderDetectorScores formats a RaceDetectors scorecard.
+func RenderDetectorScores(scores []DetectorScore) string { return fdimpl.RenderScores(scores) }
 
 // RunExperiments executes every experiment and returns the reports.
 func RunExperiments(cfg ExperimentConfig) ([]*ExperimentReport, error) {
