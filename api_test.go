@@ -102,8 +102,8 @@ func TestRunLiveAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := cr.Agreement(); !ok || v != 2 {
-		t.Errorf("live agreement = (%d,%v), want (2,true)", v, ok)
+	if v, st := cr.Agreement(); st != AgreementReached || v != 2 {
+		t.Errorf("live agreement = (%d,%v), want (2,reached)", v, st)
 	}
 	// Every live run carries its transport cost accounting.
 	var cost *CostSummary = cr.Cost
@@ -116,6 +116,47 @@ func TestRunLiveAPI(t *testing.T) {
 	}
 }
 
+func TestRunLiveEngineAPI(t *testing.T) {
+	res, err := RunLiveEngine(FloodSetWS(), EngineConfig{
+		Instances: 8, N: 3, T: 1,
+		Initial: func(inst int, id ProcessID) Value { return Value(inst % 3) },
+		Batch:   BatcherConfig{MaxBatch: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er *EngineResult = res
+	if got := er.DecidedCount(); got != 8*3 {
+		t.Fatalf("DecidedCount = %d, want 24", got)
+	}
+	for inst := 0; inst < 8; inst++ {
+		v, st := er.InstanceAgreement(inst)
+		if st != AgreementReached || v != Value(inst%3) {
+			t.Errorf("instance %d: agreement (%d,%v), want (%d,reached)", inst, v, st, inst%3)
+		}
+	}
+	// The shared detector's control cost is split out of the transport
+	// accounting — the figure the engine amortizes across instances.
+	if er.Cost == nil || er.Cost.Decisions != 24 || er.Cost.DataMessagesPerDecision <= 0 {
+		t.Errorf("engine cost summary = %+v, want 24 decisions with positive data cost", er.Cost)
+	}
+	if er.UnknownInstanceDrops != 0 {
+		t.Errorf("UnknownInstanceDrops = %d on a clean run", er.UnknownInstanceDrops)
+	}
+}
+
+func TestAgreementStatusAPI(t *testing.T) {
+	for st, want := range map[AgreementStatus]string{
+		AgreementNone:     "none",
+		AgreementReached:  "reached",
+		AgreementViolated: "violated",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("AgreementStatus(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
 func TestFlightRecorderAPI(t *testing.T) {
 	rec := NewFlightRecorder(64, nil)
 	cr, err := RunLive(FloodSet(), ClusterConfig{
@@ -125,8 +166,8 @@ func TestFlightRecorderAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := cr.Agreement(); !ok {
-		t.Fatal("no agreement")
+	if _, st := cr.Agreement(); st != AgreementReached {
+		t.Fatalf("agreement verdict %v, want reached", st)
 	}
 	path := filepath.Join(t.TempDir(), "flight.jsonl")
 	if err := rec.DumpTo(path); err != nil {

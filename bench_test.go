@@ -322,8 +322,8 @@ func BenchmarkLiveClusterRS(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, ok := cr.Agreement(); !ok {
-			b.Fatal("live disagreement")
+		if _, st := cr.Agreement(); st != AgreementReached {
+			b.Fatalf("agreement verdict %v", st)
 		}
 	}
 }
@@ -337,8 +337,8 @@ func BenchmarkLiveClusterRWS(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, ok := cr.Agreement(); !ok {
-			b.Fatal("live disagreement")
+		if _, st := cr.Agreement(); st != AgreementReached {
+			b.Fatalf("agreement verdict %v", st)
 		}
 	}
 }
@@ -438,8 +438,8 @@ func BenchmarkAblation_SuspicionLatency(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, ok := cr.Agreement(); !ok {
-					b.Fatal("live disagreement")
+				if _, st := cr.Agreement(); st != AgreementReached {
+					b.Fatalf("agreement verdict %v", st)
 				}
 				total += cr.Elapsed
 			}

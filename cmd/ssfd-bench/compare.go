@@ -32,12 +32,30 @@ type compareCostRow struct {
 	DataBytesPerDecision    float64 `json:"data_bytes_per_decision"`
 }
 
+// compareEngineRow mirrors the artifact's engine_rows: one shared-mesh
+// multi-instance engine run per instance count. Enforced columns are the
+// machine-independent allocs_per_decision and data_* figures; the control
+// columns (the amortized detector share) and decisions/sec are wall-clock-
+// dependent and stay informational.
+type compareEngineRow struct {
+	Instances                  int     `json:"instances"`
+	Nodes                      int     `json:"nodes"`
+	Decisions                  int     `json:"decisions"`
+	DecisionsPerSec            float64 `json:"decisions_per_sec"`
+	AllocsPerDecision          float64 `json:"allocs_per_decision"`
+	DataMessagesPerDecision    float64 `json:"data_messages_per_decision"`
+	DataBytesPerDecision       float64 `json:"data_bytes_per_decision"`
+	ControlMessagesPerDecision float64 `json:"control_messages_per_decision"`
+	ControlBytesPerDecision    float64 `json:"control_bytes_per_decision"`
+}
+
 type compareReport struct {
-	Sweep     string           `json:"sweep"`
-	CPUs      int              `json:"cpus"`
-	GoVersion string           `json:"go_version"`
-	Rows      []compareRow     `json:"rows"`
-	CostRows  []compareCostRow `json:"cost_rows"`
+	Sweep      string             `json:"sweep"`
+	CPUs       int                `json:"cpus"`
+	GoVersion  string             `json:"go_version"`
+	Rows       []compareRow       `json:"rows"`
+	CostRows   []compareCostRow   `json:"cost_rows"`
+	EngineRows []compareEngineRow `json:"engine_rows"`
 }
 
 func readCompareReport(path string) (*compareReport, error) {
@@ -164,6 +182,42 @@ func runCompare(oldPath, newPath string, tolerance float64, stdout, stderr io.Wr
 				key, or.MessagesPerDecision, nr.MessagesPerDecision,
 				or.BytesPerDecision, nr.BytesPerDecision)
 		}
+	}
+
+	// Engine rows: per-decision allocations and data bytes/messages are the
+	// guarded quantities (grow-only tolerance, like allocs_per_run above).
+	// The control share is printed for the amortization story but never
+	// enforced — it depends on run wall-clock, which these artifacts may
+	// not share.
+	oldEngine := make(map[int]compareEngineRow, len(oldRep.EngineRows))
+	for _, r := range oldRep.EngineRows {
+		oldEngine[r.Instances] = r
+	}
+	for _, nr := range newRep.EngineRows {
+		or, ok := oldEngine[nr.Instances]
+		if !ok {
+			fmt.Fprintf(stdout, "  engine instances=%d: new row has no old counterpart, skipped\n", nr.Instances)
+			continue
+		}
+		matched++
+		growOnly := func(metric string, oldV, newV float64) {
+			if oldV <= 0 {
+				return
+			}
+			ratio := newV / oldV
+			verdict := "ok"
+			if ratio > 1+tolerance {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "  engine instances=%d %s: %.2f -> %.2f (%+.1f%%) %s\n",
+				nr.Instances, metric, oldV, newV, (ratio-1)*100, verdict)
+		}
+		growOnly("allocs_per_decision", or.AllocsPerDecision, nr.AllocsPerDecision)
+		growOnly("data_messages_per_decision", or.DataMessagesPerDecision, nr.DataMessagesPerDecision)
+		growOnly("data_bytes_per_decision", or.DataBytesPerDecision, nr.DataBytesPerDecision)
+		fmt.Fprintf(stdout, "  engine instances=%d control (informational): %.4f -> %.4f msgs/decision\n",
+			nr.Instances, or.ControlMessagesPerDecision, nr.ControlMessagesPerDecision)
 	}
 
 	if matched == 0 {

@@ -208,9 +208,70 @@ func TestCompareBadInputs(t *testing.T) {
 	for i := range rep.Rows {
 		rep.Rows[i].Workers += 1000
 	}
-	rep.CostRows = nil // cost rows alone would still be comparable
+	rep.CostRows = nil   // cost rows alone would still be comparable
+	rep.EngineRows = nil // likewise the engine rows
 	disjoint := writeReport(t, rep)
 	if code := runCompare(benchArtifact, disjoint, 0.15, &stdout, &stderr); code != 2 {
 		t.Errorf("disjoint worker sets exited %d, want 2", code)
+	}
+}
+
+// TestCompareDetectsEngineRegression: growing the engine's allocations or
+// data bytes per decision beyond tolerance fails, and every committed
+// engine row is compared.
+func TestCompareDetectsEngineRegression(t *testing.T) {
+	rep := loadArtifact(t)
+	if len(rep.EngineRows) == 0 {
+		t.Fatal("committed artifact has no engine_rows; regenerate BENCH_explore.json")
+	}
+	rep.EngineRows[0].AllocsPerDecision *= 2
+	leaky := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, leaky, 0.15, &stdout, &stderr); code != 1 {
+		t.Fatalf("engine alloc regression exited %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "allocs_per_decision") {
+		t.Errorf("engine alloc column not named in output:\n%s", stdout.String())
+	}
+	for _, r := range loadArtifact(t).EngineRows {
+		if !strings.Contains(stdout.String(), "engine instances="+strconv.Itoa(r.Instances)) {
+			t.Errorf("engine row instances=%d missing from comparison output", r.Instances)
+		}
+	}
+
+	rep = loadArtifact(t)
+	rep.EngineRows[len(rep.EngineRows)-1].DataBytesPerDecision *= 1.5
+	chatty := writeReport(t, rep)
+	stdout.Reset()
+	stderr.Reset()
+	if code := runCompare(benchArtifact, chatty, 0.15, &stdout, &stderr); code != 1 {
+		t.Fatalf("engine data-bytes regression exited %d, want 1\n%s", code, stdout.String())
+	}
+}
+
+// TestCompareEngineControlNotEnforced: the engine's control share depends
+// on run wall-clock (heartbeats per decision), so even a large growth must
+// stay informational — amortization is asserted where the artifact is
+// generated, not between artifacts.
+func TestCompareEngineControlNotEnforced(t *testing.T) {
+	rep := loadArtifact(t)
+	if len(rep.EngineRows) == 0 {
+		t.Fatal("committed artifact has no engine_rows; regenerate BENCH_explore.json")
+	}
+	for i := range rep.EngineRows {
+		rep.EngineRows[i].ControlMessagesPerDecision *= 10
+		rep.EngineRows[i].ControlBytesPerDecision *= 10
+		rep.EngineRows[i].DecisionsPerSec *= 0.1
+	}
+	slow := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, slow, 0.15, &stdout, &stderr); code != 0 {
+		t.Fatalf("engine control growth exited %d, want 0 (control is informational)\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "engine instances=") {
+		t.Errorf("engine rows missing from output:\n%s", stdout.String())
 	}
 }

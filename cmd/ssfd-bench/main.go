@@ -73,6 +73,8 @@ func run() (code int) {
 	detectors := flag.Bool("detectors", false, "race every registered detector construction under the same seed (and -faults schedule, if given) and print the scorecard")
 	comparePath := flag.String("compare", "", "regression-check: compare this old BENCH_explore.json against the new one given as the positional argument")
 	tolerance := flag.Float64("tolerance", 0.15, "relative tolerance for -compare (0.15 = 15%)")
+	engineInstances := flag.Int("engine", 0, "run the shared-mesh multi-instance engine with this many concurrent consensus instances instead of the suite (one detector and one transport per node)")
+	engineNodes := flag.Int("engine-nodes", 5, "cluster size for the -engine run")
 	obsFlags := obscli.Register()
 	flag.Parse()
 
@@ -98,6 +100,9 @@ func run() (code int) {
 		}
 	}()
 
+	if *engineInstances > 0 {
+		return runEngineBench(*engineInstances, *engineNodes)
+	}
 	if *detectors {
 		return runDetectorRace(*faultSpec, *seed)
 	}
@@ -161,6 +166,48 @@ func run() (code int) {
 	}
 	fmt.Printf("all %d experiments reproduced\n", ran)
 	return 0
+}
+
+// runEngineBench measures the shared-mesh multi-instance engine: instances
+// concurrent FloodSetWS executions multiplexed over one n-node mesh with a
+// single heartbeat detector per node. It prints the throughput and the
+// per-decision cost split — the control (detector) share is the figure that
+// amortizes as the instance count grows — and fails if any instance missed
+// a decision or violated agreement.
+func runEngineBench(instances, nodes int) int {
+	reg := obs.NewRegistry()
+	fmt.Printf("engine: %d instances over a shared %d-node mesh (one detector per node)\n", instances, nodes)
+	res, err := runtime.RunEngine(consensus.FloodSetWS{}, runtime.EngineConfig{
+		Instances: instances, N: nodes, T: 1,
+		Initial: func(inst int, id model.ProcessID) model.Value {
+			return model.Value((inst + int(id)) % 7)
+		},
+		HeartbeatPeriod: 5 * time.Millisecond,
+		SuspectTimeout:  time.Second,
+		Batch:           runtime.BatcherConfig{Metrics: reg},
+		Metrics:         reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	code := 0
+	for inst := 0; inst < instances; inst++ {
+		if _, st := res.InstanceAgreement(inst); st != runtime.AgreementReached {
+			fmt.Fprintf(os.Stderr, "instance %d: agreement verdict %v\n", inst, st)
+			code = 1
+		}
+	}
+	fmt.Printf("  decisions: %d/%d in %v (%.0f decisions/sec)\n",
+		res.DecidedCount(), instances*nodes, res.Elapsed.Round(time.Millisecond),
+		float64(res.DecidedCount())/res.Elapsed.Seconds())
+	fmt.Printf("  %s\n", res.Cost)
+	fmt.Printf("  amortization: %.4f control msgs/decision (%.1f B), %.2f data msgs/decision (%.1f B)\n",
+		res.Cost.ControlMessagesPerDecision, res.Cost.ControlBytesPerDecision,
+		res.Cost.DataMessagesPerDecision, res.Cost.DataBytesPerDecision)
+	fmt.Printf("  detector perfect: %v, wait timeouts: %d, unknown-instance drops: %d\n",
+		res.DetectorWasPerfect, res.WaitTimeouts, res.UnknownInstanceDrops)
+	return code
 }
 
 // runDetectorRace races every registered failure-detector construction

@@ -19,7 +19,7 @@ import (
 )
 
 func report(label string, cr *repro.ClusterResult) {
-	v, ok := cr.Agreement()
+	v, status := cr.Agreement()
 	fmt.Printf("--- %s (elapsed %v)\n", label, cr.Elapsed.Round(time.Millisecond))
 	for i := 1; i < len(cr.Results); i++ {
 		r := cr.Results[i]
@@ -36,10 +36,13 @@ func report(label string, cr *repro.ClusterResult) {
 			fmt.Printf("  p%d: undecided\n", i)
 		}
 	}
-	if ok {
+	switch status {
+	case repro.AgreementReached:
 		fmt.Printf("  agreement: YES (value %d), false suspicions: %d\n\n", int64(v), cr.FalseSuspicions)
-	} else {
+	case repro.AgreementViolated:
 		fmt.Printf("  agreement: *** VIOLATED ***, false suspicions: %d\n\n", cr.FalseSuspicions)
+	default:
+		fmt.Printf("  agreement: no decisions, false suspicions: %d\n\n", cr.FalseSuspicions)
 	}
 }
 

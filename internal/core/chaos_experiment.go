@@ -119,7 +119,7 @@ func E14Chaos(cfg Config) (*Report, error) {
 		if decided != 3 { // every regime must terminate — that is what WaitBound buys
 			pass = false
 		}
-		if sc.gateAgree && !agree {
+		if sc.gateAgree && agree != runtime.AgreementReached {
 			pass = false
 		}
 		if len(cr.PartitionLog) > 0 {

@@ -222,11 +222,11 @@ func E10Emulation(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, ok := cr.Agreement()
+		v, st := cr.Agreement()
 		r.Notes = append(r.Notes, fmt.Sprintf(
 			"live goroutine cluster (heartbeat P over bounded-delay channels): decision %d, agreement %v, false suspicions %d, elapsed %v",
-			int64(v), ok, cr.FalseSuspicions, cr.Elapsed.Round(time.Millisecond)))
-		if !ok || cr.FalseSuspicions != 0 {
+			int64(v), st, cr.FalseSuspicions, cr.Elapsed.Round(time.Millisecond)))
+		if st != runtime.AgreementReached || cr.FalseSuspicions != 0 {
 			pass = false
 		}
 	}

@@ -260,7 +260,7 @@ func consensusProbe(spec *runtime.DetectorSpec, cfg RaceConfig, score *Score) {
 		return
 	}
 	_, agree := cr.Agreement()
-	score.ConsensusAgree = agree
+	score.ConsensusAgree = agree == runtime.AgreementReached
 	score.ConsensusDecided = true
 	for i := 1; i <= cfg.N; i++ {
 		r := cr.Results[i]

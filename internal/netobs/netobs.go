@@ -495,6 +495,7 @@ func (lt *LinkTap) SortedLinks() []Link {
 func ComputeCost(decisions int, ws *WireStats, lt *LinkTap) *obs.CostSummary {
 	c := &obs.CostSummary{Decisions: decisions}
 	c.DataMessages, c.DataBytes = ws.DataEncoded()
+	c.ControlMessages, c.ControlBytes = ws.ControlEncoded()
 	c.Heartbeats = ws.Heartbeats()
 	if lt != nil {
 		t := lt.Totals()
@@ -508,6 +509,8 @@ func ComputeCost(decisions int, ws *WireStats, lt *LinkTap) *obs.CostSummary {
 		c.BytesPerDecision = float64(c.Bytes) / d
 		c.DataMessagesPerDecision = float64(c.DataMessages) / d
 		c.DataBytesPerDecision = float64(c.DataBytes) / d
+		c.ControlMessagesPerDecision = float64(c.ControlMessages) / d
+		c.ControlBytesPerDecision = float64(c.ControlBytes) / d
 	}
 	return c
 }

@@ -300,7 +300,15 @@ func TestComputeCost(t *testing.T) {
 	if cost.MessagesPerDecision != 2.5 || cost.DataMessagesPerDecision != 2 {
 		t.Fatalf("per-decision: %+v", cost)
 	}
-	if !strings.Contains(cost.String(), "msgs/decision") {
+	// The control split carries the amortization headline: the lone
+	// heartbeat is control traffic, spread over both decisions.
+	if cost.ControlMessages != 1 || cost.ControlBytes == 0 {
+		t.Fatalf("control totals: %+v", cost)
+	}
+	if cost.ControlMessagesPerDecision != 0.5 {
+		t.Fatalf("control per-decision: %+v", cost)
+	}
+	if !strings.Contains(cost.String(), "msgs/decision") || !strings.Contains(cost.String(), "control:") {
 		t.Fatalf("String() = %q", cost.String())
 	}
 

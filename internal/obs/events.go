@@ -78,10 +78,20 @@ type CostSummary struct {
 	Heartbeats   int64 `json:"heartbeats"`
 	Dropped      int64 `json:"dropped,omitempty"`
 
-	MessagesPerDecision     float64 `json:"messages_per_decision"`
-	BytesPerDecision        float64 `json:"bytes_per_decision"`
-	DataMessagesPerDecision float64 `json:"data_messages_per_decision"`
-	DataBytesPerDecision    float64 `json:"data_bytes_per_decision"`
+	// ControlMessages/ControlBytes count wire-codec encodes of detector
+	// control traffic (heartbeats, pings, acks) — the shared cost a
+	// multi-instance engine amortizes: one detector per node serves every
+	// instance, so control-per-decision falls toward zero as the instance
+	// count grows while data-per-decision stays flat.
+	ControlMessages int64 `json:"control_messages"`
+	ControlBytes    int64 `json:"control_bytes"`
+
+	MessagesPerDecision        float64 `json:"messages_per_decision"`
+	BytesPerDecision           float64 `json:"bytes_per_decision"`
+	DataMessagesPerDecision    float64 `json:"data_messages_per_decision"`
+	DataBytesPerDecision       float64 `json:"data_bytes_per_decision"`
+	ControlMessagesPerDecision float64 `json:"control_messages_per_decision"`
+	ControlBytesPerDecision    float64 `json:"control_bytes_per_decision"`
 }
 
 // String renders the cost summary as the one-line figure the CLIs print.
@@ -93,10 +103,11 @@ func (c *CostSummary) String() string {
 		return fmt.Sprintf("cost: %d msgs (%d B) sent, %d data msgs (%d B); no decisions",
 			c.Messages, c.Bytes, c.DataMessages, c.DataBytes)
 	}
-	return fmt.Sprintf("cost: %d msgs (%d B) sent, %d decisions -> %.2f msgs/decision (%.1f B); data only: %.2f msgs/decision (%.1f B)",
+	return fmt.Sprintf("cost: %d msgs (%d B) sent, %d decisions -> %.2f msgs/decision (%.1f B); data only: %.2f msgs/decision (%.1f B); control: %.2f msgs/decision (%.1f B)",
 		c.Messages, c.Bytes, c.Decisions,
 		c.MessagesPerDecision, c.BytesPerDecision,
-		c.DataMessagesPerDecision, c.DataBytesPerDecision)
+		c.DataMessagesPerDecision, c.DataBytesPerDecision,
+		c.ControlMessagesPerDecision, c.ControlBytesPerDecision)
 }
 
 // Event is one structured run event — the machine-readable twin of one

@@ -30,6 +30,12 @@ type ClusterConfig struct {
 	// default network's 1ms delay bound).
 	RoundDuration time.Duration
 
+	// EpochHeadroom is the slack between finishing cluster construction and
+	// the RS round-1 deadline barrier. Zero scales with the cluster size
+	// (10ms + 2ms·n); set it explicitly when node startup is known to be
+	// slow (remote TCP dials, cold containers).
+	EpochHeadroom time.Duration
+
 	// HeartbeatPeriod and SuspectTimeout configure the RWS failure
 	// detectors (defaults 2ms / 30ms: perfect over the default network).
 	HeartbeatPeriod time.Duration
@@ -149,22 +155,60 @@ func (cr *ClusterResult) Decisions() ([]model.Value, []bool) {
 	return vals, ok
 }
 
-// Agreement reports whether all decided nodes agree, and the common value.
-func (cr *ClusterResult) Agreement() (model.Value, bool) {
+// AgreementStatus is a run's three-way agreement verdict. The historic
+// boolean form conflated two very different outcomes — a safety violation
+// (two nodes decided differently) and a liveness miss (nobody decided) both
+// read as "false" — so chaos verdicts could not tell which invariant broke.
+type AgreementStatus int
+
+const (
+	// AgreementNone: no node decided — a liveness observation, not a
+	// safety one.
+	AgreementNone AgreementStatus = iota
+	// AgreementReached: every decided node decided the same value.
+	AgreementReached
+	// AgreementViolated: two decided nodes hold different values — the
+	// safety violation.
+	AgreementViolated
+)
+
+// String names the verdict.
+func (s AgreementStatus) String() string {
+	switch s {
+	case AgreementNone:
+		return "none"
+	case AgreementReached:
+		return "reached"
+	case AgreementViolated:
+		return "violated"
+	default:
+		return fmt.Sprintf("AgreementStatus(%d)", int(s))
+	}
+}
+
+// agreementOf folds parallel decision slices into the three-way verdict.
+// Shared by ClusterResult.Agreement and EngineResult.InstanceAgreement.
+func agreementOf(vals []model.Value, decided []bool) (model.Value, AgreementStatus) {
 	var first model.Value
-	seen := false
-	for i := 1; i < len(cr.Results); i++ {
-		r := cr.Results[i]
-		if !r.Decided {
+	status := AgreementNone
+	for i := range vals {
+		if !decided[i] {
 			continue
 		}
-		if !seen {
-			first, seen = r.Decision, true
-		} else if r.Decision != first {
-			return 0, false
+		if status == AgreementNone {
+			first, status = vals[i], AgreementReached
+		} else if vals[i] != first {
+			return 0, AgreementViolated
 		}
 	}
-	return first, seen
+	return first, status
+}
+
+// Agreement reports the run's agreement verdict and, when reached, the
+// common value (the value is meaningful only for AgreementReached).
+func (cr *ClusterResult) Agreement() (model.Value, AgreementStatus) {
+	vals, ok := cr.Decisions()
+	return agreementOf(vals[1:], ok[1:])
 }
 
 // RunCluster executes one live run of the algorithm and returns every
@@ -253,19 +297,32 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 		defer func() { _ = inj.Close() }()
 	}
 
-	epoch := time.Now().Add(10 * time.Millisecond)
-	nodes := make([]*Node, n+1)
+	// Phase 1: the expensive construction — endpoints (a TCP network dials
+	// here) and detectors. The RS epoch is anchored only after this phase,
+	// so slow setup cannot eat into the round-1 headroom.
+	transports := make([]Transport, n+1)
 	fds := make([]Detector, n+1)
+	// stopFDs releases every detector already constructed when a later step
+	// fails: Stop is idempotent and safe before Start (the Detector
+	// contract), so the error path cannot leak a construction's eagerly
+	// acquired resources.
+	stopFDs := func() {
+		for i := 1; i <= n; i++ {
+			if fds[i] != nil {
+				fds[i].Stop()
+			}
+		}
+	}
 	for i := 1; i <= n; i++ {
 		id := model.ProcessID(i)
 		var transport Transport = network.Endpoint(id)
 		if inj != nil {
 			transport = inj.Wrap(transport)
 		}
-		// fd stays an untyped nil for RS runs: assigning a nil concrete
+		transports[i] = transport
+		// fds[i] stays an untyped nil for RS runs: assigning a nil concrete
 		// pointer into the interface would defeat the nodes' FD != nil
 		// guards.
-		var fd Detector
 		if cfg.Kind == rounds.RWS {
 			d, err := spec.New(DetectorConfig{
 				Transport: transport, N: n,
@@ -273,24 +330,38 @@ func RunCluster(alg rounds.Algorithm, cfg ClusterConfig) (*ClusterResult, error)
 				Adaptive: cfg.AdaptiveTimeout, AdaptiveMax: cfg.AdaptiveTimeoutMax,
 			})
 			if err != nil {
+				stopFDs()
 				return nil, fmt.Errorf("runtime: node %d: detector %q: %w", i, spec.Name, err)
 			}
 			d.Instrument(reg, cfg.Events)
 			d.UseCodec(codec)
-			fd = d
+			fds[i] = d
 		}
-		fds[i] = fd
+	}
+
+	// Phase 2: anchor the RS round-1 barrier and build the (cheap) nodes.
+	// The headroom scales with n — at 10ms flat, clusters that took longer
+	// than that to set up started round 1 with the deadline already past.
+	headroom := cfg.EpochHeadroom
+	if headroom <= 0 {
+		headroom = 10*time.Millisecond + time.Duration(n)*2*time.Millisecond
+	}
+	epoch := time.Now().Add(headroom)
+	nodes := make([]*Node, n+1)
+	for i := 1; i <= n; i++ {
+		id := model.ProcessID(i)
 		node, err := NewNode(alg, NodeConfig{
 			ID: id, N: n, T: cfg.T, Initial: cfg.Initial[i-1],
-			Transport: transport, Kind: cfg.Kind,
+			Transport: transports[i], Kind: cfg.Kind,
 			RoundDuration: cfg.RoundDuration, Epoch: epoch,
-			FD: fd, MaxRounds: cfg.MaxRounds,
+			FD: fds[i], MaxRounds: cfg.MaxRounds,
 			WaitBound: cfg.RWSWaitBound,
 			Crash:     cfg.Crashes[id],
 			Metrics:   reg, Events: cfg.Events,
 			Codec: codec,
 		})
 		if err != nil {
+			stopFDs()
 			return nil, err
 		}
 		nodes[i] = node

@@ -1,0 +1,739 @@
+package runtime
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/netobs"
+	"repro/internal/obs"
+	"repro/internal/rounds"
+	"repro/internal/wire"
+)
+
+// Engine metric names.
+const (
+	// MetricEngineUnknownInstance counts inbound round messages carrying an
+	// instance id outside the engine's configured range — dropped at the
+	// demultiplexer (stray traffic from a misconfigured peer, or corruption
+	// that survived decoding).
+	MetricEngineUnknownInstance = "ssfd_engine_unknown_instance_total"
+	// MetricEngineInstancesDecided counts (instance, node) decisions.
+	MetricEngineInstancesDecided = "ssfd_engine_decisions_total"
+)
+
+// EngineConfig assembles a shared-mesh multi-instance execution: N nodes,
+// ONE physical mesh, ONE failure detector per node, and Instances
+// concurrent consensus instances multiplexed over them.
+//
+// The engine runs the RWS (receive-or-suspect) discipline only. RS rounds
+// are paced by wall-clock deadlines per instance, which neither multiplexes
+// (every instance would need its own deadline schedule on a shared clock)
+// nor amortizes anything — the paper's efficiency argument for sharing is
+// about the detector, an RWS-only device.
+type EngineConfig struct {
+	// Instances is the number of concurrent consensus instances (ids
+	// 0..Instances-1 on the wire).
+	Instances int
+	// N is the cluster size, T the resilience bound.
+	N, T int
+	// Initial yields node id's proposal in instance inst. Nil proposes 0
+	// everywhere.
+	Initial func(inst int, id model.ProcessID) model.Value
+
+	// Groups is the number of shard workers instances are distributed
+	// across (instance k belongs to worker k mod Groups). Default:
+	// min(8, GOMAXPROCS). Sharding is a throughput knob, not a semantic
+	// one — results are independent of it (the equivalence tests pin this).
+	Groups int
+
+	// Network supplies the shared mesh; nil builds the default in-process
+	// synchronous network with Buffer-deep inboxes.
+	Network interface {
+		Endpoint(model.ProcessID) Transport
+		Close() error
+	}
+	// Buffer sizes the default network's per-endpoint inbox (default 2^15:
+	// the multiplexed mesh carries every instance's traffic through n
+	// inboxes, so the single-instance default of 1024 would overflow).
+	Buffer int
+
+	// HeartbeatPeriod and SuspectTimeout configure the per-node failure
+	// detectors (defaults 2ms / 30ms, as in ClusterConfig).
+	HeartbeatPeriod time.Duration
+	SuspectTimeout  time.Duration
+	// Detector selects the construction (nil: all-to-all heartbeat). ONE
+	// detector is built per node — not per instance — over the node's raw
+	// (fault-wrapped, unbatched) endpoint; its control traffic is what the
+	// engine amortizes across instances.
+	Detector *DetectorSpec
+
+	// MaxRounds bounds every instance (default T+2).
+	MaxRounds int
+	// WaitBound bounds each round's receive-or-suspect wait per instance
+	// (see NodeConfig.WaitBound). Unlike the single-instance node, the
+	// engine defaults a zero value to 30s: with 100k instances in flight a
+	// single starved wait (one lost packet on an overflowing inbox) must
+	// degrade one instance, not hang the process.
+	WaitBound time.Duration
+
+	// Batch tunes the per-link send batching of round traffic. Detector
+	// control traffic is never batched — a queued heartbeat is a false
+	// suspicion waiting to happen.
+	Batch BatcherConfig
+
+	// Faults, when non-nil, interposes the seeded per-link injector between
+	// every node and the mesh — beneath the batcher and the detector, so
+	// faults stay per-link: a dropped packet takes a whole batch, a delayed
+	// packet delays every instance riding in it, exactly like a real link.
+	Faults *faults.Config
+
+	// Metrics receives the engine's instruments; nil uses obs.Default.
+	// There is no Events sink: per-event streams at 100k instances would
+	// cost more than the run (use the single-instance cluster to trace).
+	Metrics *obs.Registry
+}
+
+// EngineResult aggregates every instance's outcome plus the run's shared
+// cost accounting.
+type EngineResult struct {
+	N, Instances int
+
+	// Decided and Decisions are indexed inst*N + (id-1).
+	Decided   []bool
+	Decisions []model.Value
+
+	// WaitTimeouts counts rounds cut short by WaitBound across all
+	// instances; nonzero means the mesh lost data messages (overflow, injected
+	// faults) and the affected instances proceeded with partial rounds.
+	WaitTimeouts int64
+	// UnknownInstanceDrops counts round messages dropped for carrying an
+	// out-of-range instance id.
+	UnknownInstanceDrops int64
+
+	// Detector audit, summed over the n shared detectors (see ClusterResult).
+	FalseSuspicions    int64
+	Retractions        int64
+	FalselySuspected   int64
+	DetectorWasPerfect bool
+	EncodeErrors       int64
+
+	Elapsed time.Duration
+
+	// Cost is the run's transport accounting. With one detector per node
+	// serving every instance, Cost.ControlMessagesPerDecision is the
+	// amortization headline: it falls toward zero as Instances grows.
+	Cost      *obs.CostSummary
+	WireKinds []netobs.KindTotals
+	Links     *netobs.LinkTap
+}
+
+// Decision returns node id's decision in instance inst.
+func (er *EngineResult) Decision(inst int, id model.ProcessID) (model.Value, bool) {
+	i := inst*er.N + int(id) - 1
+	return er.Decisions[i], er.Decided[i]
+}
+
+// InstanceAgreement reports instance inst's verdict across its nodes.
+func (er *EngineResult) InstanceAgreement(inst int) (model.Value, AgreementStatus) {
+	base := inst * er.N
+	return agreementOf(er.Decisions[base:base+er.N], er.Decided[base:base+er.N])
+}
+
+// DecidedCount counts (instance, node) decisions.
+func (er *EngineResult) DecidedCount() int {
+	count := 0
+	for _, d := range er.Decided {
+		if d {
+			count++
+		}
+	}
+	return count
+}
+
+// engEvent is one routed round message: a decoded envelope plus the node it
+// was delivered to.
+type engEvent struct {
+	node model.ProcessID
+	env  wire.Envelope
+}
+
+// mailbox is a worker's unbounded inbox. Unbounded by design: the demux
+// goroutines must never block on a busy worker (a blocked demux stops
+// feeding the failure detector, manufacturing false suspicions), so
+// backpressure is traded for memory that is bounded in practice by
+// instances × rounds.
+type mailbox struct {
+	mu     sync.Mutex
+	q      []engEvent
+	notify chan struct{}
+}
+
+func (mb *mailbox) push(ev engEvent) {
+	mb.mu.Lock()
+	mb.q = append(mb.q, ev)
+	mb.mu.Unlock()
+	select {
+	case mb.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drain swaps the queue against the (emptied) spare buffer.
+func (mb *mailbox) drain(spare []engEvent) []engEvent {
+	mb.mu.Lock()
+	q := mb.q
+	mb.q = spare[:0]
+	mb.mu.Unlock()
+	return q
+}
+
+// instRow buffers one round's inbound messages for one (instance, node)
+// automaton: presence bits (a null message is a present message with a nil
+// payload) plus the lazily allocated payload row, freed after Trans.
+type instRow struct {
+	got  uint64
+	msgs []rounds.Message
+}
+
+// instState is one (instance, node) automaton multiplexed on the mesh —
+// the engine's replacement for a whole Node goroutine.
+type instState struct {
+	proc rounds.Process
+	inst uint32
+	id   model.ProcessID
+
+	round    int32 // round currently executing; 0 = halted
+	sent     bool  // this round's messages already transmitted
+	queued   bool  // sitting in the worker's dirty list
+	selfMsg  rounds.Message
+	deadline time.Time // WaitBound expiry of the current round
+	rows     []instRow // index 1..MaxRounds
+
+	decided      bool
+	decision     model.Value
+	waitTimeouts int32
+}
+
+// engWorker owns the instances k with k mod Groups == idx and advances
+// their n automata from its mailbox.
+type engWorker struct {
+	run *engineRun
+	idx int
+
+	mb     mailbox
+	spare  []engEvent
+	states []instState // localInst*n + (id-1)
+	active int
+	dirty  []*instState
+
+	suspects     []model.ProcSet // cached per node, 1..n
+	nextDeadline time.Time
+	scratch      []rounds.Message
+}
+
+// engineRun is the shared state of one RunEngine execution.
+type engineRun struct {
+	cfg       EngineConfig
+	n         int
+	maxRounds int
+	waitBound time.Duration
+
+	codec    wire.Codec
+	batchers []*Batcher // 1..n, round traffic only
+	fds      []Detector // 1..n, shared per node
+	workers  []*engWorker
+
+	metrics      nodeMetrics
+	unknown      *obs.Counter
+	decidedCtr   *obs.Counter
+	unknownCount atomic.Int64
+	waitTimeouts atomic.Int64
+
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	abortMu   sync.Mutex
+	abortErr  error
+}
+
+// abort records the first fatal error and releases every worker.
+func (er *engineRun) abort(err error) {
+	er.abortMu.Lock()
+	if er.abortErr == nil {
+		er.abortErr = err
+	}
+	er.abortMu.Unlock()
+	er.abortOnce.Do(func() { close(er.abortCh) })
+}
+
+// RunEngine executes cfg.Instances concurrent instances of the algorithm
+// over one shared mesh and returns every instance's outcome. All goroutines
+// are joined before it returns.
+func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
+	n := cfg.N
+	if n < 1 {
+		return nil, fmt.Errorf("runtime: engine: empty cluster")
+	}
+	if n > 63 {
+		return nil, fmt.Errorf("runtime: engine: n=%d exceeds the 63-process bound", n)
+	}
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("runtime: engine: need at least one instance")
+	}
+	if cfg.HeartbeatPeriod <= 0 {
+		cfg.HeartbeatPeriod = 2 * time.Millisecond
+	}
+	if cfg.SuspectTimeout <= 0 {
+		cfg.SuspectTimeout = 30 * time.Millisecond
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = cfg.T + 2
+	}
+	if cfg.WaitBound <= 0 {
+		cfg.WaitBound = 30 * time.Second
+	}
+	if cfg.Groups <= 0 {
+		cfg.Groups = stdruntime.GOMAXPROCS(0)
+		if cfg.Groups > 8 {
+			cfg.Groups = 8
+		}
+	}
+	if cfg.Groups > cfg.Instances {
+		cfg.Groups = cfg.Instances
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1 << 15
+	}
+	if cfg.Initial == nil {
+		cfg.Initial = func(int, model.ProcessID) model.Value { return 0 }
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	spec := cfg.Detector
+	if spec == nil {
+		spec = HeartbeatDetector()
+	}
+
+	ws := netobs.NewWireStats(reg)
+	er := &engineRun{
+		cfg:        cfg,
+		n:          n,
+		maxRounds:  cfg.MaxRounds,
+		waitBound:  cfg.WaitBound,
+		codec:      wire.Codec{Tap: ws},
+		batchers:   make([]*Batcher, n+1),
+		fds:        make([]Detector, n+1),
+		metrics:    newNodeMetrics(reg, alg.Name(), rounds.RWS),
+		unknown:    reg.Counter(MetricEngineUnknownInstance),
+		decidedCtr: reg.Counter(MetricEngineInstancesDecided),
+		abortCh:    make(chan struct{}),
+	}
+
+	network := cfg.Network
+	if network == nil {
+		network = NewChanNetwork(n, ChanConfig{
+			MaxDelay: time.Millisecond, Metrics: reg, Buffer: cfg.Buffer,
+		})
+	}
+	defer func() { _ = network.Close() }()
+
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		fcfg := *cfg.Faults
+		if fcfg.Metrics == nil {
+			fcfg.Metrics = reg
+		}
+		inj = faults.NewInjector(fcfg)
+		defer func() { _ = inj.Close() }()
+	}
+
+	// Per-node plumbing: endpoint → (injector) → {detector, batcher, demux}.
+	endpoints := make([]Transport, n+1)
+	bcfg := cfg.Batch
+	if bcfg.Metrics == nil {
+		bcfg.Metrics = reg
+	}
+	for i := 1; i <= n; i++ {
+		id := model.ProcessID(i)
+		var tr Transport = network.Endpoint(id)
+		if inj != nil {
+			tr = inj.Wrap(tr)
+		}
+		endpoints[i] = tr
+		d, err := spec.New(DetectorConfig{
+			Transport: tr, N: n,
+			Period: cfg.HeartbeatPeriod, Timeout: cfg.SuspectTimeout,
+		})
+		if err != nil {
+			// Already-built detectors hold no goroutines before Start, but
+			// Stop anyway: the contract says it is safe, and constructions
+			// with eager resources rely on it.
+			for j := 1; j < i; j++ {
+				er.fds[j].Stop()
+			}
+			return nil, fmt.Errorf("runtime: engine node %d: detector %q: %w", i, spec.Name, err)
+		}
+		d.Instrument(reg, nil)
+		d.UseCodec(er.codec)
+		er.fds[i] = d
+		er.batchers[i] = NewBatcher(tr, bcfg)
+	}
+	defer func() {
+		for i := 1; i <= n; i++ {
+			_ = er.batchers[i].Close()
+		}
+	}()
+
+	// Shard the instances: worker w owns instances {k : k mod Groups == w}.
+	er.workers = make([]*engWorker, cfg.Groups)
+	for w := range er.workers {
+		owned := (cfg.Instances - w + cfg.Groups - 1) / cfg.Groups
+		ew := &engWorker{
+			run:      er,
+			idx:      w,
+			states:   make([]instState, owned*n),
+			active:   owned * n,
+			suspects: make([]model.ProcSet, n+1),
+			scratch:  make([]rounds.Message, n+1),
+		}
+		ew.mb.notify = make(chan struct{}, 1)
+		for local := 0; local < owned; local++ {
+			inst := local*cfg.Groups + w
+			for i := 1; i <= n; i++ {
+				id := model.ProcessID(i)
+				st := &ew.states[local*n+i-1]
+				st.proc = alg.New(rounds.ProcConfig{ID: id, N: n, T: cfg.T, Initial: cfg.Initial(inst, id)})
+				st.inst = uint32(inst)
+				st.id = id
+				st.round = 1
+				st.rows = make([]instRow, cfg.MaxRounds+1)
+			}
+		}
+		er.workers[w] = ew
+	}
+
+	start := time.Now()
+	for i := 1; i <= n; i++ {
+		er.fds[i].Start()
+	}
+	// One demux goroutine per node feeds the detector and routes round
+	// traffic to the owning worker.
+	var demuxWG sync.WaitGroup
+	stopDemux := make(chan struct{})
+	for i := 1; i <= n; i++ {
+		demuxWG.Add(1)
+		go er.demuxLoop(&demuxWG, model.ProcessID(i), endpoints[i], stopDemux)
+	}
+	var workerWG sync.WaitGroup
+	for _, w := range er.workers {
+		workerWG.Add(1)
+		go w.loop(&workerWG)
+	}
+	workerWG.Wait()
+	elapsed := time.Since(start)
+
+	for i := 1; i <= n; i++ {
+		er.fds[i].Stop()
+	}
+	close(stopDemux)
+	demuxWG.Wait()
+
+	res := &EngineResult{
+		N: n, Instances: cfg.Instances,
+		Decided:              make([]bool, cfg.Instances*n),
+		Decisions:            make([]model.Value, cfg.Instances*n),
+		WaitTimeouts:         er.waitTimeouts.Load(),
+		UnknownInstanceDrops: er.unknownCount.Load(),
+		Elapsed:              elapsed,
+	}
+	for _, w := range er.workers {
+		for s := range w.states {
+			st := &w.states[s]
+			if st.decided {
+				idx := int(st.inst)*n + int(st.id) - 1
+				res.Decided[idx] = true
+				res.Decisions[idx] = st.decision
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		fd := er.fds[i]
+		res.FalseSuspicions += fd.FalseSuspicions()
+		res.Retractions += fd.Retractions()
+		res.EncodeErrors += fd.EncodeErrors()
+		// Under the engine no node ever crash-stops (instances have no crash
+		// plans), so every suspicion ever raised is a perfection violation.
+		res.FalselySuspected += int64(fd.EverSuspected().Count())
+	}
+	res.DetectorWasPerfect = res.FalseSuspicions == 0 && res.FalselySuspected == 0
+
+	if ts, ok := network.(TelemetrySource); ok {
+		res.Links = ts.Telemetry()
+	}
+	res.Cost = netobs.ComputeCost(res.DecidedCount(), ws, res.Links)
+	res.WireKinds = ws.PerKind()
+	netobs.PublishCost(reg, res.Cost)
+
+	er.abortMu.Lock()
+	err := er.abortErr
+	er.abortMu.Unlock()
+	return res, err
+}
+
+// demuxLoop decodes one node's inbound packets (splitting batches), feeds
+// the shared detector and routes round messages to the owning worker.
+func (er *engineRun) demuxLoop(wg *sync.WaitGroup, id model.ProcessID, tr Transport, stop <-chan struct{}) {
+	defer wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		case pkt, ok := <-tr.Recv():
+			if !ok {
+				return
+			}
+			_ = wire.SplitBatch(pkt.Data, func(frame []byte) error {
+				env, err := er.codec.Decode(frame)
+				if err != nil {
+					return nil // corrupt frame: drop, keep the batch
+				}
+				er.fds[id].Observe(env)
+				if env.Kind.Control() {
+					er.metrics.heartbeats.Inc()
+					return nil
+				}
+				if env.Instance >= uint64(er.cfg.Instances) ||
+					env.From < 1 || int(env.From) > er.n {
+					er.unknown.Inc()
+					er.unknownCount.Add(1)
+					return nil
+				}
+				er.workers[int(env.Instance)%len(er.workers)].mb.push(engEvent{node: id, env: env})
+				return nil
+			})
+		}
+	}
+}
+
+// stateFor maps a routed event to the automaton it addresses.
+func (w *engWorker) stateFor(inst uint32, id model.ProcessID) *instState {
+	local := int(inst) / len(w.run.workers)
+	return &w.states[local*w.run.n+int(id)-1]
+}
+
+// enqueue marks st for advancement in the current sweep.
+func (w *engWorker) enqueue(st *instState) {
+	if st.queued || st.round == 0 {
+		return
+	}
+	st.queued = true
+	w.dirty = append(w.dirty, st)
+}
+
+// enqueueAll schedules a full rescan — suspicion changed or a WaitBound
+// deadline passed, either of which can complete any blocked round.
+func (w *engWorker) enqueueAll() {
+	for s := range w.states {
+		w.enqueue(&w.states[s])
+	}
+}
+
+// refreshSuspects snapshots each node's suspicion set once per sweep and
+// reports whether any changed. Polling here (not per automaton) keeps the
+// detector cost independent of the instance count — the whole point.
+func (w *engWorker) refreshSuspects() bool {
+	changed := false
+	for i := 1; i <= w.run.n; i++ {
+		s := w.run.fds[i].Suspects()
+		if s != w.suspects[i] {
+			w.suspects[i] = s
+			changed = true
+		}
+	}
+	return changed
+}
+
+// loop is the worker body: drain events, advance dirty automata, flush the
+// batched sends, sleep until traffic or the tick.
+func (w *engWorker) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	tick := w.run.cfg.SuspectTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	w.enqueueAll() // round 1 bootstrap: every automaton sends
+	for {
+		if w.refreshSuspects() {
+			w.enqueueAll()
+		}
+		events := w.mb.drain(w.spare)
+		for i := range events {
+			w.deliver(&events[i])
+		}
+		w.spare = events
+		if !w.nextDeadline.IsZero() && time.Now().After(w.nextDeadline) {
+			w.nextDeadline = time.Time{}
+			w.enqueueAll()
+		}
+		for len(w.dirty) > 0 {
+			st := w.dirty[len(w.dirty)-1]
+			w.dirty = w.dirty[:len(w.dirty)-1]
+			st.queued = false
+			w.advance(st)
+		}
+		// Round completions above queued sends on the node batchers; push
+		// them out now so peers don't wait out the flush timer.
+		for i := 1; i <= w.run.n; i++ {
+			if err := w.run.batchers[i].Flush(); err != nil && err != ErrClosed {
+				w.run.abort(err)
+			}
+		}
+		if w.active == 0 {
+			return
+		}
+		select {
+		case <-w.mb.notify:
+		case <-ticker.C:
+		case <-w.run.abortCh:
+			return
+		}
+	}
+}
+
+// deliver files one round message into its automaton's row.
+func (w *engWorker) deliver(ev *engEvent) {
+	st := w.stateFor(uint32(ev.env.Instance), ev.node)
+	r := ev.env.Round
+	if st.round == 0 || r < int(st.round) || r > w.run.maxRounds {
+		return // automaton halted, round already closed, or out of range
+	}
+	row := &st.rows[r]
+	if row.msgs == nil {
+		row.msgs = make([]rounds.Message, w.run.n+1)
+	}
+	row.msgs[ev.env.From] = ev.env.Payload
+	row.got |= 1 << uint(ev.env.From)
+	w.enqueue(st)
+}
+
+// advance drives one automaton as far as it can go: send the current
+// round's messages if not yet sent, close the round when every peer has
+// delivered or is suspected (or the WaitBound expired), transition, repeat.
+func (w *engWorker) advance(st *instState) {
+	n := w.run.n
+	for st.round != 0 {
+		r := int(st.round)
+		if !st.sent {
+			if err := w.sendRound(st, r); err != nil {
+				w.run.abort(err)
+				w.halt(st)
+				return
+			}
+			st.sent = true
+			st.deadline = time.Now().Add(w.run.waitBound)
+		}
+		row := &st.rows[r]
+		suspects := w.suspects[st.id]
+		complete := true
+		for j := 1; j <= n; j++ {
+			pj := model.ProcessID(j)
+			if pj == st.id {
+				continue
+			}
+			if row.got&(1<<uint(j)) == 0 && !suspects.Has(pj) {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			if time.Now().Before(st.deadline) {
+				if w.nextDeadline.IsZero() || st.deadline.Before(w.nextDeadline) {
+					w.nextDeadline = st.deadline
+				}
+				return
+			}
+			// Liveness guard, as in Node.waitRound: proceed with what we have.
+			st.waitTimeouts++
+			w.run.waitTimeouts.Add(1)
+			w.run.metrics.waitTimeouts.Inc()
+		}
+		in := w.scratch
+		for j := range in {
+			in[j] = nil
+		}
+		if row.msgs != nil {
+			copy(in, row.msgs)
+		}
+		in[st.id] = st.selfMsg
+		st.proc.Trans(r, in)
+		row.msgs = nil // free the payload row; the round is closed
+		w.run.metrics.rounds.Inc()
+		if !st.decided {
+			if v, ok := st.proc.Decision(); ok {
+				st.decided = true
+				st.decision = v
+				w.run.decidedCtr.Inc()
+			}
+		}
+		st.round++
+		st.sent = false
+		st.selfMsg = nil
+		if int(st.round) > w.run.maxRounds {
+			w.halt(st)
+		}
+	}
+}
+
+// halt retires an automaton.
+func (w *engWorker) halt(st *instState) {
+	if st.round != 0 {
+		st.round = 0
+		w.active--
+	}
+}
+
+// sendRound transmits st's round-r messages through the owning node's
+// batcher, tagged with the instance id.
+func (w *engWorker) sendRound(st *instState, r int) error {
+	msgs := st.proc.Msgs(r)
+	if msgs != nil {
+		st.selfMsg = msgs[st.id]
+	} else {
+		st.selfMsg = nil
+	}
+	for j := 1; j <= w.run.n; j++ {
+		dest := model.ProcessID(j)
+		if dest == st.id {
+			continue
+		}
+		var payload rounds.Message
+		if msgs != nil {
+			payload = msgs[dest]
+		}
+		env, err := wire.EnvelopeFor(st.id, dest, r, payload)
+		if err != nil {
+			return err
+		}
+		env.Instance = uint64(st.inst)
+		data, err := w.run.codec.Encode(env)
+		if err != nil {
+			return err
+		}
+		if err := w.run.batchers[st.id].Send(dest, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}

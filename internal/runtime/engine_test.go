@@ -1,0 +1,247 @@
+package runtime
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/rounds"
+	"repro/internal/wire"
+)
+
+// stubDetector is an inert Detector that records lifecycle calls — enough to
+// pin the construction-error cleanup paths of RunEngine and RunCluster.
+type stubDetector struct {
+	started atomic.Int32
+	stopped atomic.Int32
+}
+
+func (s *stubDetector) Start()                             { s.started.Add(1) }
+func (s *stubDetector) Stop()                              { s.stopped.Add(1) }
+func (s *stubDetector) Observe(wire.Envelope)              {}
+func (s *stubDetector) Suspects() model.ProcSet            { return 0 }
+func (s *stubDetector) NoteRound(int)                      {}
+func (s *stubDetector) Instrument(*obs.Registry, obs.Sink) {}
+func (s *stubDetector) UseCodec(wire.Codec)                {}
+func (s *stubDetector) Name() string                       { return "stub" }
+func (s *stubDetector) EverSuspected() model.ProcSet       { return 0 }
+func (s *stubDetector) FalseSuspicions() int64             { return 0 }
+func (s *stubDetector) Retractions() int64                 { return 0 }
+func (s *stubDetector) EncodeErrors() int64                { return 0 }
+
+// failAfterSpec builds stub detectors until node `failAt`, then errors —
+// the construction-failure scenario for the leak tests.
+func failAfterSpec(failAt int) (*DetectorSpec, *[]*stubDetector) {
+	built := &[]*stubDetector{}
+	n := 0
+	return &DetectorSpec{
+		Name: "failing-stub",
+		New: func(cfg DetectorConfig) (Detector, error) {
+			n++
+			if n >= failAt {
+				return nil, errors.New("synthetic construction failure")
+			}
+			d := &stubDetector{}
+			*built = append(*built, d)
+			return d, nil
+		},
+	}, built
+}
+
+// engineInitials is the equivalence fixture: a handful of distinct proposal
+// vectors cycled across instances, so neighbouring instances on the same
+// mesh are solving different consensus problems.
+var engineInitials = [][]model.Value{
+	vals(4, 2, 7),
+	vals(1, 9, 5),
+	vals(3, 3, 3),
+	vals(8, 0, 6),
+}
+
+func engineInitialFn(inst int, id model.ProcessID) model.Value {
+	return engineInitials[inst%len(engineInitials)][id-1]
+}
+
+func runEquivEngine(t *testing.T, groups int) *EngineResult {
+	t.Helper()
+	res, err := RunEngine(consensus.FloodSetWS{}, EngineConfig{
+		Instances: 12, N: 3, T: 1,
+		Groups:          groups,
+		Initial:         engineInitialFn,
+		HeartbeatPeriod: 5 * time.Millisecond,
+		SuspectTimeout:  500 * time.Millisecond,
+		Metrics:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("RunEngine(groups=%d): %v", groups, err)
+	}
+	return res
+}
+
+// TestEngineMatchesIsolatedClusters is the sharded≡unsharded acceptance
+// check: every instance multiplexed on the shared mesh decides exactly what
+// an isolated single-instance RunCluster decides from the same proposals.
+func TestEngineMatchesIsolatedClusters(t *testing.T) {
+	want := make([]model.Value, len(engineInitials))
+	for i, initial := range engineInitials {
+		cr, err := RunCluster(consensus.FloodSetWS{}, ClusterConfig{
+			Kind: rounds.RWS, Initial: initial, T: 1,
+			Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatalf("isolated cluster %d: %v", i, err)
+		}
+		v, st := cr.Agreement()
+		if st != AgreementReached {
+			t.Fatalf("isolated cluster %d: verdict %v", i, st)
+		}
+		want[i] = v
+	}
+
+	res := runEquivEngine(t, 3)
+	for inst := 0; inst < res.Instances; inst++ {
+		v, st := res.InstanceAgreement(inst)
+		if st != AgreementReached {
+			t.Fatalf("instance %d: verdict %v", inst, st)
+		}
+		if v != want[inst%len(want)] {
+			t.Errorf("instance %d decided %d; isolated cluster decided %d",
+				inst, int64(v), int64(want[inst%len(want)]))
+		}
+		for id := model.ProcessID(1); id <= 3; id++ {
+			dv, ok := res.Decision(inst, id)
+			if !ok || dv != v {
+				t.Errorf("instance %d node %d: decision (%d,%v), want (%d,true)",
+					inst, id, int64(dv), ok, int64(v))
+			}
+		}
+	}
+	if got := res.DecidedCount(); got != 12*3 {
+		t.Errorf("DecidedCount = %d, want 36", got)
+	}
+}
+
+// TestEngineShardingInvariance: Groups is a throughput knob, not a semantic
+// one — the decision vector is identical however instances shard.
+func TestEngineShardingInvariance(t *testing.T) {
+	one := runEquivEngine(t, 1)
+	four := runEquivEngine(t, 4)
+	if len(one.Decisions) != len(four.Decisions) {
+		t.Fatalf("result sizes differ: %d vs %d", len(one.Decisions), len(four.Decisions))
+	}
+	for i := range one.Decisions {
+		if one.Decided[i] != four.Decided[i] || one.Decisions[i] != four.Decisions[i] {
+			t.Errorf("slot %d: groups=1 (%d,%v) vs groups=4 (%d,%v)",
+				i, int64(one.Decisions[i]), one.Decided[i],
+				int64(four.Decisions[i]), four.Decided[i])
+		}
+	}
+}
+
+// TestEngineUnknownInstanceDrops: a round message carrying an out-of-range
+// instance id is dropped at the demultiplexer and counted, without
+// disturbing the in-range instances.
+func TestEngineUnknownInstanceDrops(t *testing.T) {
+	reg := obs.NewRegistry()
+	// A 4-endpoint mesh for a 3-node engine: endpoint 4 is the test's hand,
+	// planting a stray frame in node 1's inbox before the engine starts.
+	nw := NewChanNetwork(4, ChanConfig{MaxDelay: time.Millisecond, Metrics: reg})
+	stray, err := wire.Encode(wire.Envelope{
+		From: 2, To: 1, Round: 1, Kind: wire.KindD,
+		Instance: 99, Payload: consensus.DMsg{V: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Endpoint(4).Send(1, stray); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the delayed delivery land in the inbox
+
+	res, err := RunEngine(consensus.FloodSetWS{}, EngineConfig{
+		Instances: 2, N: 3, T: 1,
+		Initial:         engineInitialFn,
+		Network:         nw,
+		HeartbeatPeriod: 5 * time.Millisecond,
+		SuspectTimeout:  500 * time.Millisecond,
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnknownInstanceDrops != 1 {
+		t.Errorf("UnknownInstanceDrops = %d, want 1", res.UnknownInstanceDrops)
+	}
+	if got := reg.Snapshot().Counter(MetricEngineUnknownInstance); got != 1 {
+		t.Errorf("unknown-instance counter = %d, want 1", got)
+	}
+	for inst := 0; inst < 2; inst++ {
+		if _, st := res.InstanceAgreement(inst); st != AgreementReached {
+			t.Errorf("instance %d: verdict %v after stray drop", inst, st)
+		}
+	}
+}
+
+// TestEngineBatchedRun: with aggressive batching configured the run still
+// reaches agreement everywhere, the batcher counters move, and the shared
+// detector's control cost lands in the cost summary.
+func TestEngineBatchedRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := RunEngine(consensus.FloodSetWS{}, EngineConfig{
+		Instances: 40, N: 3, T: 1,
+		Initial:         engineInitialFn,
+		Batch:           BatcherConfig{MaxBatch: 8, FlushEvery: 2 * time.Millisecond},
+		HeartbeatPeriod: 5 * time.Millisecond,
+		SuspectTimeout:  500 * time.Millisecond,
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.DecidedCount(); got != 40*3 {
+		t.Fatalf("DecidedCount = %d, want 120", got)
+	}
+	snap := reg.Snapshot()
+	if frames := snap.Counter(MetricBatcherFrames); frames == 0 {
+		t.Error("batcher saw no frames")
+	}
+	flushes := snap.Counter(obs.Label(MetricBatcherFlushes, "reason", "count")) +
+		snap.Counter(obs.Label(MetricBatcherFlushes, "reason", "timer")) +
+		snap.Counter(obs.Label(MetricBatcherFlushes, "reason", "close"))
+	if flushes == 0 {
+		t.Error("batcher never flushed")
+	}
+	if res.Cost == nil || res.Cost.Decisions != 120 {
+		t.Fatalf("cost summary = %+v, want 120 decisions", res.Cost)
+	}
+	if got := snap.Counter(MetricEngineInstancesDecided); got != 120 {
+		t.Errorf("decisions counter = %d, want 120", got)
+	}
+}
+
+// TestEngineDetectorFailureStopsPrior: if detector construction fails on a
+// later node, the engine stops the already-built detectors before returning
+// the error.
+func TestEngineDetectorFailureStopsPrior(t *testing.T) {
+	spec, built := failAfterSpec(3)
+	_, err := RunEngine(consensus.FloodSetWS{}, EngineConfig{
+		Instances: 2, N: 3, T: 1,
+		Detector: spec,
+		Metrics:  obs.NewRegistry(),
+	})
+	if err == nil {
+		t.Fatal("expected a construction error")
+	}
+	if len(*built) != 2 {
+		t.Fatalf("built %d stub detectors, want 2", len(*built))
+	}
+	for i, d := range *built {
+		if d.stopped.Load() == 0 {
+			t.Errorf("detector %d never stopped on the error path", i+1)
+		}
+	}
+}

@@ -22,9 +22,9 @@ func TestLiveNBACCommitsFailureFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, ok := cr.Agreement()
-	if !ok || v != nbac.Commit {
-		t.Fatalf("agreement = (%v,%v), want COMMIT", nbac.DecisionString(v), ok)
+	v, st := cr.Agreement()
+	if st != AgreementReached || v != nbac.Commit {
+		t.Fatalf("agreement = (%v,%v), want COMMIT", nbac.DecisionString(v), st)
 	}
 }
 
@@ -38,9 +38,9 @@ func TestLiveNBACAbortsOnNoVote(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v, ok := cr.Agreement()
-	if !ok || v != nbac.Abort {
-		t.Fatalf("agreement = (%v,%v), want ABORT", nbac.DecisionString(v), ok)
+	v, st := cr.Agreement()
+	if st != AgreementReached || v != nbac.Abort {
+		t.Fatalf("agreement = (%v,%v), want ABORT", nbac.DecisionString(v), st)
 	}
 }
 
@@ -63,8 +63,8 @@ func TestLiveNBACCommitGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := rs.Agreement(); !ok || v != nbac.Commit {
-		t.Fatalf("RS: agreement = (%v,%v), want COMMIT (vote already delivered)", nbac.DecisionString(v), ok)
+	if v, st := rs.Agreement(); st != AgreementReached || v != nbac.Commit {
+		t.Fatalf("RS: agreement = (%v,%v), want COMMIT (vote already delivered)", nbac.DecisionString(v), st)
 	}
 
 	slowVotes := func(from, to model.ProcessID, data []byte) time.Duration {

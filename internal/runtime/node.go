@@ -132,8 +132,8 @@ func NewNode(alg rounds.Algorithm, cfg NodeConfig) (*Node, error) {
 	}, nil
 }
 
-// demuxLoop decodes inbound packets, feeds the failure detector and files
-// round messages.
+// demuxLoop decodes inbound packets (splitting batch containers), feeds the
+// failure detector and files round messages.
 func (n *Node) demuxLoop() {
 	defer n.wg.Done()
 	for {
@@ -144,40 +144,55 @@ func (n *Node) demuxLoop() {
 			if !ok {
 				return
 			}
-			env, err := n.cfg.Codec.Decode(pkt.Data)
-			if err != nil {
-				continue // corrupt frame: drop
-			}
-			if n.cfg.FD != nil {
-				n.cfg.FD.Observe(env)
-			}
-			if env.Kind.Control() {
-				// Detector control traffic (heartbeat/ping/ack/ring) never
-				// reaches the round buffers.
-				n.metrics.heartbeats.Inc()
-				continue
-			}
-			n.mu.Lock()
-			m := n.byRnd[env.Round]
-			if m == nil {
-				m = make(map[model.ProcessID]rounds.Message, n.cfg.N)
-				n.byRnd[env.Round] = m
-			}
-			_, dup := m[env.From]
-			m[env.From] = env.Payload
-			n.mu.Unlock()
-			if n.cfg.Events != nil && !dup {
-				// Per-message arrival record for the causal tracer: one per
-				// (sender, round), so duplicated deliveries don't double the
-				// happens-before edges.
-				n.cfg.Events.Emit(obs.Event{Type: obs.EventArrive, Round: env.Round,
-					Proc: int(n.cfg.ID), From: int(env.From)})
-			}
-			select {
-			case n.arrive <- struct{}{}:
-			default:
-			}
+			_ = wire.SplitBatch(pkt.Data, func(frame []byte) error {
+				n.handleFrame(frame)
+				return nil
+			})
 		}
+	}
+}
+
+// handleFrame processes one decoded-or-dropped inbound frame.
+func (n *Node) handleFrame(frame []byte) {
+	env, err := n.cfg.Codec.Decode(frame)
+	if err != nil {
+		return // corrupt frame: drop
+	}
+	if n.cfg.FD != nil {
+		n.cfg.FD.Observe(env)
+	}
+	if env.Kind.Control() {
+		// Detector control traffic (heartbeat/ping/ack/ring) never
+		// reaches the round buffers.
+		n.metrics.heartbeats.Inc()
+		return
+	}
+	if env.Instance != 0 {
+		// A single-instance node serves instance 0 only; traffic tagged for
+		// another instance is a peer's multi-instance engine leaking onto
+		// this mesh. Count and drop — filing it would corrupt a round.
+		n.metrics.unknownInstance.Inc()
+		return
+	}
+	n.mu.Lock()
+	m := n.byRnd[env.Round]
+	if m == nil {
+		m = make(map[model.ProcessID]rounds.Message, n.cfg.N)
+		n.byRnd[env.Round] = m
+	}
+	_, dup := m[env.From]
+	m[env.From] = env.Payload
+	n.mu.Unlock()
+	if n.cfg.Events != nil && !dup {
+		// Per-message arrival record for the causal tracer: one per
+		// (sender, round), so duplicated deliveries don't double the
+		// happens-before edges.
+		n.cfg.Events.Emit(obs.Event{Type: obs.EventArrive, Round: env.Round,
+			Proc: int(n.cfg.ID), From: int(env.From)})
+	}
+	select {
+	case n.arrive <- struct{}{}:
+	default:
 	}
 }
 

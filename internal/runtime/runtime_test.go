@@ -145,9 +145,9 @@ func TestHeartbeatFDPerfectOverSynchronousNetwork(t *testing.T) {
 
 func requireAgreementValidity(t *testing.T, cr *ClusterResult, initial []model.Value, wantDecided int) {
 	t.Helper()
-	if _, ok := cr.Agreement(); !ok {
+	if _, st := cr.Agreement(); st != AgreementReached {
 		vals, _ := cr.Decisions()
-		t.Fatalf("agreement violated: decisions %v", vals[1:])
+		t.Fatalf("agreement verdict %v: decisions %v", st, vals[1:])
 	}
 	decided := 0
 	for i := 1; i < len(cr.Results); i++ {
@@ -280,8 +280,8 @@ func TestLiveA1DisagreesInRWS(t *testing.T) {
 			t.Fatalf("p%d result %+v, want decision 1 (p2's value)", i, cr.Results[i])
 		}
 	}
-	if _, ok := cr.Agreement(); ok {
-		t.Error("expected live disagreement (the paper's §5.3 scenario)")
+	if _, st := cr.Agreement(); st != AgreementViolated {
+		t.Errorf("agreement verdict %v, want violated (the paper's §5.3 scenario)", st)
 	}
 }
 

@@ -92,6 +92,83 @@ func TestCodecZeroValue(t *testing.T) {
 	}
 }
 
+// TestGoldenInstanceWireSizes pins the instance-tagged encoding the
+// shared-mesh engine multiplexes on: the instance id rides as a trailing
+// uvarint, present exactly when nonzero. The single-instance rows prove the
+// zero-cost claim — Instance 0 encodes byte-identically to the
+// pre-instance format of TestGoldenWireSizes — and the tagged rows pin the
+// varint growth schedule.
+func TestGoldenInstanceWireSizes(t *testing.T) {
+	canon := func(k Kind, inst uint64, payload rounds.Message) Envelope {
+		return Envelope{From: 1, To: 2, Round: 1, Kind: k, Instance: inst, Payload: payload}
+	}
+	cases := []struct {
+		env  Envelope
+		size int
+	}{
+		{canon(KindNull, 0, nil), 4},      // single-instance: unchanged
+		{canon(KindNull, 1, nil), 5},      // +1 tag byte
+		{canon(KindNull, 127, nil), 5},    // largest 1-byte uvarint
+		{canon(KindNull, 128, nil), 6},    // first 2-byte uvarint
+		{canon(KindNull, 99999, nil), 7},  // 100k-instance scale: 3 bytes
+		{canon(KindHeartbeat, 0, nil), 4}, // control traffic never carries an instance
+		{canon(KindD, 3, consensus.DMsg{V: 5}), 6},
+		{canon(KindW, 3, consensus.WMsg{W: model.NewValueSet(0, 1, 2)}), 9},
+	}
+	for _, tc := range cases {
+		data, err := Encode(tc.env)
+		if err != nil {
+			t.Fatalf("encode %v inst=%d: %v", tc.env.Kind, tc.env.Instance, err)
+		}
+		if len(data) != tc.size {
+			t.Errorf("kind %v instance %d: encodes to %d bytes, want %d",
+				tc.env.Kind, tc.env.Instance, len(data), tc.size)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode %v inst=%d: %v", tc.env.Kind, tc.env.Instance, err)
+		}
+		if back.Instance != tc.env.Instance {
+			t.Fatalf("kind %v: instance %d round-tripped to %d", tc.env.Kind, tc.env.Instance, back.Instance)
+		}
+	}
+}
+
+// TestInstanceZeroByteIdentity proves a zero-instance envelope is
+// byte-for-byte the pre-instance encoding for EVERY kind: the golden table
+// of TestGoldenWireSizes was produced before the field existed, and an
+// explicit Instance: 0 must not disturb a single byte of it.
+func TestInstanceZeroByteIdentity(t *testing.T) {
+	envs := []Envelope{
+		{From: 3, To: 1, Round: 7, Kind: KindNull},
+		{From: 1, To: 2, Round: 2, Kind: KindW, Payload: consensus.WMsg{W: model.NewValueSet(4, 9)}},
+		{From: 2, To: 3, Round: 1, Kind: KindVotes, Payload: nbac.VotesMsg{Known: []int8{1, -1}}},
+		{From: 4, To: 5, Round: 300, Kind: KindHeartbeat},
+	}
+	for _, env := range envs {
+		plain, err := Encode(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tagged := env
+		tagged.Instance = 0
+		got, err := Encode(tagged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(plain) != string(got) {
+			t.Fatalf("kind %v: explicit Instance 0 changed bytes: %x vs %x", env.Kind, plain, got)
+		}
+		back, err := Decode(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Instance != 0 {
+			t.Fatalf("kind %v: pre-instance frame decoded with instance %d", env.Kind, back.Instance)
+		}
+	}
+}
+
 // tapCount is a minimal Tap for the error-path test.
 type tapCount struct{ enc, dec int }
 

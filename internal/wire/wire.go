@@ -140,6 +140,13 @@ type Envelope struct {
 	From, To model.ProcessID
 	Round    int
 	Kind     Kind
+	// Instance identifies which consensus instance the message belongs to
+	// when many instances multiplex one physical mesh (the shared-mesh
+	// engine, runtime.Engine). Instance 0 — the single-instance case —
+	// costs nothing on the wire: the field is encoded as a trailing varint
+	// only when nonzero, so every pre-instance frame is byte-identical and
+	// decodes with Instance == 0.
+	Instance uint64
 	// Payload is the decoded round-model message (nil for KindNull and
 	// KindHeartbeat).
 	Payload rounds.Message
@@ -220,6 +227,13 @@ func Encode(e Envelope) ([]byte, error) {
 		}
 	default:
 		return nil, fmt.Errorf("%w: %v", ErrBadKind, e.Kind)
+	}
+	if e.Instance != 0 {
+		// Trailing instance tag: every payload encoding above is
+		// self-delimiting, so a decoder knows the tag is present exactly when
+		// bytes remain. Omitting it for instance 0 keeps single-instance
+		// frames byte-identical to the pre-instance format.
+		buf = appendUvarint(buf, e.Instance)
 	}
 	return buf, nil
 }
@@ -347,6 +361,13 @@ func Decode(data []byte) (Envelope, error) {
 		e.Payload = nbac.VotesMsg{Known: known}
 	default:
 		return e, fmt.Errorf("%w: %d", ErrBadKind, kb)
+	}
+	if r.pos < len(r.buf) {
+		inst, err := r.uvarint()
+		if err != nil {
+			return e, err
+		}
+		e.Instance = inst
 	}
 	return e, nil
 }

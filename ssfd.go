@@ -81,6 +81,19 @@ type (
 	ClusterConfig = runtime.ClusterConfig
 	// ClusterResult is a live cluster's outcome.
 	ClusterResult = runtime.ClusterResult
+	// AgreementStatus is a run's three-way agreement verdict
+	// (none/reached/violated) — see ClusterResult.Agreement.
+	AgreementStatus = runtime.AgreementStatus
+
+	// EngineConfig configures a shared-mesh multi-instance execution: N
+	// nodes, one physical mesh, one failure detector per node, and many
+	// consensus instances multiplexed over them.
+	EngineConfig = runtime.EngineConfig
+	// EngineResult aggregates every instance's outcome plus the shared
+	// mesh's amortized cost accounting.
+	EngineResult = runtime.EngineResult
+	// BatcherConfig tunes the engine's per-link send batching.
+	BatcherConfig = runtime.BatcherConfig
 
 	// Detector is the pluggable failure-detector contract the live RWS
 	// runtime programs against (the "oracle" of the paper's SP model).
@@ -144,6 +157,15 @@ const (
 	RS = rounds.RS
 	// RWS is the weakly synchronous round model induced by SP.
 	RWS = rounds.RWS
+)
+
+// The three-way agreement verdicts (ClusterResult.Agreement,
+// EngineResult.InstanceAgreement): no decisions at all, all decided nodes
+// agree, or two decided nodes differ.
+const (
+	AgreementNone     = runtime.AgreementNone
+	AgreementReached  = runtime.AgreementReached
+	AgreementViolated = runtime.AgreementViolated
 )
 
 // NoFailures is the failure-free adversary.
@@ -243,6 +265,16 @@ func SDDInSS(phi, delta int) SDDAlgorithm { return sdd.NewSS(phi, delta) }
 // detection, wall-clock rounds); see runtime.ClusterConfig for knobs.
 func RunLive(alg Algorithm, cfg ClusterConfig) (*ClusterResult, error) {
 	return runtime.RunCluster(alg, cfg)
+}
+
+// RunLiveEngine executes cfg.Instances concurrent consensus instances of
+// alg over ONE shared mesh with ONE failure detector per node — the
+// multi-instance counterpart of RunLive. Per-instance round traffic is
+// batched per link and demultiplexed by the envelope's instance id; the
+// detector's control traffic is shared, so its cost per decision falls as
+// the instance count grows (EngineResult.Cost).
+func RunLiveEngine(alg Algorithm, cfg EngineConfig) (*EngineResult, error) {
+	return runtime.RunEngine(alg, cfg)
 }
 
 // ParseFaultSpec parses the compact chaos grammar ("loss=0.3,spike=5ms@0.5,
