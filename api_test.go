@@ -2,7 +2,10 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -142,6 +145,85 @@ func TestRunLiveEngineAPI(t *testing.T) {
 	}
 	if er.UnknownInstanceDrops != 0 {
 		t.Errorf("UnknownInstanceDrops = %d on a clean run", er.UnknownInstanceDrops)
+	}
+}
+
+func TestLiveEngineAPI(t *testing.T) {
+	eng, err := StartLiveEngine(FloodSetWS(), EngineConfig{
+		N: 3, T: 1,
+		HeartbeatPeriod: 2 * time.Millisecond,
+		SuspectTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var inst *LiveInstance
+	inst, err = eng.OpenValue(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inst.Done()
+	out, ok := inst.Outcome()
+	if !ok {
+		t.Fatal("Outcome not available after Done closed")
+	}
+	var _ InstanceOutcome = out
+	if v, st := out.Agreement(); st != AgreementReached || v != 9 {
+		t.Fatalf("on-demand instance agreement = (%d,%v), want (9,reached)", v, st)
+	}
+	var stats LiveEngineStats = eng.Stats()
+	if stats.Completed != 1 || stats.AgreementReached != 1 {
+		t.Errorf("engine stats = %+v, want 1 completed/reached", stats)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestServingAPI(t *testing.T) {
+	srv, err := NewServer(ServeConfig{
+		N: 3, T: 1,
+		HeartbeatPeriod: 2 * time.Millisecond,
+		SuspectTimeout:  500 * time.Millisecond,
+		Conform:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := RunServeLoad(context.Background(), LoadConfig{
+		BaseURL:      ts.URL,
+		Clients:      4,
+		Keys:         2,
+		OpsPerClient: 5,
+		Seed:         2,
+		RecordOps:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 20 || rep.CASOk == 0 {
+		t.Fatalf("load report = %s, want 20 ops with decided CAS", rep)
+	}
+
+	client := &ServeClient{BaseURL: ts.URL}
+	chains := make(map[string][]KVVersion)
+	for _, key := range []string{"k000", "k001"} {
+		hist, err := client.History(context.Background(), key)
+		if errors.Is(err, ErrKeyNotFound) {
+			continue // the seeded workload may never have written this key
+		}
+		if err != nil {
+			t.Fatalf("History(%s): %v", key, err)
+		}
+		chains[key] = hist
+	}
+	if err := CheckLinearizable(chains, rep.Records); err != nil {
+		t.Fatalf("linearizability: %v", err)
 	}
 }
 

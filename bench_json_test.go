@@ -10,7 +10,9 @@ package repro
 //	BENCH_EXPLORE_JSON=BENCH_explore.json go test -run WriteExploreBenchJSON .
 
 import (
+	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	gort "runtime"
 	"testing"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/runtime"
+	"repro/internal/serve"
 )
 
 type exploreBenchRow struct {
@@ -74,6 +77,28 @@ type engineBenchRow struct {
 	UnknownInstanceDrops         int64   `json:"unknown_instance_drops"`
 }
 
+// serveBenchRow records one closed-loop load run against an in-process
+// ssfd-serve HTTP stack: clients concurrent clients doing a read/CAS mix
+// over a shared key space, every CAS landing as one consensus instance on
+// the live mesh. Throughput and latency are wall-clock quantities, so
+// ssfd-bench -compare gates them only between same-CPU artifacts (and
+// never asserts a speedup — this is a 1-CPU container); the errors column
+// is machine-independent and must be zero in any new artifact.
+type serveBenchRow struct {
+	Clients      int     `json:"clients"`
+	Keys         int     `json:"keys"`
+	DurationMS   float64 `json:"duration_ms"`
+	Ops          int64   `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	Reads        int64   `json:"reads"`
+	CASOk        int64   `json:"cas_ok"`
+	CASConflicts int64   `json:"cas_conflicts"`
+	Errors       int64   `json:"errors"`
+	P50US        int64   `json:"p50_us"`
+	P95US        int64   `json:"p95_us"`
+	P99US        int64   `json:"p99_us"`
+}
+
 // engineBaseline is the pre-engine world the engine rows are measured
 // against: a dedicated single-instance cluster paying for its own failure
 // detector. Its control share per decision is what sharing ONE detector
@@ -91,6 +116,7 @@ type exploreBenchReport struct {
 	CostRows       []exploreCostRow  `json:"cost_rows,omitempty"`
 	EngineBaseline *engineBaseline   `json:"engine_dedicated_baseline,omitempty"`
 	EngineRows     []engineBenchRow  `json:"engine_rows,omitempty"`
+	ServeRows      []serveBenchRow   `json:"serve_rows,omitempty"`
 }
 
 func TestWriteExploreBenchJSON(t *testing.T) {
@@ -230,6 +256,14 @@ func TestWriteExploreBenchJSON(t *testing.T) {
 			first.DataMessagesPerDecision, first.Instances, last.DataMessagesPerDecision, last.Instances)
 	}
 
+	// Serving sweep: the daemon's HTTP/KV path end to end. Each row drives
+	// real HTTP requests through the full handler, KV chain and engine; the
+	// row's conformance and error columns must be clean at generation time,
+	// so a committed artifact always describes a correct serving run.
+	for _, clients := range []int{8, 32} {
+		report.ServeRows = append(report.ServeRows, measureServe(t, clients))
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -317,5 +351,62 @@ func measureEngine(t *testing.T, inst int) engineBenchRow {
 		ControlBytesPerDecision:      res.Cost.ControlBytesPerDecision,
 		WaitTimeouts:                 res.WaitTimeouts,
 		UnknownInstanceDrops:         res.UnknownInstanceDrops,
+	}
+}
+
+// measureServe runs one serving sweep point: clients closed-loop clients
+// against a fresh 3-node daemon over a real HTTP listener. Conformance is
+// attached and must come back clean — a throughput number from an unsafe
+// run would be worse than no number.
+func measureServe(t *testing.T, clients int) serveBenchRow {
+	t.Helper()
+	srv, err := serve.New(serve.Config{
+		N: 3, T: 1,
+		HeartbeatPeriod: 2 * time.Millisecond,
+		SuspectTimeout:  time.Second,
+		Conform:         true,
+		ProposeTimeout:  60 * time.Second,
+		Metrics:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatalf("serve sweep %d clients: %v", clients, err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:      ts.URL,
+		Clients:      clients,
+		Keys:         8,
+		OpsPerClient: 20,
+		ReadFraction: 0.5,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatalf("serve sweep %d clients: %v", clients, err)
+	}
+	if rep.Errors != 0 || rep.Timeouts != 0 {
+		t.Fatalf("serve sweep %d clients: %d errors, %d timeouts on a clean mesh", clients, rep.Errors, rep.Timeouts)
+	}
+	if rep.CASOk == 0 {
+		t.Fatalf("serve sweep %d clients: no CAS operation decided", clients)
+	}
+	if sum := srv.Monitor().Summary(); !sum.Clean {
+		t.Fatalf("serve sweep %d clients: conformance violation: %s", clients, sum.FirstViolation)
+	}
+	return serveBenchRow{
+		Clients:      clients,
+		Keys:         8,
+		DurationMS:   float64(rep.Elapsed.Microseconds()) / 1000,
+		Ops:          rep.Ops,
+		OpsPerSec:    rep.OpsPerSec,
+		Reads:        rep.Reads,
+		CASOk:        rep.CASOk,
+		CASConflicts: rep.CASConflicts,
+		Errors:       rep.Errors + rep.Timeouts,
+		P50US:        rep.LatencyUS.P50,
+		P95US:        rep.LatencyUS.P95,
+		P99US:        rep.LatencyUS.P99,
 	}
 }

@@ -49,6 +49,24 @@ type compareEngineRow struct {
 	ControlBytesPerDecision    float64 `json:"control_bytes_per_decision"`
 }
 
+// compareServeRow mirrors the artifact's serve_rows: one closed-loop load
+// run against the in-process serving daemon per client count. Throughput
+// (ops_per_sec, drop-gated) and tail latency (p99_us, grow-gated) are
+// wall-clock quantities and only compared between same-CPU artifacts; the
+// errors column is machine-independent and must be zero in any new
+// artifact regardless of tolerance or CPU count.
+type compareServeRow struct {
+	Clients      int     `json:"clients"`
+	Keys         int     `json:"keys"`
+	Ops          int64   `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	CASOk        int64   `json:"cas_ok"`
+	CASConflicts int64   `json:"cas_conflicts"`
+	Errors       int64   `json:"errors"`
+	P50US        int64   `json:"p50_us"`
+	P99US        int64   `json:"p99_us"`
+}
+
 type compareReport struct {
 	Sweep      string             `json:"sweep"`
 	CPUs       int                `json:"cpus"`
@@ -56,6 +74,7 @@ type compareReport struct {
 	Rows       []compareRow       `json:"rows"`
 	CostRows   []compareCostRow   `json:"cost_rows"`
 	EngineRows []compareEngineRow `json:"engine_rows"`
+	ServeRows  []compareServeRow  `json:"serve_rows"`
 }
 
 func readCompareReport(path string) (*compareReport, error) {
@@ -218,6 +237,49 @@ func runCompare(oldPath, newPath string, tolerance float64, stdout, stderr io.Wr
 		growOnly("data_bytes_per_decision", or.DataBytesPerDecision, nr.DataBytesPerDecision)
 		fmt.Fprintf(stdout, "  engine instances=%d control (informational): %.4f -> %.4f msgs/decision\n",
 			nr.Instances, or.ControlMessagesPerDecision, nr.ControlMessagesPerDecision)
+	}
+
+	// Serve rows: the daemon's KV serving throughput and tail latency,
+	// keyed by client count. ops_per_sec may only drop and p99_us only grow
+	// within tolerance, both gated to same-CPU artifacts like runs_per_sec
+	// above. errors is enforced unconditionally: it counts failed client
+	// operations, which a correct server never produces, so any nonzero
+	// value in the new artifact is a regression on every machine.
+	oldServe := make(map[int]compareServeRow, len(oldRep.ServeRows))
+	for _, r := range oldRep.ServeRows {
+		oldServe[r.Clients] = r
+	}
+	for _, nr := range newRep.ServeRows {
+		if nr.Errors != 0 {
+			fmt.Fprintf(stdout, "  serve clients=%d errors: %d (must be 0) REGRESSION\n", nr.Clients, nr.Errors)
+			regressions++
+		}
+		or, ok := oldServe[nr.Clients]
+		if !ok {
+			fmt.Fprintf(stdout, "  serve clients=%d: new row has no old counterpart, skipped\n", nr.Clients)
+			continue
+		}
+		matched++
+		if compareTiming && or.OpsPerSec > 0 {
+			ratio := nr.OpsPerSec / or.OpsPerSec
+			verdict := "ok"
+			if ratio < 1-tolerance {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "  serve clients=%d ops_per_sec: %.0f -> %.0f (%+.1f%%) %s\n",
+				nr.Clients, or.OpsPerSec, nr.OpsPerSec, (ratio-1)*100, verdict)
+		}
+		if compareTiming && or.P99US > 0 {
+			ratio := float64(nr.P99US) / float64(or.P99US)
+			verdict := "ok"
+			if ratio > 1+tolerance {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "  serve clients=%d p99_us: %d -> %d (%+.1f%%) %s\n",
+				nr.Clients, or.P99US, nr.P99US, (ratio-1)*100, verdict)
+		}
 	}
 
 	if matched == 0 {

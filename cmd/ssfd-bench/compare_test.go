@@ -138,6 +138,9 @@ func TestCompareDifferentCPUsSkipsTiming(t *testing.T) {
 	if strings.Contains(stdout.String(), "runs_per_sec") {
 		t.Errorf("throughput compared despite differing cpu counts:\n%s", stdout.String())
 	}
+	if strings.Contains(stdout.String(), "ops_per_sec") || strings.Contains(stdout.String(), "p99_us") {
+		t.Errorf("serve timing compared despite differing cpu counts:\n%s", stdout.String())
+	}
 }
 
 // TestCompareDetectsCostRegression: growing data bytes/decision beyond the
@@ -210,6 +213,7 @@ func TestCompareBadInputs(t *testing.T) {
 	}
 	rep.CostRows = nil   // cost rows alone would still be comparable
 	rep.EngineRows = nil // likewise the engine rows
+	rep.ServeRows = nil  // likewise the serve rows
 	disjoint := writeReport(t, rep)
 	if code := runCompare(benchArtifact, disjoint, 0.15, &stdout, &stderr); code != 2 {
 		t.Errorf("disjoint worker sets exited %d, want 2", code)
@@ -247,6 +251,65 @@ func TestCompareDetectsEngineRegression(t *testing.T) {
 	stderr.Reset()
 	if code := runCompare(benchArtifact, chatty, 0.15, &stdout, &stderr); code != 1 {
 		t.Fatalf("engine data-bytes regression exited %d, want 1\n%s", code, stdout.String())
+	}
+}
+
+// TestCompareDetectsServeRegression: the serving daemon's throughput and
+// tail latency are gated like the explorer's — ops_per_sec may only drop
+// and p99_us only grow within tolerance — and every committed serve row is
+// compared.
+func TestCompareDetectsServeRegression(t *testing.T) {
+	rep := loadArtifact(t)
+	if len(rep.ServeRows) == 0 {
+		t.Fatal("committed artifact has no serve_rows; regenerate BENCH_explore.json")
+	}
+	rep.ServeRows[0].OpsPerSec *= 0.5
+	slow := writeReport(t, rep)
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, slow, 0.15, &stdout, &stderr); code != 1 {
+		t.Fatalf("serve throughput regression exited %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "ops_per_sec") {
+		t.Errorf("serve throughput column not named in output:\n%s", stdout.String())
+	}
+	for _, r := range loadArtifact(t).ServeRows {
+		if !strings.Contains(stdout.String(), "serve clients="+strconv.Itoa(r.Clients)) {
+			t.Errorf("serve row clients=%d missing from comparison output", r.Clients)
+		}
+	}
+
+	rep = loadArtifact(t)
+	rep.ServeRows[len(rep.ServeRows)-1].P99US *= 3
+	laggy := writeReport(t, rep)
+	stdout.Reset()
+	stderr.Reset()
+	if code := runCompare(benchArtifact, laggy, 0.15, &stdout, &stderr); code != 1 {
+		t.Fatalf("serve p99 regression exited %d, want 1\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "p99_us") {
+		t.Errorf("serve latency column not named in output:\n%s", stdout.String())
+	}
+}
+
+// TestCompareServeErrorsAlwaysEnforced: the serve errors column counts
+// failed client operations, which a correct server never produces. Unlike
+// the timing columns it is enforced on every machine — even across CPU
+// counts, where all wall-clock comparison is skipped.
+func TestCompareServeErrorsAlwaysEnforced(t *testing.T) {
+	rep := loadArtifact(t)
+	if len(rep.ServeRows) == 0 {
+		t.Fatal("committed artifact has no serve_rows; regenerate BENCH_explore.json")
+	}
+	rep.ServeRows[0].Errors = 5
+	rep.CPUs++ // timing comparison is off, errors must still fail
+
+	var stdout, stderr bytes.Buffer
+	if code := runCompare(benchArtifact, writeReport(t, rep), 0.15, &stdout, &stderr); code != 1 {
+		t.Fatalf("serve errors exited %d, want 1\nstdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "must be 0") {
+		t.Errorf("errors enforcement line missing:\n%s", stdout.String())
 	}
 }
 

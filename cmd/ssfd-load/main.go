@@ -1,0 +1,138 @@
+// Command ssfd-load drives K concurrent closed-loop clients against an
+// ssfd-serve daemon's KV API and reports throughput (ops/sec) and latency
+// percentiles (p50/p95/p99 over internal/stats). With -check it also
+// records every operation, fetches each key's consensus chain, and
+// verifies the observed history linearizes — plus that the server's
+// attached conformance report is clean.
+//
+// Usage:
+//
+//	ssfd-load -addr http://127.0.0.1:8080 -clients 64 -duration 10s
+//	ssfd-load -addr http://127.0.0.1:8080 -clients 1000 -ops 2 -keys 32 -check
+//	ssfd-load -addr http://127.0.0.1:8080 -clients 16 -ops 50 -json report.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obscli"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	fs := flag.NewFlagSet("ssfd-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the ssfd-serve daemon")
+	clients := fs.Int("clients", 16, "concurrent closed-loop clients")
+	keys := fs.Int("keys", 16, "size of the shared key space")
+	duration := fs.Duration("duration", 0, "run length (exclusive with -ops)")
+	ops := fs.Int("ops", 0, "operations per client (exclusive with -duration)")
+	readFrac := fs.Float64("read-frac", 0.5, "fraction of operations that are reads")
+	seed := fs.Int64("seed", 1, "workload seed")
+	jsonPath := fs.String("json", "", "also write the report as JSON to this file")
+	check := fs.Bool("check", false, "record every op, verify linearizability against the per-key consensus chains, and require a clean server conformance report")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if (*duration > 0) == (*ops > 0) {
+		fmt.Fprintln(stderr, "give exactly one of -duration or -ops")
+		return 2
+	}
+
+	ctx := context.Background()
+	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
+		BaseURL:      *addr,
+		Clients:      *clients,
+		Keys:         *keys,
+		Duration:     *duration,
+		OpsPerClient: *ops,
+		ReadFraction: *readFrac,
+		Seed:         *seed,
+		RecordOps:    *check,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintln(stdout, rep.String())
+	lat := rep.LatencyUS
+	fmt.Fprintf(stdout, "latency us: n=%d min=%d p50=%d p95=%d p99=%d max=%d mean=%.1f\n",
+		lat.N, lat.Min, lat.P50, lat.P95, lat.P99, lat.Max, lat.Mean)
+
+	if *jsonPath != "" {
+		f, err := obscli.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "writing %s: %v\n", *jsonPath, err)
+			_ = f.Close()
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "closing %s: %v\n", *jsonPath, err)
+			return 1
+		}
+	}
+
+	if rep.Ops == 0 || rep.CASOk == 0 {
+		fmt.Fprintln(stderr, "ssfd-load: no operations decided — is the daemon up?")
+		return 1
+	}
+
+	if *check {
+		client := &serve.Client{BaseURL: *addr}
+		chains := make(map[string][]serve.KVVersion)
+		for k := 0; k < *keys; k++ {
+			key := fmt.Sprintf("k%03d", k)
+			hist, err := client.History(ctx, key)
+			if errors.Is(err, serve.ErrKeyNotFound) {
+				continue
+			}
+			if err != nil {
+				fmt.Fprintf(stderr, "ssfd-load: reading chain for %s: %v\n", key, err)
+				return 1
+			}
+			chains[key] = hist
+		}
+		if err := serve.CheckLinearizable(chains, rep.Records); err != nil {
+			fmt.Fprintf(stderr, "ssfd-load: LINEARIZABILITY VIOLATION: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "linearizability: %d recorded ops embed into %d per-key chains\n",
+			len(rep.Records), len(chains))
+		status, err := client.Status(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "ssfd-load: reading server status: %v\n", err)
+			return 1
+		}
+		if status.Engine.AgreementViolated > 0 {
+			fmt.Fprintf(stderr, "ssfd-load: server tallied %d agreement violations\n",
+				status.Engine.AgreementViolated)
+			return 1
+		}
+		if status.Conform != nil {
+			if !status.Conform.Clean {
+				fmt.Fprintf(stderr, "ssfd-load: server conformance not clean: %s\n",
+					status.Conform.FirstViolation)
+				return 1
+			}
+			fmt.Fprintf(stdout, "conformance: clean (%d instances checked, %d undecided)\n",
+				status.Conform.Checked, status.Conform.Undecided)
+		}
+	}
+	return 0
+}

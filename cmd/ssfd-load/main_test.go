@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := serve.New(serve.Config{
+		N: 3, T: 1,
+		HeartbeatPeriod: 2 * time.Millisecond,
+		SuspectTimeout:  500 * time.Millisecond,
+		Conform:         true,
+		Metrics:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+func TestLoadAgainstLiveServer(t *testing.T) {
+	url := startServer(t)
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", url, "-clients", "8", "-keys", "4", "-ops", "10",
+		"-seed", "3", "-check", "-json", jsonPath,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"ops/sec", "latency us:", "linearizability:", "conformance: clean"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report JSON: %v", err)
+	}
+	if rep.Ops != 80 || rep.OpsPerSec == 0 {
+		t.Errorf("report = %+v, want 80 ops", rep)
+	}
+}
+
+func TestLoadFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                               // no stop condition
+		{"-duration", "1s", "-ops", "5"}, // both stop conditions
+		{"-ops", "5", "-read-frac", "3"}, // bad fraction
+		{"-badflag"},                     // unknown flag
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestLoadUnreachableServer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", "http://127.0.0.1:1", "-clients", "2", "-ops", "2",
+	}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d against a dead server, want 1\nstderr: %s", code, errOut.String())
+	}
+}

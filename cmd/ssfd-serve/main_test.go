@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// syncBuffer lets the test read the daemon's stdout while run() is still
+// writing it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`http://[0-9.]+:[0-9]+`)
+
+// startDaemon runs the daemon on a free port and returns its base URL, the
+// signal channel that stops it, and the channel its exit code lands on.
+func startDaemon(t *testing.T, args []string) (string, chan<- os.Signal, <-chan int, *syncBuffer) {
+	t.Helper()
+	stop := make(chan os.Signal, 1)
+	stdout := &syncBuffer{}
+	stderr := &syncBuffer{}
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), stop, stdout, stderr)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if url := addrRe.FindString(stdout.String()); url != "" {
+			return url, stop, exit, stdout
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("daemon exited early with %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address\nstdout: %s\nstderr: %s", stdout, stderr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeDrainOnSignal is the daemon's end-to-end: start it, drive real
+// HTTP traffic, SIGTERM it, and require a graceful drain with a clean
+// conformance verdict (exit 0).
+func TestServeDrainOnSignal(t *testing.T) {
+	url, stop, exit, stdout := startDaemon(t, []string{"-nodes", "3", "-t", "1", "-conform"})
+	ctx := context.Background()
+	client := &serve.Client{BaseURL: url}
+
+	id, err := client.Propose(ctx, 42)
+	if err != nil {
+		t.Fatalf("Propose over TCP: %v", err)
+	}
+	st, err := client.Instance(ctx, id, true)
+	if err != nil || st.Value == nil || *st.Value != 42 {
+		t.Fatalf("Instance = %+v, %v", st, err)
+	}
+	if _, err := client.CAS(ctx, "boot", nil, 7); err != nil {
+		t.Fatalf("CAS over TCP: %v", err)
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d\n%s", code, stdout)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+	out := stdout.String()
+	for _, want := range []string{"draining", "conformance: checked", "kv keys"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "NoSuchAlg"},
+		{"-model", "RS"},
+		{"-detector", "nosuch"},
+		{"-faults", "loss=banana"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		stop := make(chan os.Signal)
+		var out, errOut bytes.Buffer
+		if code := run(args, stop, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+	}
+}

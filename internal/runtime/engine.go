@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	stdruntime "runtime"
 	"sync"
@@ -18,16 +19,32 @@ import (
 // Engine metric names.
 const (
 	// MetricEngineUnknownInstance counts inbound round messages carrying an
-	// instance id outside the engine's configured range — dropped at the
+	// instance id outside the engine's opened range — dropped at the
 	// demultiplexer (stray traffic from a misconfigured peer, or corruption
 	// that survived decoding).
 	MetricEngineUnknownInstance = "ssfd_engine_unknown_instance_total"
 	// MetricEngineInstancesDecided counts (instance, node) decisions.
 	MetricEngineInstancesDecided = "ssfd_engine_decisions_total"
+	// MetricEngineInstancesOpened counts instances admitted by Open.
+	MetricEngineInstancesOpened = "ssfd_engine_instances_opened_total"
+	// MetricEngineInstancesDone counts instances that ran to completion.
+	MetricEngineInstancesDone = "ssfd_engine_instances_done_total"
+)
+
+// Engine lifecycle errors.
+var (
+	// ErrEngineDraining is returned by Open once Drain or Close has been
+	// called: the engine finishes its in-flight instances but admits no new
+	// ones (a serving daemon maps this to HTTP 503).
+	ErrEngineDraining = errors.New("runtime: engine draining, not admitting instances")
+	// ErrEngineClosed resolves an instance that was still in flight when the
+	// engine tore down before it could complete (only possible after an
+	// engine abort — a clean Close waits in-flight instances out).
+	ErrEngineClosed = errors.New("runtime: engine closed before the instance completed")
 )
 
 // EngineConfig assembles a shared-mesh multi-instance execution: N nodes,
-// ONE physical mesh, ONE failure detector per node, and Instances
+// ONE physical mesh, ONE failure detector per node, and any number of
 // concurrent consensus instances multiplexed over them.
 //
 // The engine runs the RWS (receive-or-suspect) discipline only. RS rounds
@@ -36,12 +53,14 @@ const (
 // nor amortizes anything — the paper's efficiency argument for sharing is
 // about the detector, an RWS-only device.
 type EngineConfig struct {
-	// Instances is the number of concurrent consensus instances (ids
-	// 0..Instances-1 on the wire).
+	// Instances is the number of concurrent consensus instances RunEngine
+	// executes (ids 0..Instances-1 on the wire). StartEngine ignores it:
+	// a live engine admits instances dynamically through Open.
 	Instances int
 	// N is the cluster size, T the resilience bound.
 	N, T int
-	// Initial yields node id's proposal in instance inst. Nil proposes 0
+	// Initial yields node id's proposal in instance inst (RunEngine only;
+	// Open takes the proposal function per instance). Nil proposes 0
 	// everywhere.
 	Initial func(inst int, id model.ProcessID) model.Value
 
@@ -92,14 +111,107 @@ type EngineConfig struct {
 	// packet delays every instance riding in it, exactly like a real link.
 	Faults *faults.Config
 
+	// OnInstanceDone, when non-nil, is invoked once per instance when its
+	// last automaton halts, from the owning worker goroutine — it must not
+	// block (a slow callback stalls every instance sharded to that worker).
+	// A serving layer uses it to resolve waiters and feed its conformance
+	// monitor without a goroutine per instance.
+	OnInstanceDone func(inst uint64, out InstanceOutcome)
+
 	// Metrics receives the engine's instruments; nil uses obs.Default.
 	// There is no Events sink: per-event streams at 100k instances would
 	// cost more than the run (use the single-instance cluster to trace).
 	Metrics *obs.Registry
 }
 
+// InstanceOutcome is one completed instance's result across the n nodes.
+type InstanceOutcome struct {
+	N int
+	// Decided and Decisions are indexed id-1.
+	Decided   []bool
+	Decisions []model.Value
+	// WaitTimeouts counts rounds this instance cut short under WaitBound.
+	WaitTimeouts int
+	// Err is non-nil only when the engine tore down (abort or Close) before
+	// the instance completed; the decision slices are then all-undecided.
+	Err error
+}
+
+// Agreement folds the instance's decisions into the three-way verdict.
+func (o InstanceOutcome) Agreement() (model.Value, AgreementStatus) {
+	return agreementOf(o.Decisions, o.Decided)
+}
+
+// Instance is the handle returned by Engine.Open: a future resolved when
+// the instance's last automaton halts.
+type Instance struct {
+	id   uint64
+	done chan struct{}
+
+	mu  sync.Mutex
+	out InstanceOutcome
+	ok  bool
+}
+
+// ID returns the instance's wire id.
+func (h *Instance) ID() uint64 { return h.id }
+
+// Done is closed when the outcome is available.
+func (h *Instance) Done() <-chan struct{} { return h.done }
+
+// Outcome returns the result; ok is false while the instance is in flight.
+func (h *Instance) Outcome() (InstanceOutcome, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.out, h.ok
+}
+
+func (h *Instance) resolve(out InstanceOutcome) {
+	h.mu.Lock()
+	h.out = out
+	h.ok = true
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// EngineStats is a point-in-time snapshot of a live engine — the numbers a
+// serving daemon's status endpoint reports.
+type EngineStats struct {
+	N, Groups int
+	Algorithm string
+	Detector  string
+
+	Opened    int64 // instances admitted
+	Completed int64 // instances whose every automaton halted
+	InFlight  int64 // Opened - Completed
+
+	DecidedNodes int64 // (instance, node) decisions
+
+	// Agreement verdict tally over completed instances.
+	AgreementNone     int64
+	AgreementReached  int64
+	AgreementViolated int64
+
+	WaitTimeouts         int64
+	UnknownInstanceDrops int64
+
+	// Detector audit, summed over the n shared detectors. Under the engine
+	// no node ever crash-stops, so every suspicion ever raised counts
+	// against strong accuracy.
+	FalseSuspicions    int64
+	Retractions        int64
+	FalselySuspected   int64
+	EncodeErrors       int64
+	DetectorWasPerfect bool
+
+	Uptime time.Duration
+
+	// Cost is the engine's transport accounting so far (per decided node).
+	Cost *obs.CostSummary
+}
+
 // EngineResult aggregates every instance's outcome plus the run's shared
-// cost accounting.
+// cost accounting (the batch RunEngine surface).
 type EngineResult struct {
 	N, Instances int
 
@@ -155,11 +267,13 @@ func (er *EngineResult) DecidedCount() int {
 	return count
 }
 
-// engEvent is one routed round message: a decoded envelope plus the node it
-// was delivered to.
+// engEvent is one worker mailbox entry: either a routed round message (a
+// decoded envelope plus the node it was delivered to) or — when slab is
+// non-nil — an instance registration from Open.
 type engEvent struct {
 	node model.ProcessID
 	env  wire.Envelope
+	slab *instSlab
 }
 
 // mailbox is a worker's unbounded inbox. Unbounded by design: the demux
@@ -177,10 +291,23 @@ func (mb *mailbox) push(ev engEvent) {
 	mb.mu.Lock()
 	mb.q = append(mb.q, ev)
 	mb.mu.Unlock()
+	mb.wake()
+}
+
+// wake nudges the worker without queueing anything.
+func (mb *mailbox) wake() {
 	select {
 	case mb.notify <- struct{}{}:
 	default:
 	}
+}
+
+// empty reports whether the queue is drained (used by the shutdown check:
+// a closing worker may not exit with a registration still queued).
+func (mb *mailbox) empty() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.q) == 0
 }
 
 // drain swaps the queue against the (emptied) spare buffer.
@@ -204,7 +331,7 @@ type instRow struct {
 // the engine's replacement for a whole Node goroutine.
 type instState struct {
 	proc rounds.Process
-	inst uint32
+	slab *instSlab
 	id   model.ProcessID
 
 	round    int32 // round currently executing; 0 = halted
@@ -219,6 +346,17 @@ type instState struct {
 	waitTimeouts int32
 }
 
+// instSlab is one instance's n automata, allocated as a unit when the
+// instance is opened and released as a unit when the last automaton halts.
+// Keeping each instance in its own slab gives the worker stable automaton
+// pointers across dynamic registration (a single growing states slice
+// would invalidate pointers on every append).
+type instSlab struct {
+	inst      uint64
+	states    []instState // index id-1
+	remaining int         // automata not yet halted
+}
+
 // engWorker owns the instances k with k mod Groups == idx and advances
 // their n automata from its mailbox.
 type engWorker struct {
@@ -227,7 +365,7 @@ type engWorker struct {
 
 	mb     mailbox
 	spare  []engEvent
-	states []instState // localInst*n + (id-1)
+	slabs  []*instSlab // index inst/Groups; nil once the instance completed
 	active int
 	dirty  []*instState
 
@@ -236,9 +374,10 @@ type engWorker struct {
 	scratch      []rounds.Message
 }
 
-// engineRun is the shared state of one RunEngine execution.
+// engineRun is the shared state of one engine's lifetime.
 type engineRun struct {
 	cfg       EngineConfig
+	alg       rounds.Algorithm
 	n         int
 	maxRounds int
 	waitBound time.Duration
@@ -251,8 +390,19 @@ type engineRun struct {
 	metrics      nodeMetrics
 	unknown      *obs.Counter
 	decidedCtr   *obs.Counter
+	openedCtr    *obs.Counter
+	doneCtr      *obs.Counter
 	unknownCount atomic.Int64
 	waitTimeouts atomic.Int64
+	decidedNodes atomic.Int64
+
+	opened    atomic.Uint64 // next instance id; demux drops ids at or past it
+	closing   atomic.Bool   // workers exit once idle
+	completed atomic.Int64
+	tally     [3]atomic.Int64 // AgreementStatus tallies over completed instances
+
+	handleMu sync.Mutex
+	handles  map[uint64]*Instance // in-flight only
 
 	abortOnce sync.Once
 	abortCh   chan struct{}
@@ -270,19 +420,68 @@ func (er *engineRun) abort(err error) {
 	er.abortOnce.Do(func() { close(er.abortCh) })
 }
 
-// RunEngine executes cfg.Instances concurrent instances of the algorithm
-// over one shared mesh and returns every instance's outcome. All goroutines
-// are joined before it returns.
-func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
+// finish resolves one completed instance: verdict tally, handle, callback.
+// Called from the owning worker (or from Close for aborted leftovers).
+func (er *engineRun) finish(inst uint64, out InstanceOutcome) {
+	_, status := agreementOf(out.Decisions, out.Decided)
+	er.tally[status].Add(1)
+	er.completed.Add(1)
+	er.doneCtr.Inc()
+	er.handleMu.Lock()
+	h := er.handles[inst]
+	delete(er.handles, inst)
+	er.handleMu.Unlock()
+	if h != nil {
+		h.resolve(out)
+	}
+	if er.cfg.OnInstanceDone != nil {
+		er.cfg.OnInstanceDone(inst, out)
+	}
+}
+
+// Engine is the long-lived form of the shared-mesh runtime: one mesh, one
+// failure detector per node, and consensus instances admitted dynamically
+// through Open — the backing of a consensus-serving daemon. RunEngine is
+// the batch façade over it.
+//
+// Lifecycle: StartEngine brings up detectors, demultiplexers and shard
+// workers; Open admits instances until Drain or Close; Close finishes the
+// in-flight instances, joins every goroutine and tears the mesh down.
+type Engine struct {
+	er  *engineRun
+	reg *obs.Registry
+	ws  *netobs.WireStats
+
+	network interface {
+		Endpoint(model.ProcessID) Transport
+		Close() error
+	}
+	inj *faults.Injector
+
+	stopDemux chan struct{}
+	demuxWG   sync.WaitGroup
+	workerWG  sync.WaitGroup
+
+	start time.Time
+
+	drainMu  sync.Mutex
+	draining bool
+
+	closeOnce sync.Once
+	closeErr  error
+	closedCh  chan struct{}
+}
+
+// StartEngine brings up a live shared-mesh engine and returns once every
+// detector, demultiplexer and shard worker is running. cfg.Instances and
+// cfg.Initial are ignored — instances are admitted through Open.
+func StartEngine(alg rounds.Algorithm, cfg EngineConfig) (*Engine, error) {
 	n := cfg.N
 	if n < 1 {
 		return nil, fmt.Errorf("runtime: engine: empty cluster")
 	}
 	if n > 63 {
 		return nil, fmt.Errorf("runtime: engine: n=%d exceeds the 63-process bound", n)
-	}
-	if cfg.Instances < 1 {
-		return nil, fmt.Errorf("runtime: engine: need at least one instance")
 	}
 	if cfg.HeartbeatPeriod <= 0 {
 		cfg.HeartbeatPeriod = 2 * time.Millisecond
@@ -302,14 +501,11 @@ func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
 			cfg.Groups = 8
 		}
 	}
-	if cfg.Groups > cfg.Instances {
+	if cfg.Instances > 0 && cfg.Groups > cfg.Instances {
 		cfg.Groups = cfg.Instances
 	}
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 1 << 15
-	}
-	if cfg.Initial == nil {
-		cfg.Initial = func(int, model.ProcessID) model.Value { return 0 }
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -323,6 +519,7 @@ func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
 	ws := netobs.NewWireStats(reg)
 	er := &engineRun{
 		cfg:        cfg,
+		alg:        alg,
 		n:          n,
 		maxRounds:  cfg.MaxRounds,
 		waitBound:  cfg.WaitBound,
@@ -332,6 +529,9 @@ func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
 		metrics:    newNodeMetrics(reg, alg.Name(), rounds.RWS),
 		unknown:    reg.Counter(MetricEngineUnknownInstance),
 		decidedCtr: reg.Counter(MetricEngineInstancesDecided),
+		openedCtr:  reg.Counter(MetricEngineInstancesOpened),
+		doneCtr:    reg.Counter(MetricEngineInstancesDone),
+		handles:    make(map[uint64]*Instance),
 		abortCh:    make(chan struct{}),
 	}
 
@@ -341,7 +541,7 @@ func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
 			MaxDelay: time.Millisecond, Metrics: reg, Buffer: cfg.Buffer,
 		})
 	}
-	defer func() { _ = network.Close() }()
+	cleanupNetwork := func() { _ = network.Close() }
 
 	var inj *faults.Injector
 	if cfg.Faults != nil {
@@ -350,7 +550,11 @@ func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
 			fcfg.Metrics = reg
 		}
 		inj = faults.NewInjector(fcfg)
-		defer func() { _ = inj.Close() }()
+	}
+	cleanupInjector := func() {
+		if inj != nil {
+			_ = inj.Close()
+		}
 	}
 
 	// Per-node plumbing: endpoint → (injector) → {detector, batcher, demux}.
@@ -377,6 +581,11 @@ func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
 			for j := 1; j < i; j++ {
 				er.fds[j].Stop()
 			}
+			for j := 1; j < i; j++ {
+				_ = er.batchers[j].Close()
+			}
+			cleanupInjector()
+			cleanupNetwork()
 			return nil, fmt.Errorf("runtime: engine node %d: detector %q: %w", i, spec.Name, err)
 		}
 		d.Instrument(reg, nil)
@@ -384,105 +593,284 @@ func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
 		er.fds[i] = d
 		er.batchers[i] = NewBatcher(tr, bcfg)
 	}
-	defer func() {
-		for i := 1; i <= n; i++ {
-			_ = er.batchers[i].Close()
-		}
-	}()
 
-	// Shard the instances: worker w owns instances {k : k mod Groups == w}.
+	// Shard workers: worker w owns instances {k : k mod Groups == w}.
 	er.workers = make([]*engWorker, cfg.Groups)
 	for w := range er.workers {
-		owned := (cfg.Instances - w + cfg.Groups - 1) / cfg.Groups
 		ew := &engWorker{
 			run:      er,
 			idx:      w,
-			states:   make([]instState, owned*n),
-			active:   owned * n,
 			suspects: make([]model.ProcSet, n+1),
 			scratch:  make([]rounds.Message, n+1),
 		}
 		ew.mb.notify = make(chan struct{}, 1)
-		for local := 0; local < owned; local++ {
-			inst := local*cfg.Groups + w
-			for i := 1; i <= n; i++ {
-				id := model.ProcessID(i)
-				st := &ew.states[local*n+i-1]
-				st.proc = alg.New(rounds.ProcConfig{ID: id, N: n, T: cfg.T, Initial: cfg.Initial(inst, id)})
-				st.inst = uint32(inst)
-				st.id = id
-				st.round = 1
-				st.rows = make([]instRow, cfg.MaxRounds+1)
-			}
-		}
 		er.workers[w] = ew
 	}
 
-	start := time.Now()
+	e := &Engine{
+		er:        er,
+		reg:       reg,
+		ws:        ws,
+		network:   network,
+		inj:       inj,
+		stopDemux: make(chan struct{}),
+		start:     time.Now(),
+		closedCh:  make(chan struct{}),
+	}
 	for i := 1; i <= n; i++ {
 		er.fds[i].Start()
 	}
 	// One demux goroutine per node feeds the detector and routes round
 	// traffic to the owning worker.
-	var demuxWG sync.WaitGroup
-	stopDemux := make(chan struct{})
 	for i := 1; i <= n; i++ {
-		demuxWG.Add(1)
-		go er.demuxLoop(&demuxWG, model.ProcessID(i), endpoints[i], stopDemux)
+		e.demuxWG.Add(1)
+		go er.demuxLoop(&e.demuxWG, model.ProcessID(i), endpoints[i], e.stopDemux)
 	}
-	var workerWG sync.WaitGroup
 	for _, w := range er.workers {
-		workerWG.Add(1)
-		go w.loop(&workerWG)
+		e.workerWG.Add(1)
+		go w.loop(&e.workerWG)
 	}
-	workerWG.Wait()
-	elapsed := time.Since(start)
+	return e, nil
+}
 
-	for i := 1; i <= n; i++ {
-		er.fds[i].Stop()
+// Open admits one consensus instance: node id proposes initial(id) (nil
+// proposes 0 everywhere). The returned handle resolves when every automaton
+// has halted. Open fails with ErrEngineDraining after Drain or Close.
+func (e *Engine) Open(initial func(model.ProcessID) model.Value) (*Instance, error) {
+	er := e.er
+	n := er.n
+	// The drain lock orders Open against Close: once Close flips draining,
+	// every admitted instance's registration is already in its worker's
+	// mailbox, so the workers' exit check (closing && idle && empty
+	// mailbox) cannot strand a registration.
+	e.drainMu.Lock()
+	defer e.drainMu.Unlock()
+	if e.draining {
+		return nil, ErrEngineDraining
 	}
-	close(stopDemux)
-	demuxWG.Wait()
+	id := er.opened.Add(1) - 1
+	h := &Instance{id: id, done: make(chan struct{})}
+	er.handleMu.Lock()
+	er.handles[id] = h
+	er.handleMu.Unlock()
+
+	sl := &instSlab{inst: id, states: make([]instState, n), remaining: n}
+	for i := 1; i <= n; i++ {
+		var v model.Value
+		if initial != nil {
+			v = initial(model.ProcessID(i))
+		}
+		st := &sl.states[i-1]
+		st.proc = er.alg.New(rounds.ProcConfig{ID: model.ProcessID(i), N: n, T: er.cfg.T, Initial: v})
+		st.slab = sl
+		st.id = model.ProcessID(i)
+		st.round = 1
+		st.rows = make([]instRow, er.maxRounds+1)
+	}
+	er.openedCtr.Inc()
+	er.workers[int(id%uint64(len(er.workers)))].mb.push(engEvent{slab: sl})
+	return h, nil
+}
+
+// OpenValue admits an instance where every node proposes the same value —
+// the state-machine-replication case (one client command per slot).
+func (e *Engine) OpenValue(v model.Value) (*Instance, error) {
+	return e.Open(func(model.ProcessID) model.Value { return v })
+}
+
+// Drain stops admitting new instances; in-flight ones keep running.
+func (e *Engine) Drain() {
+	e.drainMu.Lock()
+	e.draining = true
+	e.drainMu.Unlock()
+}
+
+// Closed is closed once Close has fully torn the engine down.
+func (e *Engine) Closed() <-chan struct{} { return e.closedCh }
+
+// N returns the cluster size.
+func (e *Engine) N() int { return e.er.n }
+
+// Algorithm returns the algorithm the engine runs.
+func (e *Engine) Algorithm() rounds.Algorithm { return e.er.alg }
+
+// Err returns the engine's first fatal error, if any.
+func (e *Engine) Err() error {
+	e.er.abortMu.Lock()
+	defer e.er.abortMu.Unlock()
+	return e.er.abortErr
+}
+
+// Stats snapshots the engine. Safe to call concurrently with everything,
+// including after Close.
+func (e *Engine) Stats() EngineStats {
+	er := e.er
+	s := EngineStats{
+		N:                    er.n,
+		Groups:               len(er.workers),
+		Algorithm:            er.alg.Name(),
+		Opened:               int64(er.opened.Load()),
+		Completed:            er.completed.Load(),
+		DecidedNodes:         er.decidedNodes.Load(),
+		AgreementNone:        er.tally[AgreementNone].Load(),
+		AgreementReached:     er.tally[AgreementReached].Load(),
+		AgreementViolated:    er.tally[AgreementViolated].Load(),
+		WaitTimeouts:         er.waitTimeouts.Load(),
+		UnknownInstanceDrops: er.unknownCount.Load(),
+		Uptime:               time.Since(e.start),
+	}
+	s.InFlight = s.Opened - s.Completed
+	for i := 1; i <= er.n; i++ {
+		fd := er.fds[i]
+		s.Detector = fd.Name()
+		s.FalseSuspicions += fd.FalseSuspicions()
+		s.Retractions += fd.Retractions()
+		s.EncodeErrors += fd.EncodeErrors()
+		// Under the engine no node ever crash-stops (instances have no crash
+		// plans), so every suspicion ever raised is a perfection violation.
+		s.FalselySuspected += int64(fd.EverSuspected().Count())
+	}
+	s.DetectorWasPerfect = s.FalseSuspicions == 0 && s.FalselySuspected == 0
+	var links *netobs.LinkTap
+	if ts, ok := e.network.(TelemetrySource); ok {
+		links = ts.Telemetry()
+	}
+	s.Cost = netobs.ComputeCost(int(s.DecidedNodes), e.ws, links)
+	return s
+}
+
+// Close drains the engine, waits the in-flight instances out, joins every
+// goroutine and tears the mesh down. Idempotent; returns the engine's first
+// fatal error, if any. Instances still unresolved after the workers exit
+// (possible only on abort) are failed with ErrEngineClosed or the abort
+// error.
+func (e *Engine) Close() error {
+	e.Drain()
+	e.closeOnce.Do(func() {
+		er := e.er
+		er.closing.Store(true)
+		for _, w := range er.workers {
+			w.mb.wake()
+		}
+		e.workerWG.Wait()
+		for i := 1; i <= er.n; i++ {
+			er.fds[i].Stop()
+		}
+		close(e.stopDemux)
+		e.demuxWG.Wait()
+		for i := 1; i <= er.n; i++ {
+			_ = er.batchers[i].Close()
+		}
+		if e.inj != nil {
+			_ = e.inj.Close()
+		}
+		_ = e.network.Close()
+
+		er.abortMu.Lock()
+		err := er.abortErr
+		er.abortMu.Unlock()
+		// Fail whatever is still pending (aborted workers leave instances
+		// behind); finish() keeps the tallies and callbacks consistent.
+		er.handleMu.Lock()
+		var stranded []uint64
+		for id := range er.handles {
+			stranded = append(stranded, id)
+		}
+		er.handleMu.Unlock()
+		for _, id := range stranded {
+			ferr := err
+			if ferr == nil {
+				ferr = ErrEngineClosed
+			}
+			er.finish(id, InstanceOutcome{
+				N:         er.n,
+				Decided:   make([]bool, er.n),
+				Decisions: make([]model.Value, er.n),
+				Err:       ferr,
+			})
+		}
+		netobs.PublishCost(e.reg, netobs.ComputeCost(int(er.decidedNodes.Load()), e.ws, e.links()))
+		e.closeErr = err
+		close(e.closedCh)
+	})
+	return e.closeErr
+}
+
+func (e *Engine) links() *netobs.LinkTap {
+	if ts, ok := e.network.(TelemetrySource); ok {
+		return ts.Telemetry()
+	}
+	return nil
+}
+
+// RunEngine executes cfg.Instances concurrent instances of the algorithm
+// over one shared mesh and returns every instance's outcome. All goroutines
+// are joined before it returns. It is the batch façade over StartEngine.
+func RunEngine(alg rounds.Algorithm, cfg EngineConfig) (*EngineResult, error) {
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("runtime: engine: need at least one instance")
+	}
+	initial := cfg.Initial
+	if initial == nil {
+		initial = func(int, model.ProcessID) model.Value { return 0 }
+	}
+	e, err := StartEngine(alg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := e.er.n
+
+	start := time.Now()
+	handles := make([]*Instance, cfg.Instances)
+	for k := range handles {
+		k := k
+		h, err := e.Open(func(id model.ProcessID) model.Value { return initial(k, id) })
+		if err != nil {
+			_ = e.Close()
+			return nil, err
+		}
+		handles[k] = h
+	}
+wait:
+	for _, h := range handles {
+		select {
+		case <-h.Done():
+		case <-e.er.abortCh:
+			break wait
+		}
+	}
+	elapsed := time.Since(start)
+	err = e.Close()
 
 	res := &EngineResult{
 		N: n, Instances: cfg.Instances,
 		Decided:              make([]bool, cfg.Instances*n),
 		Decisions:            make([]model.Value, cfg.Instances*n),
-		WaitTimeouts:         er.waitTimeouts.Load(),
-		UnknownInstanceDrops: er.unknownCount.Load(),
+		WaitTimeouts:         e.er.waitTimeouts.Load(),
+		UnknownInstanceDrops: e.er.unknownCount.Load(),
 		Elapsed:              elapsed,
 	}
-	for _, w := range er.workers {
-		for s := range w.states {
-			st := &w.states[s]
-			if st.decided {
-				idx := int(st.inst)*n + int(st.id) - 1
-				res.Decided[idx] = true
-				res.Decisions[idx] = st.decision
+	for k, h := range handles {
+		out, ok := h.Outcome()
+		if !ok {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if out.Decided[i] {
+				res.Decided[k*n+i] = true
+				res.Decisions[k*n+i] = out.Decisions[i]
 			}
 		}
 	}
-	for i := 1; i <= n; i++ {
-		fd := er.fds[i]
-		res.FalseSuspicions += fd.FalseSuspicions()
-		res.Retractions += fd.Retractions()
-		res.EncodeErrors += fd.EncodeErrors()
-		// Under the engine no node ever crash-stops (instances have no crash
-		// plans), so every suspicion ever raised is a perfection violation.
-		res.FalselySuspected += int64(fd.EverSuspected().Count())
-	}
-	res.DetectorWasPerfect = res.FalseSuspicions == 0 && res.FalselySuspected == 0
-
-	if ts, ok := network.(TelemetrySource); ok {
-		res.Links = ts.Telemetry()
-	}
-	res.Cost = netobs.ComputeCost(res.DecidedCount(), ws, res.Links)
-	res.WireKinds = ws.PerKind()
-	netobs.PublishCost(reg, res.Cost)
-
-	er.abortMu.Lock()
-	err := er.abortErr
-	er.abortMu.Unlock()
+	st := e.Stats()
+	res.FalseSuspicions = st.FalseSuspicions
+	res.Retractions = st.Retractions
+	res.EncodeErrors = st.EncodeErrors
+	res.FalselySuspected = st.FalselySuspected
+	res.DetectorWasPerfect = st.DetectorWasPerfect
+	res.Links = e.links()
+	res.Cost = netobs.ComputeCost(res.DecidedCount(), e.ws, res.Links)
+	res.WireKinds = e.ws.PerKind()
 	return res, err
 }
 
@@ -508,23 +896,40 @@ func (er *engineRun) demuxLoop(wg *sync.WaitGroup, id model.ProcessID, tr Transp
 					er.metrics.heartbeats.Inc()
 					return nil
 				}
-				if env.Instance >= uint64(er.cfg.Instances) ||
+				if env.Instance >= er.opened.Load() ||
 					env.From < 1 || int(env.From) > er.n {
 					er.unknown.Inc()
 					er.unknownCount.Add(1)
 					return nil
 				}
-				er.workers[int(env.Instance)%len(er.workers)].mb.push(engEvent{node: id, env: env})
+				er.workers[int(env.Instance%uint64(len(er.workers)))].mb.push(engEvent{node: id, env: env})
 				return nil
 			})
 		}
 	}
 }
 
-// stateFor maps a routed event to the automaton it addresses.
-func (w *engWorker) stateFor(inst uint32, id model.ProcessID) *instState {
+// slabFor maps an instance id to its slab, or nil once it completed (late
+// duplicates for a finished instance are dropped).
+func (w *engWorker) slabFor(inst uint64) *instSlab {
 	local := int(inst) / len(w.run.workers)
-	return &w.states[local*w.run.n+int(id)-1]
+	if local >= len(w.slabs) {
+		return nil
+	}
+	return w.slabs[local]
+}
+
+// register files a newly opened instance with its owning worker.
+func (w *engWorker) register(sl *instSlab) {
+	local := int(sl.inst) / len(w.run.workers)
+	for len(w.slabs) <= local {
+		w.slabs = append(w.slabs, nil)
+	}
+	w.slabs[local] = sl
+	w.active += len(sl.states)
+	for i := range sl.states {
+		w.enqueue(&sl.states[i])
+	}
 }
 
 // enqueue marks st for advancement in the current sweep.
@@ -539,8 +944,13 @@ func (w *engWorker) enqueue(st *instState) {
 // enqueueAll schedules a full rescan — suspicion changed or a WaitBound
 // deadline passed, either of which can complete any blocked round.
 func (w *engWorker) enqueueAll() {
-	for s := range w.states {
-		w.enqueue(&w.states[s])
+	for _, sl := range w.slabs {
+		if sl == nil {
+			continue
+		}
+		for i := range sl.states {
+			w.enqueue(&sl.states[i])
+		}
 	}
 }
 
@@ -573,7 +983,6 @@ func (w *engWorker) loop(wg *sync.WaitGroup) {
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
 
-	w.enqueueAll() // round 1 bootstrap: every automaton sends
 	for {
 		if w.refreshSuspects() {
 			w.enqueueAll()
@@ -581,6 +990,7 @@ func (w *engWorker) loop(wg *sync.WaitGroup) {
 		events := w.mb.drain(w.spare)
 		for i := range events {
 			w.deliver(&events[i])
+			events[i] = engEvent{} // drop slab/payload references for reuse
 		}
 		w.spare = events
 		if !w.nextDeadline.IsZero() && time.Now().After(w.nextDeadline) {
@@ -600,7 +1010,11 @@ func (w *engWorker) loop(wg *sync.WaitGroup) {
 				w.run.abort(err)
 			}
 		}
-		if w.active == 0 {
+		// A long-lived engine's workers idle through empty sweeps; they only
+		// exit once the engine is closing, every owned automaton has halted
+		// and no registration is waiting in the mailbox (Close orders Open
+		// registrations strictly before the closing flag).
+		if w.active == 0 && w.run.closing.Load() && w.mb.empty() {
 			return
 		}
 		select {
@@ -612,9 +1026,18 @@ func (w *engWorker) loop(wg *sync.WaitGroup) {
 	}
 }
 
-// deliver files one round message into its automaton's row.
+// deliver files one mailbox event: a registration, or a round message into
+// its automaton's row.
 func (w *engWorker) deliver(ev *engEvent) {
-	st := w.stateFor(uint32(ev.env.Instance), ev.node)
+	if ev.slab != nil {
+		w.register(ev.slab)
+		return
+	}
+	sl := w.slabFor(ev.env.Instance)
+	if sl == nil {
+		return // instance completed (late duplicate) or never registered
+	}
+	st := &sl.states[int(ev.node)-1]
 	r := ev.env.Round
 	if st.round == 0 || r < int(st.round) || r > w.run.maxRounds {
 		return // automaton halted, round already closed, or out of range
@@ -685,6 +1108,7 @@ func (w *engWorker) advance(st *instState) {
 				st.decided = true
 				st.decision = v
 				w.run.decidedCtr.Inc()
+				w.run.decidedNodes.Add(1)
 			}
 		}
 		st.round++
@@ -696,12 +1120,33 @@ func (w *engWorker) advance(st *instState) {
 	}
 }
 
-// halt retires an automaton.
+// halt retires an automaton; when it is the instance's last one, the slab
+// is released and the instance resolved.
 func (w *engWorker) halt(st *instState) {
-	if st.round != 0 {
-		st.round = 0
-		w.active--
+	if st.round == 0 {
+		return
 	}
+	st.round = 0
+	w.active--
+	sl := st.slab
+	sl.remaining--
+	if sl.remaining > 0 {
+		return
+	}
+	n := w.run.n
+	out := InstanceOutcome{
+		N:         n,
+		Decided:   make([]bool, n),
+		Decisions: make([]model.Value, n),
+	}
+	for i := range sl.states {
+		s := &sl.states[i]
+		out.Decided[i] = s.decided
+		out.Decisions[i] = s.decision
+		out.WaitTimeouts += int(s.waitTimeouts)
+	}
+	w.slabs[int(sl.inst)/len(w.run.workers)] = nil
+	w.run.finish(sl.inst, out)
 }
 
 // sendRound transmits st's round-r messages through the owning node's
@@ -726,7 +1171,7 @@ func (w *engWorker) sendRound(st *instState, r int) error {
 		if err != nil {
 			return err
 		}
-		env.Instance = uint64(st.inst)
+		env.Instance = st.slab.inst
 		data, err := w.run.codec.Encode(env)
 		if err != nil {
 			return err

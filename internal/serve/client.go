@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/model"
+)
+
+// Client errors.
+var (
+	// ErrKeyNotFound: GET on a key with no committed versions.
+	ErrKeyNotFound = errors.New("serve: key not found")
+	// ErrDraining: the server answered 503 — it is shutting down.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrTimeout: the server answered 504 — consensus outran the wait
+	// budget; the operation may still commit, retry and observe.
+	ErrTimeout = errors.New("serve: consensus timed out; retry")
+)
+
+// Client is the HTTP client library for the serving API, shared by
+// ssfd-load, the CLIs and the test battery.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the transport; nil uses http.DefaultClient. Tests inject an
+	// in-process RoundTripper here to drive thousands of clients without
+	// sockets.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (when
+// non-nil), translating the API's error statuses into typed errors.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable:
+		return resp.StatusCode, ErrDraining
+	case http.StatusGatewayTimeout:
+		return resp.StatusCode, ErrTimeout
+	}
+	if out != nil && (resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict) {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("serve: bad response body: %w", err)
+		}
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return resp.StatusCode, fmt.Errorf("serve: %s (HTTP %d)", eb.Error, resp.StatusCode)
+		}
+		return resp.StatusCode, fmt.Errorf("serve: HTTP %d", resp.StatusCode)
+	}
+	return resp.StatusCode, nil
+}
+
+// Propose opens a raw instance where every node proposes value.
+func (c *Client) Propose(ctx context.Context, value int64) (uint64, error) {
+	var resp ProposeResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/propose", ProposeRequest{Value: &value}, &resp)
+	return resp.Instance, err
+}
+
+// ProposeValues opens a raw instance with a per-node proposal vector.
+func (c *Client) ProposeValues(ctx context.Context, values []int64) (uint64, error) {
+	var resp ProposeResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/propose", ProposeRequest{Values: values}, &resp)
+	return resp.Instance, err
+}
+
+// Instance reads an instance's status; wait blocks until it completes (or
+// the server's wait budget runs out).
+func (c *Client) Instance(ctx context.Context, id uint64, wait bool) (*InstanceStatus, error) {
+	path := fmt.Sprintf("/v1/instance/%d", id)
+	if wait {
+		path += "?wait=1"
+	}
+	var st InstanceStatus
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Get reads a key's head version; ErrKeyNotFound if nothing committed.
+func (c *Client) Get(ctx context.Context, key string) (*KVVersion, error) {
+	var resp KVGetResponse
+	code, err := c.do(ctx, http.MethodGet, "/v1/kv/"+url.PathEscape(key), nil, &resp)
+	if code == http.StatusNotFound {
+		return nil, ErrKeyNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &KVVersion{Version: resp.Version, Value: model.Value(resp.Value)}, nil
+}
+
+// History reads a key's full version chain (the ground truth the
+// linearizability checker compares client observations against).
+func (c *Client) History(ctx context.Context, key string) ([]KVVersion, error) {
+	var resp KVGetResponse
+	code, err := c.do(ctx, http.MethodGet, "/v1/kv/"+url.PathEscape(key)+"?history=1", nil, &resp)
+	if code == http.StatusNotFound {
+		return nil, ErrKeyNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return resp.History, nil
+}
+
+// CAS executes one check-and-set. The returned response is meaningful on
+// both success (the committed version) and conflict (the winning head,
+// with OK false and a nil error — a conflict is an answer, not a failure).
+func (c *Client) CAS(ctx context.Context, key string, old *int64, val int64) (*CASResponse, error) {
+	var resp CASResponse
+	code, err := c.do(ctx, http.MethodPost, "/v1/kv/"+url.PathEscape(key)+"/cas",
+		CASRequest{Old: old, New: val}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK && code != http.StatusConflict {
+		return nil, fmt.Errorf("serve: cas: HTTP %d", code)
+	}
+	return &resp, nil
+}
+
+// Update runs a read-modify-write loop — the "CAS retried on lost races"
+// client pattern: read the head, apply f, CAS; on conflict, re-read and
+// retry until ctx expires.
+func (c *Client) Update(ctx context.Context, key string, f func(cur *int64) int64) (*KVVersion, error) {
+	for {
+		var old *int64
+		cur, err := c.Get(ctx, key)
+		switch {
+		case err == nil:
+			v := int64(cur.Value)
+			old = &v
+		case errors.Is(err, ErrKeyNotFound):
+			// absent: CAS from nil
+		default:
+			return nil, err
+		}
+		resp, err := c.CAS(ctx, key, old, f(old))
+		if errors.Is(err, ErrTimeout) {
+			continue // the write may or may not have landed; re-read
+		}
+		if err != nil {
+			return nil, err
+		}
+		if resp.OK {
+			return &KVVersion{Version: resp.Version, Value: model.Value(resp.Value), Instance: resp.Instance}, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Status reads GET /v1/status.
+func (c *Client) Status(ctx context.Context) (*StatusReport, error) {
+	var rep StatusReport
+	if _, err := c.do(ctx, http.MethodGet, "/v1/status", nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

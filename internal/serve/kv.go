@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/runtime"
+)
+
+// errCASConflict reports a check-and-set that lost: the key's head did not
+// match the asserted old value. The handler maps it to HTTP 409 with the
+// actual head attached, and the client retries from there.
+var errCASConflict = errors.New("serve: cas conflict")
+
+// errUndecided reports a KV instance that completed without reaching
+// agreement (possible under heavy chaos: every automaton ran out of rounds
+// undecided). The slot is released; the write did not happen.
+var errUndecided = errors.New("serve: consensus instance completed undecided")
+
+// KVVersion is one committed version in a key's chain: version k of a key
+// is the decision of the k-th consensus instance opened for it.
+type KVVersion struct {
+	Version  int         `json:"version"`
+	Value    model.Value `json:"value"`
+	Instance uint64      `json:"instance"`
+}
+
+// kvFlight is one in-flight KV write: the consensus instance opened for a
+// key's next version. Exactly one flight exists per key at a time (the
+// chain construction: version k+1's instance opens only after version k
+// committed), so competing CAS requests wait the flight out and re-check
+// the head instead of opening racing instances for the same slot.
+type kvFlight struct {
+	key  string
+	val  model.Value
+	done chan struct{} // closed once committed or released
+
+	// set before done closes
+	ver *KVVersion
+	err error
+}
+
+// kvKey is one key's state: the committed chain plus the open flight.
+type kvKey struct {
+	versions []KVVersion
+	inflight *kvFlight
+}
+
+// kvStore is the replicated KV: a map of per-key consensus chains over the
+// server's single engine.
+type kvStore struct {
+	srv  *Server
+	mu   sync.Mutex
+	keys map[string]*kvKey
+}
+
+func newKVStore(srv *Server) *kvStore {
+	return &kvStore{srv: srv, keys: make(map[string]*kvKey)}
+}
+
+// KVStats summarizes the store for /v1/status.
+type KVStats struct {
+	Keys     int `json:"keys"`
+	Versions int `json:"versions"`
+	InFlight int `json:"in_flight"`
+}
+
+func (kv *kvStore) Stats() KVStats {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	st := KVStats{Keys: len(kv.keys)}
+	for _, k := range kv.keys {
+		st.Versions += len(k.versions)
+		if k.inflight != nil {
+			st.InFlight++
+		}
+	}
+	return st
+}
+
+// Get returns the key's head version (nil if the key has no committed
+// versions) and, when withHistory is set, a copy of the full chain.
+func (kv *kvStore) Get(key string, withHistory bool) (*KVVersion, []KVVersion) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	k := kv.keys[key]
+	if k == nil || len(k.versions) == 0 {
+		return nil, nil
+	}
+	head := k.versions[len(k.versions)-1]
+	var hist []KVVersion
+	if withHistory {
+		hist = append(hist, k.versions...)
+	}
+	return &head, hist
+}
+
+// matches reports whether the asserted old value matches the head (old nil
+// asserts the key is absent).
+func matches(old *int64, head *KVVersion) bool {
+	if old == nil {
+		return head == nil
+	}
+	return head != nil && int64(head.Value) == *old
+}
+
+// CAS executes one check-and-set: if the key's head matches old, open a
+// consensus instance proposing new at every node and commit its decision
+// as the next version. On a lost race it returns errCASConflict with the
+// head that won. On ctx expiry the flight keeps running — the commit, if
+// the instance decides, still lands, and the retrying client observes it
+// as a conflict.
+func (kv *kvStore) CAS(ctx context.Context, key string, old *int64, val model.Value) (*KVVersion, error) {
+	for {
+		kv.mu.Lock()
+		k := kv.keys[key]
+		var head *KVVersion
+		if k != nil && len(k.versions) > 0 {
+			h := k.versions[len(k.versions)-1]
+			head = &h
+		}
+		if !matches(old, head) {
+			kv.mu.Unlock()
+			return head, errCASConflict
+		}
+		if k != nil && k.inflight != nil {
+			fl := k.inflight
+			kv.mu.Unlock()
+			select {
+			case <-fl.done:
+				continue // re-check the head this flight (maybe) committed
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if k == nil {
+			k = &kvKey{}
+			kv.keys[key] = k
+		}
+		fl := &kvFlight{key: key, val: val, done: make(chan struct{})}
+		k.inflight = fl
+		kv.mu.Unlock()
+
+		// This request owns the slot: open the instance (all n nodes propose
+		// val — the state-machine-replication case) and ride it down.
+		proposals := make([]model.Value, kv.srv.eng.N())
+		for i := range proposals {
+			proposals[i] = val
+		}
+		if _, err := kv.srv.open(proposals, fl); err != nil {
+			kv.release(fl, err)
+			return nil, err
+		}
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			return fl.ver, nil
+		case <-ctx.Done():
+			// The instance keeps running; commit() will land the version.
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// commit lands a completed KV instance: append the decided value as the
+// key's next version and release the flight. Called from the engine's
+// completion callback.
+func (kv *kvStore) commit(fl *kvFlight, inst uint64, out runtime.InstanceOutcome) {
+	v, verdict := out.Agreement()
+	kv.mu.Lock()
+	k := kv.keys[fl.key]
+	switch {
+	case out.Err != nil:
+		fl.err = out.Err
+	case verdict == runtime.AgreementReached:
+		ver := KVVersion{Version: len(k.versions) + 1, Value: v, Instance: inst}
+		k.versions = append(k.versions, ver)
+		fl.ver = &ver
+	case verdict == runtime.AgreementViolated:
+		// Safety violation: refuse to extend the chain from a forked
+		// decision. The monitor (if attached) has already tallied it.
+		fl.err = fmt.Errorf("serve: agreement violated in kv instance for %q", fl.key)
+	default:
+		fl.err = errUndecided
+	}
+	if k != nil && k.inflight == fl {
+		k.inflight = nil
+	}
+	kv.mu.Unlock()
+	close(fl.done)
+}
+
+// release abandons a flight whose instance never opened.
+func (kv *kvStore) release(fl *kvFlight, err error) {
+	kv.mu.Lock()
+	if k := kv.keys[fl.key]; k != nil && k.inflight == fl {
+		k.inflight = nil
+	}
+	fl.err = err
+	kv.mu.Unlock()
+	close(fl.done)
+}

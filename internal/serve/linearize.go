@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckLinearizable verifies a recorded KV workload against the per-key
+// consensus chains. The chain IS the linearization order — every version
+// of a key is the decision of one consensus instance, committed in chain
+// order — so checking is direct rather than a search:
+//
+//  1. each key's chain must be dense (versions 1..len, in order);
+//  2. every operation's observation must exist in the chain: a read or
+//     conflict observing (version, value) must match chain[version-1], and
+//     version 0 ("absent") is only coherent before version 1 commits;
+//  3. every successful CAS must map to exactly one chain slot whose
+//     predecessor's value matches the asserted old value (old nil ⇒ it
+//     created version 1), and no slot is claimed twice;
+//  4. real time is respected per key: if op A completed before op B began
+//     (A.End < B.Start on the shared logical clock), B must observe a
+//     version ≥ A's.
+//
+// The first divergent operation is named in the returned error.
+func CheckLinearizable(chains map[string][]KVVersion, ops []OpRecord) error {
+	for key, chain := range chains {
+		for i, v := range chain {
+			if v.Version != i+1 {
+				return fmt.Errorf("key %s: chain not dense: slot %d holds version %d", key, i, v.Version)
+			}
+		}
+	}
+
+	byKey := make(map[string][]OpRecord)
+	for _, op := range ops {
+		if op.Err != "" {
+			continue // timeouts/errors observed nothing checkable
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+
+	for key, kops := range byKey {
+		chain := chains[key]
+		claimed := make(map[int]int) // version -> index of the CAS that created it
+		for i, op := range kops {
+			if op.Version < 0 || op.Version > len(chain) {
+				return fmt.Errorf("key %s: %s", key, divergent(op, fmt.Sprintf(
+					"observed version %d but the chain has %d versions", op.Version, len(chain))))
+			}
+			if op.Version > 0 && int64(chain[op.Version-1].Value) != op.Value {
+				return fmt.Errorf("key %s: %s", key, divergent(op, fmt.Sprintf(
+					"observed (v%d, %d) but the chain holds (v%d, %d)",
+					op.Version, op.Value, op.Version, int64(chain[op.Version-1].Value))))
+			}
+			if op.Kind != OpCAS || !op.OK {
+				continue
+			}
+			// A winning CAS creates a version: check the slot and its
+			// predecessor against the request.
+			if op.Version == 0 {
+				return fmt.Errorf("key %s: %s", key, divergent(op, "successful cas reported version 0"))
+			}
+			if op.Value != op.New {
+				return fmt.Errorf("key %s: %s", key, divergent(op, fmt.Sprintf(
+					"successful cas committed %d, wrote %d", op.Value, op.New)))
+			}
+			switch {
+			case op.Old == nil && op.Version != 1:
+				return fmt.Errorf("key %s: %s", key, divergent(op, fmt.Sprintf(
+					"cas from absent created version %d, want 1", op.Version)))
+			case op.Old != nil && op.Version == 1:
+				return fmt.Errorf("key %s: %s", key, divergent(op, "cas from a value created version 1"))
+			case op.Old != nil && int64(chain[op.Version-2].Value) != *op.Old:
+				return fmt.Errorf("key %s: %s", key, divergent(op, fmt.Sprintf(
+					"cas asserted old=%d but version %d holds %d",
+					*op.Old, op.Version-1, int64(chain[op.Version-2].Value))))
+			}
+			if prev, dup := claimed[op.Version]; dup {
+				return fmt.Errorf("key %s: %s", key, divergent(op, fmt.Sprintf(
+					"version %d already created by client %d's cas", op.Version, kops[prev].Client)))
+			}
+			claimed[op.Version] = i
+		}
+
+		// Real-time bound: observations must be monotone across
+		// non-overlapping operations. Sort by End and keep a running
+		// prefix-max of observed versions; for each op, every operation
+		// that ended before it started is in the prefix.
+		byEnd := append([]OpRecord(nil), kops...)
+		sort.Slice(byEnd, func(i, j int) bool { return byEnd[i].End < byEnd[j].End })
+		ends := make([]int64, len(byEnd))
+		prefixMax := make([]int, len(byEnd))
+		maxSoFar := 0
+		for i, op := range byEnd {
+			ends[i] = op.End
+			if op.Version > maxSoFar {
+				maxSoFar = op.Version
+			}
+			prefixMax[i] = maxSoFar
+		}
+		for _, op := range kops {
+			// Largest index with End < op.Start.
+			idx := sort.Search(len(ends), func(i int) bool { return ends[i] >= op.Start }) - 1
+			if idx >= 0 && op.Version < prefixMax[idx] {
+				return fmt.Errorf("key %s: %s", key, divergent(op, fmt.Sprintf(
+					"observed version %d after version %d was already observed by a completed operation",
+					op.Version, prefixMax[idx])))
+			}
+		}
+	}
+	return nil
+}
+
+// divergent renders the first divergent operation for the error message.
+func divergent(op OpRecord, why string) string {
+	return fmt.Sprintf("first divergent op: client %d %s key=%s old=%v new=%d -> ok=%v v%d=%d [%d,%d]: %s",
+		op.Client, op.Kind, op.Key, ptr64(op.Old), op.New, op.OK, op.Version, op.Value, op.Start, op.End, why)
+}
+
+func ptr64(p *int64) any {
+	if p == nil {
+		return "nil"
+	}
+	return *p
+}

@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// gatherChains reads every key's full chain off the server — the ground
+// truth the checker compares client observations against.
+func gatherChains(t *testing.T, client *Client, keys int) map[string][]KVVersion {
+	t.Helper()
+	ctx := context.Background()
+	chains := make(map[string][]KVVersion)
+	for k := 0; k < keys; k++ {
+		key := keyName(k)
+		hist, err := client.History(ctx, key)
+		if err == ErrKeyNotFound {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("History(%s): %v", key, err)
+		}
+		chains[key] = hist
+	}
+	return chains
+}
+
+func keyName(k int) string { return "k" + pad3(k) }
+
+func pad3(k int) string {
+	s := "00" + itoa(k)
+	return s[len(s)-3:]
+}
+
+func itoa(k int) string {
+	if k == 0 {
+		return "0"
+	}
+	var b []byte
+	for k > 0 {
+		b = append([]byte{byte('0' + k%10)}, b...)
+		k /= 10
+	}
+	return string(b)
+}
+
+// TestLinearizability is the property test: N concurrent clients hammer
+// overlapping keys; every observed read/CAS history must embed into the
+// per-key consensus-chain order. Runs under -race -count=2 in CI.
+func TestLinearizability(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:      client.BaseURL,
+		HTTP:         client.HTTP,
+		Clients:      16,
+		Keys:         5,
+		OpsPerClient: 25,
+		ReadFraction: 0.4,
+		Seed:         42,
+		RecordOps:    true,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Ops == 0 || rep.CASOk == 0 {
+		t.Fatalf("workload did nothing: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("workload saw %d errors on a clean mesh", rep.Errors)
+	}
+	chains := gatherChains(t, client, 5)
+	if err := CheckLinearizable(chains, rep.Records); err != nil {
+		t.Fatalf("linearizability violated: %v", err)
+	}
+	// Contention sanity: 16 clients on 5 keys must actually have raced.
+	if rep.CASConflicts == 0 {
+		t.Log("no CAS conflicts — surprising under this contention, but legal")
+	}
+}
+
+// --- checker unit tests: each divergence class is actually caught ---
+
+func chainOf(vals ...int64) []KVVersion {
+	var c []KVVersion
+	for i, v := range vals {
+		c = append(c, KVVersion{Version: i + 1, Value: model.Value(v), Instance: uint64(i)})
+	}
+	return c
+}
+
+func TestCheckerAcceptsCleanHistory(t *testing.T) {
+	chains := map[string][]KVVersion{"k000": chainOf(10, 20)}
+	old := int64(10)
+	ops := []OpRecord{
+		{Client: 0, Kind: OpCAS, Key: "k000", Start: 1, End: 2, Old: nil, New: 10, OK: true, Version: 1, Value: 10},
+		{Client: 1, Kind: OpRead, Key: "k000", Start: 3, End: 4, OK: true, Version: 1, Value: 10},
+		{Client: 0, Kind: OpCAS, Key: "k000", Start: 5, End: 6, Old: &old, New: 20, OK: true, Version: 2, Value: 20},
+		{Client: 1, Kind: OpRead, Key: "k000", Start: 7, End: 8, OK: true, Version: 2, Value: 20},
+	}
+	if err := CheckLinearizable(chains, ops); err != nil {
+		t.Fatalf("clean history rejected: %v", err)
+	}
+}
+
+func TestCheckerCatchesStaleRead(t *testing.T) {
+	chains := map[string][]KVVersion{"k000": chainOf(10, 20)}
+	ops := []OpRecord{
+		{Client: 0, Kind: OpRead, Key: "k000", Start: 1, End: 2, OK: true, Version: 2, Value: 20},
+		// Starts after the v2 read completed, yet observes v1: stale.
+		{Client: 1, Kind: OpRead, Key: "k000", Start: 3, End: 4, OK: true, Version: 1, Value: 10},
+	}
+	err := CheckLinearizable(chains, ops)
+	if err == nil || !strings.Contains(err.Error(), "first divergent op") {
+		t.Fatalf("stale read not caught: %v", err)
+	}
+}
+
+func TestCheckerCatchesPhantomValue(t *testing.T) {
+	chains := map[string][]KVVersion{"k000": chainOf(10)}
+	ops := []OpRecord{
+		{Client: 0, Kind: OpRead, Key: "k000", Start: 1, End: 2, OK: true, Version: 1, Value: 99},
+	}
+	if err := CheckLinearizable(chains, ops); err == nil {
+		t.Fatal("phantom value not caught")
+	}
+}
+
+func TestCheckerCatchesBadCASChain(t *testing.T) {
+	chains := map[string][]KVVersion{"k000": chainOf(10, 20)}
+	wrongOld := int64(15)
+	cases := map[string][]OpRecord{
+		"cas with mismatched predecessor": {
+			{Kind: OpCAS, Key: "k000", Start: 1, End: 2, Old: &wrongOld, New: 20, OK: true, Version: 2, Value: 20},
+		},
+		"cas from absent not at version 1": {
+			{Kind: OpCAS, Key: "k000", Start: 1, End: 2, Old: nil, New: 20, OK: true, Version: 2, Value: 20},
+		},
+		"cas committed someone else's value": {
+			{Kind: OpCAS, Key: "k000", Start: 1, End: 2, Old: nil, New: 77, OK: true, Version: 1, Value: 10},
+		},
+		"observed version beyond the chain": {
+			{Kind: OpRead, Key: "k000", Start: 1, End: 2, OK: true, Version: 9, Value: 1},
+		},
+		"successful cas at version 0": {
+			{Kind: OpCAS, Key: "k000", Start: 1, End: 2, Old: nil, New: 5, OK: true, Version: 0, Value: 5},
+		},
+	}
+	for name, ops := range cases {
+		if err := CheckLinearizable(chains, ops); err == nil {
+			t.Errorf("%s: not caught", name)
+		}
+	}
+}
+
+func TestCheckerCatchesDoubleClaim(t *testing.T) {
+	chains := map[string][]KVVersion{"k000": chainOf(10)}
+	ops := []OpRecord{
+		{Client: 0, Kind: OpCAS, Key: "k000", Start: 1, End: 2, Old: nil, New: 10, OK: true, Version: 1, Value: 10},
+		{Client: 1, Kind: OpCAS, Key: "k000", Start: 1, End: 3, Old: nil, New: 10, OK: true, Version: 1, Value: 10},
+	}
+	err := CheckLinearizable(chains, ops)
+	if err == nil || !strings.Contains(err.Error(), "already created") {
+		t.Fatalf("double claim not caught: %v", err)
+	}
+}
+
+func TestCheckerCatchesSparseChain(t *testing.T) {
+	chains := map[string][]KVVersion{"k000": {{Version: 2, Value: 5}}}
+	if err := CheckLinearizable(chains, nil); err == nil {
+		t.Fatal("sparse chain not caught")
+	}
+}
+
+func TestCheckerSkipsErroredOps(t *testing.T) {
+	chains := map[string][]KVVersion{"k000": chainOf(10)}
+	ops := []OpRecord{
+		{Kind: OpCAS, Key: "k000", Start: 1, End: 2, New: 5, Err: "timeout", Version: 7},
+	}
+	if err := CheckLinearizable(chains, ops); err != nil {
+		t.Fatalf("errored op should be skipped: %v", err)
+	}
+}
+
+// TestLoadConfigValidation pins the config guard rails.
+func TestLoadConfigValidation(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{ReadFraction: 2}); err == nil {
+		t.Error("read fraction 2 accepted")
+	}
+	if _, err := RunLoad(context.Background(), LoadConfig{}); err == nil {
+		t.Error("no stop condition accepted")
+	}
+}
+
+// TestLoadDurationBound: a duration-bounded run terminates and reports.
+func TestLoadDurationBound(t *testing.T) {
+	_, client := newTestServer(t, nil)
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL:  client.BaseURL,
+		HTTP:     client.HTTP,
+		Clients:  4,
+		Keys:     3,
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Ops == 0 || rep.OpsPerSec == 0 {
+		t.Fatalf("duration-bounded run did nothing: %s", rep)
+	}
+	if rep.LatencyUS.N == 0 {
+		t.Error("no latency samples")
+	}
+	if !strings.Contains(rep.String(), "ops/sec") {
+		t.Errorf("report string: %s", rep)
+	}
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LoadConfig drives K concurrent closed-loop clients against the KV API —
+// the workload shared by cmd/ssfd-load, the benchmark artifact writer and
+// the end-to-end tests.
+type LoadConfig struct {
+	// BaseURL is the server root; HTTP optionally injects the transport
+	// (in-process tests pass a handler-backed RoundTripper).
+	BaseURL string
+	HTTP    *http.Client
+
+	// Clients is the number of concurrent closed-loop clients (default 8),
+	// Keys the size of the shared key space they collide on (default 16).
+	Clients int
+	Keys    int
+
+	// Duration bounds the run; OpsPerClient (when nonzero) bounds each
+	// client's operation count instead. One of the two must stop the run.
+	Duration     time.Duration
+	OpsPerClient int
+
+	// ReadFraction is the probability an operation is a read (default 0.5).
+	ReadFraction float64
+	// Seed makes the op mix reproducible.
+	Seed int64
+
+	// RecordOps retains every operation with logical start/end stamps for
+	// the linearizability checker. Costs memory; leave off for pure load.
+	RecordOps bool
+}
+
+// OpKind labels a recorded operation.
+type OpKind string
+
+const (
+	OpRead OpKind = "read"
+	OpCAS  OpKind = "cas"
+)
+
+// OpRecord is one client operation as observed from the outside: logical
+// start/end stamps from a global counter (op A happened-before op B iff
+// A.End < B.Start) plus the version the server's answer exposed.
+type OpRecord struct {
+	Client int
+	Kind   OpKind
+	Key    string
+	Start  int64
+	End    int64
+
+	// CAS inputs (Kind == OpCAS).
+	Old *int64
+	New int64
+
+	// Outcome: OK is true for a successful CAS or any completed read.
+	// Version/Value are what the response observed — the committed head for
+	// reads and conflicts, the new version for a winning CAS. Version 0
+	// means "key absent".
+	OK      bool
+	Version int
+	Value   int64
+	Err     string
+}
+
+// LoadReport aggregates one run.
+type LoadReport struct {
+	Clients int           `json:"clients"`
+	Keys    int           `json:"keys"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	Ops          int64 `json:"ops"`
+	Reads        int64 `json:"reads"`
+	CASOk        int64 `json:"cas_ok"`
+	CASConflicts int64 `json:"cas_conflicts"`
+	Timeouts     int64 `json:"timeouts"`
+	Errors       int64 `json:"errors"`
+
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// LatencyUS summarizes per-op latency in microseconds.
+	LatencyUS stats.Int64Summary `json:"latency_us"`
+
+	// Records holds every operation when LoadConfig.RecordOps was set.
+	Records []OpRecord `json:"-"`
+}
+
+// String renders the one-line figure ssfd-load prints.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf(
+		"load: %d clients x %d keys, %d ops in %v -> %.1f ops/sec; reads %d, cas ok %d, conflicts %d, timeouts %d, errors %d; latency us p50=%d p95=%d p99=%d",
+		r.Clients, r.Keys, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec,
+		r.Reads, r.CASOk, r.CASConflicts, r.Timeouts, r.Errors,
+		r.LatencyUS.P50, r.LatencyUS.P95, r.LatencyUS.P99)
+}
+
+// RunLoad executes the workload and aggregates the report. Client k runs a
+// closed loop: pick a key, read it or CAS it (old = the head this client
+// last observed on that key), record the outcome. Conflicts and timeouts
+// are expected traffic under contention, not errors.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 16
+	}
+	if cfg.ReadFraction < 0 || cfg.ReadFraction > 1 {
+		return nil, fmt.Errorf("serve: load: read fraction %v out of [0,1]", cfg.ReadFraction)
+	}
+	if cfg.ReadFraction == 0 {
+		cfg.ReadFraction = 0.5
+	}
+	if cfg.Duration <= 0 && cfg.OpsPerClient <= 0 {
+		return nil, fmt.Errorf("serve: load: need a duration or an op count")
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	var (
+		seq     atomic.Int64 // the logical clock every record stamps from
+		mu      sync.Mutex
+		report  LoadReport
+		lats    []int64
+		records []OpRecord
+		wg      sync.WaitGroup
+	)
+	report.Clients = cfg.Clients
+	report.Keys = cfg.Keys
+	start := time.Now()
+
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(cl)*7919))
+			client := &Client{BaseURL: cfg.BaseURL, HTTP: cfg.HTTP}
+			lastSeen := make(map[string]*int64) // head value this client last observed
+			var myLats []int64
+			var myRecs []OpRecord
+			var ops, reads, casOK, conflicts, timeouts, errs int64
+
+			for op := 0; cfg.OpsPerClient <= 0 || op < cfg.OpsPerClient; op++ {
+				if ctx.Err() != nil {
+					break
+				}
+				key := fmt.Sprintf("k%03d", rng.Intn(cfg.Keys))
+				rec := OpRecord{Client: cl, Key: key, Start: seq.Add(1)}
+				t0 := time.Now()
+				if rng.Float64() < cfg.ReadFraction {
+					rec.Kind = OpRead
+					cur, err := client.Get(ctx, key)
+					switch {
+					case err == nil:
+						rec.OK = true
+						rec.Version = cur.Version
+						rec.Value = int64(cur.Value)
+						v := int64(cur.Value)
+						lastSeen[key] = &v
+						reads++
+					case errors.Is(err, ErrKeyNotFound):
+						rec.OK = true // a committed answer: the key is absent
+						lastSeen[key] = nil
+						reads++
+					default:
+						if ctx.Err() != nil {
+							break
+						}
+						rec.Err = err.Error()
+						errs++
+					}
+				} else {
+					rec.Kind = OpCAS
+					rec.Old = lastSeen[key]
+					rec.New = rng.Int63n(1 << 30)
+					resp, err := client.CAS(ctx, key, rec.Old, rec.New)
+					switch {
+					case err == nil && resp.OK:
+						rec.OK = true
+						rec.Version = resp.Version
+						rec.Value = resp.Value
+						v := resp.Value
+						lastSeen[key] = &v
+						casOK++
+					case err == nil: // conflict: the response names the winning head
+						rec.Version = resp.Version
+						rec.Value = resp.Value
+						if resp.Version > 0 {
+							v := resp.Value
+							lastSeen[key] = &v
+						} else {
+							lastSeen[key] = nil
+						}
+						conflicts++
+					case errors.Is(err, ErrTimeout):
+						// The write may still land; drop the cached head so the
+						// next op re-reads.
+						delete(lastSeen, key)
+						rec.Err = "timeout"
+						timeouts++
+					default:
+						if ctx.Err() != nil {
+							break
+						}
+						delete(lastSeen, key)
+						rec.Err = err.Error()
+						errs++
+					}
+				}
+				if ctx.Err() != nil && rec.Err == "" && !rec.OK {
+					break // the context died mid-op; don't record a phantom
+				}
+				rec.End = seq.Add(1)
+				ops++
+				myLats = append(myLats, time.Since(t0).Microseconds())
+				if cfg.RecordOps {
+					myRecs = append(myRecs, rec)
+				}
+			}
+
+			mu.Lock()
+			report.Ops += ops
+			report.Reads += reads
+			report.CASOk += casOK
+			report.CASConflicts += conflicts
+			report.Timeouts += timeouts
+			report.Errors += errs
+			lats = append(lats, myLats...)
+			records = append(records, myRecs...)
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+
+	report.Elapsed = time.Since(start)
+	if report.Elapsed > 0 {
+		report.OpsPerSec = float64(report.Ops) / report.Elapsed.Seconds()
+	}
+	report.LatencyUS = stats.SummarizeInt64(lats)
+	report.Records = records
+	return &report, nil
+}

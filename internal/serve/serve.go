@@ -1,0 +1,530 @@
+// Package serve turns the shared-mesh runtime engine into a long-lived
+// consensus service: one live cluster (n nodes, one mesh, one failure
+// detector per node) behind an HTTP/JSON API. Raw consensus instances are
+// opened with POST /v1/propose and read back with GET /v1/instance/{id};
+// on top of them the package layers a linearizable check-and-set KV store
+// where each key's version history is a chain of consensus instances — the
+// classic state-machine-replication construction. An optional conformance
+// monitor checks the paper's agreement and validity predicates on every
+// completed instance, in production, not just in tests.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/faults"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/rounds"
+	"repro/internal/runtime"
+)
+
+// Serving metric names.
+const (
+	// MetricServeRequests counts HTTP requests, labeled by route.
+	MetricServeRequests = "ssfd_serve_requests_total"
+	// MetricServeCASOK / MetricServeCASConflicts count the KV CAS verdicts.
+	MetricServeCASOK        = "ssfd_serve_cas_ok_total"
+	MetricServeCASConflicts = "ssfd_serve_cas_conflict_total"
+	// MetricServeDrained counts proposals refused while draining.
+	MetricServeDrained = "ssfd_serve_drained_total"
+)
+
+// Config assembles the serving daemon.
+type Config struct {
+	// N is the cluster size, T the resilience bound.
+	N, T int
+	// Algorithm is the consensus algorithm every instance runs; nil defaults
+	// to FloodSetWS (the engine runs the RWS discipline, where plain
+	// FloodSet's crash-bounded round count does not apply and A1 is
+	// incorrect).
+	Algorithm rounds.Algorithm
+	// Detector selects the failure-detector construction (nil: all-to-all
+	// heartbeat). One detector per node serves every instance.
+	Detector *runtime.DetectorSpec
+	// Groups is the engine's shard-worker count (0: runtime default).
+	Groups int
+
+	HeartbeatPeriod time.Duration
+	SuspectTimeout  time.Duration
+	// MaxRounds bounds every instance (0: T+2).
+	MaxRounds int
+	// WaitBound bounds each round's receive-or-suspect wait. The serving
+	// default is 2s — a server must degrade a starved instance, not park a
+	// client for the engine's 30s batch default.
+	WaitBound time.Duration
+
+	// Faults, when non-nil, interposes the seeded per-link injector under
+	// every node — the chaos-serving configuration.
+	Faults *faults.Config
+
+	// Conform attaches the per-instance conformance monitor: every
+	// completed instance is checked against the paper's agreement and
+	// validity predicates and tallied into /v1/status.
+	Conform bool
+
+	// ProposeTimeout bounds how long a synchronous request (instance wait,
+	// KV CAS) blocks on a decision before answering 504 (default 30s). The
+	// instance keeps running; a timed-out CAS can still commit.
+	ProposeTimeout time.Duration
+	// MaxBody caps request bodies in bytes (default 1 MiB).
+	MaxBody int64
+
+	// Metrics receives the server's and engine's instruments; nil uses
+	// obs.Default.
+	Metrics *obs.Registry
+}
+
+// Server is the consensus-serving daemon: it owns the live engine, the
+// instance registry and the KV chain store, and answers the HTTP API.
+type Server struct {
+	cfg Config
+	eng *runtime.Engine
+	reg *obs.Registry
+
+	insts *instanceRegistry
+	kv    *kvStore
+	mon   *Monitor
+
+	mux      *http.ServeMux
+	draining atomic.Bool
+	start    time.Time
+
+	casOK        *obs.Counter
+	casConflicts *obs.Counter
+	drained      *obs.Counter
+}
+
+// New starts the engine and builds the server. Callers serve s.Handler()
+// however they like (http.Server, in-process transport in tests) and must
+// Shutdown or Close it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = consensus.FloodSetWS{}
+	}
+	if cfg.ProposeTimeout <= 0 {
+		cfg.ProposeTimeout = 30 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.WaitBound <= 0 {
+		cfg.WaitBound = 2 * time.Second
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default
+	}
+	s := &Server{
+		cfg:          cfg,
+		reg:          reg,
+		insts:        newInstanceRegistry(),
+		start:        time.Now(),
+		casOK:        reg.Counter(MetricServeCASOK),
+		casConflicts: reg.Counter(MetricServeCASConflicts),
+		drained:      reg.Counter(MetricServeDrained),
+	}
+	s.kv = newKVStore(s)
+	if cfg.Conform {
+		s.mon = &Monitor{}
+	}
+	eng, err := runtime.StartEngine(cfg.Algorithm, runtime.EngineConfig{
+		N: cfg.N, T: cfg.T,
+		Groups:          cfg.Groups,
+		HeartbeatPeriod: cfg.HeartbeatPeriod,
+		SuspectTimeout:  cfg.SuspectTimeout,
+		Detector:        cfg.Detector,
+		MaxRounds:       cfg.MaxRounds,
+		WaitBound:       cfg.WaitBound,
+		Faults:          cfg.Faults,
+		Metrics:         reg,
+		OnInstanceDone:  s.instanceDone,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	s.buildMux()
+	return s, nil
+}
+
+// instanceDone is the engine callback: resolve the registry record, feed
+// the conformance monitor, and commit any KV flight riding the instance.
+// It runs on a shard-worker goroutine — everything here is a short
+// critical section.
+func (s *Server) instanceDone(inst uint64, out runtime.InstanceOutcome) {
+	rec := s.insts.complete(inst, out)
+	if s.mon != nil && rec != nil {
+		s.mon.Note(inst, rec.proposals, out)
+	}
+	if rec != nil && rec.flight != nil {
+		s.kv.commit(rec.flight, inst, out)
+	}
+}
+
+// Engine exposes the underlying live engine (status, tests).
+func (s *Server) Engine() *runtime.Engine { return s.eng }
+
+// Monitor returns the attached conformance monitor (nil unless
+// Config.Conform).
+func (s *Server) Monitor() *Monitor { return s.mon }
+
+// Draining reports whether the server has stopped admitting proposals.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: new proposals answer 503 immediately,
+// in-flight instances run to their decisions, then the engine tears down.
+// Returns ctx.Err() if the deadline passes first (teardown continues in
+// the background).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.eng.Drain()
+	done := make(chan struct{})
+	go func() {
+		_ = s.eng.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.eng.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown without a deadline.
+func (s *Server) Close() error {
+	return s.Shutdown(context.Background())
+}
+
+// open admits one instance through the engine with the given per-node
+// proposals, registering it before the completion callback can race past.
+func (s *Server) open(proposals []model.Value, fl *kvFlight) (*instRecord, error) {
+	if s.draining.Load() {
+		s.drained.Inc()
+		return nil, runtime.ErrEngineDraining
+	}
+	return s.insts.open(s.eng, proposals, fl)
+}
+
+// --- HTTP surface ---
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/propose", s.handlePropose)
+	mux.HandleFunc("GET /v1/instance/{id}", s.handleInstance)
+	mux.HandleFunc("POST /v1/kv/{key}/cas", s.handleCAS)
+	mux.HandleFunc("GET /v1/kv/{key}", s.handleGet)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.WritePrometheus(w, s.reg.Snapshot())
+	})
+	s.mux = mux
+}
+
+// Handler returns the server's HTTP handler. Every /v1/ response is JSON —
+// including the mux's own 404/405 verdicts, which jsonErrWriter rewrites so
+// clients never parse a plain-text error page.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter(obs.Label(MetricServeRequests, "method", r.Method)).Inc()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+		}
+		s.mux.ServeHTTP(&jsonErrWriter{ResponseWriter: w}, r)
+	})
+}
+
+// jsonErrWriter rewrites the mux's built-in plain-text 404/405 responses
+// into the API's JSON error shape. The API's own JSON errors pass through
+// untouched — they set application/json before writing the status.
+type jsonErrWriter struct {
+	http.ResponseWriter
+	suppress bool
+}
+
+func (w *jsonErrWriter) WriteHeader(code int) {
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed ||
+		code == http.StatusMovedPermanently) &&
+		w.Header().Get("Content-Type") != "application/json" {
+		w.suppress = true
+		msg := "no such route"
+		switch code {
+		case http.StatusMethodNotAllowed:
+			msg = "method not allowed"
+		case http.StatusMovedPermanently:
+			// The mux canonicalized the path; Location carries the target.
+			msg = "moved: " + w.Header().Get("Location")
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(code)
+		_ = json.NewEncoder(w.ResponseWriter).Encode(errorBody{Error: msg})
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *jsonErrWriter) Write(b []byte) (int, error) {
+	if w.suppress {
+		return len(b), nil // swallow the mux's text body; JSON already sent
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody decodes a JSON request body into v, mapping oversized bodies
+// to 413 and malformed JSON to 400. Returns false after writing the error.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// ProposeRequest opens a raw consensus instance: either one value every
+// node proposes, or a per-node proposal vector of length n.
+type ProposeRequest struct {
+	Value  *int64  `json:"value,omitempty"`
+	Values []int64 `json:"values,omitempty"`
+}
+
+// ProposeResponse returns the opened instance's id.
+type ProposeResponse struct {
+	Instance uint64 `json:"instance"`
+}
+
+func (s *Server) handlePropose(w http.ResponseWriter, r *http.Request) {
+	var req ProposeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	n := s.eng.N()
+	proposals := make([]model.Value, n)
+	switch {
+	case req.Value != nil && req.Values != nil:
+		writeError(w, http.StatusBadRequest, `give "value" or "values", not both`)
+		return
+	case req.Value != nil:
+		for i := range proposals {
+			proposals[i] = model.Value(*req.Value)
+		}
+	case req.Values != nil:
+		if len(req.Values) != n {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf(`"values" must list %d proposals, got %d`, n, len(req.Values)))
+			return
+		}
+		for i, v := range req.Values {
+			proposals[i] = model.Value(v)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, `need "value" or "values"`)
+		return
+	}
+	rec, err := s.open(proposals, nil)
+	if err != nil {
+		if errors.Is(err, runtime.ErrEngineDraining) {
+			writeError(w, http.StatusServiceUnavailable, "draining: not admitting proposals")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ProposeResponse{Instance: rec.id})
+}
+
+// InstanceStatus is one instance's externally visible state.
+type InstanceStatus struct {
+	Instance  uint64  `json:"instance"`
+	Done      bool    `json:"done"`
+	Agreement string  `json:"agreement,omitempty"`
+	Value     *int64  `json:"value,omitempty"`
+	Decided   []bool  `json:"decided,omitempty"`
+	Decisions []int64 `json:"decisions,omitempty"`
+	Waits     int     `json:"wait_timeouts,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func statusOf(id uint64, out runtime.InstanceOutcome, done bool) InstanceStatus {
+	st := InstanceStatus{Instance: id, Done: done}
+	if !done {
+		return st
+	}
+	if out.Err != nil {
+		st.Error = out.Err.Error()
+	}
+	v, verdict := out.Agreement()
+	st.Agreement = verdict.String()
+	if verdict == runtime.AgreementReached {
+		vv := int64(v)
+		st.Value = &vv
+	}
+	st.Decided = out.Decided
+	st.Decisions = make([]int64, len(out.Decisions))
+	for i, d := range out.Decisions {
+		st.Decisions[i] = int64(d)
+	}
+	st.Waits = out.WaitTimeouts
+	return st
+}
+
+func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad instance id")
+		return
+	}
+	rec := s.insts.get(id)
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no such instance")
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ProposeTimeout)
+		defer cancel()
+		select {
+		case <-rec.handle.Done():
+		case <-ctx.Done():
+			writeError(w, http.StatusGatewayTimeout, "instance still running")
+			return
+		}
+	}
+	out, done := rec.handle.Outcome()
+	writeJSON(w, http.StatusOK, statusOf(id, out, done))
+}
+
+// CASRequest is the check-and-set body: Old nil asserts "key absent".
+type CASRequest struct {
+	Old *int64 `json:"old"`
+	New int64  `json:"new"`
+}
+
+// CASResponse reports the verdict. On success Version/Value name the
+// committed version; on conflict (HTTP 409) they name the head the CAS
+// lost to.
+type CASResponse struct {
+	OK       bool   `json:"ok"`
+	Key      string `json:"key"`
+	Version  int    `json:"version,omitempty"`
+	Value    int64  `json:"value,omitempty"`
+	Instance uint64 `json:"instance,omitempty"`
+}
+
+func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "empty key")
+		return
+	}
+	var req CASRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ProposeTimeout)
+	defer cancel()
+	ver, err := s.kv.CAS(ctx, key, req.Old, model.Value(req.New))
+	switch {
+	case err == nil:
+		s.casOK.Inc()
+		writeJSON(w, http.StatusOK, CASResponse{
+			OK: true, Key: key, Version: ver.Version, Value: int64(ver.Value), Instance: ver.Instance,
+		})
+	case errors.Is(err, errCASConflict):
+		s.casConflicts.Inc()
+		resp := CASResponse{OK: false, Key: key}
+		if ver != nil {
+			resp.Version = ver.Version
+			resp.Value = int64(ver.Value)
+			resp.Instance = ver.Instance
+		}
+		writeJSON(w, http.StatusConflict, resp)
+	case errors.Is(err, runtime.ErrEngineDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining: not admitting proposals")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "consensus still running; retry")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// KVGetResponse answers GET /v1/kv/{key}: the head version, plus the full
+// chain with ?history=1.
+type KVGetResponse struct {
+	Key     string      `json:"key"`
+	Version int         `json:"version"`
+	Value   int64       `json:"value"`
+	History []KVVersion `json:"history,omitempty"`
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	head, history := s.kv.Get(key, r.URL.Query().Get("history") != "")
+	if head == nil {
+		writeError(w, http.StatusNotFound, "no such key")
+		return
+	}
+	writeJSON(w, http.StatusOK, KVGetResponse{
+		Key: key, Version: head.Version, Value: int64(head.Value), History: history,
+	})
+}
+
+// StatusReport answers GET /v1/status.
+type StatusReport struct {
+	Draining bool                `json:"draining"`
+	Engine   runtime.EngineStats `json:"engine"`
+	KV       KVStats             `json:"kv"`
+	Conform  *ConformSummary     `json:"conform,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// Status snapshots the server (the JSON of GET /v1/status).
+func (s *Server) Status() StatusReport {
+	rep := StatusReport{
+		Draining: s.draining.Load(),
+		Engine:   s.eng.Stats(),
+		KV:       s.kv.Stats(),
+	}
+	if s.mon != nil {
+		sum := s.mon.Summary()
+		rep.Conform = &sum
+	}
+	return rep
+}

@@ -29,6 +29,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/abcast"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/rounds"
 	"repro/internal/runtime"
 	"repro/internal/sdd"
+	"repro/internal/serve"
 	"repro/internal/trace"
 	"repro/internal/tracing"
 )
@@ -499,3 +501,77 @@ func ReadChromeTrace(r io.Reader) (*CausalTrace, error) { return tracing.ReadChr
 
 // WriteHTMLTimeline exports tr as a self-contained HTML timeline.
 func WriteHTMLTimeline(tr *CausalTrace, w io.Writer) error { return tr.WriteHTML(w) }
+
+// ---------------------------------------------------------------------------
+// Live serving (internal/runtime engine lifecycle + internal/serve): a
+// long-lived shared-mesh engine that opens consensus instances on demand,
+// and the HTTP/JSON daemon (cmd/ssfd-serve) that exposes raw proposals and
+// a linearizable KV store whose every key version is one consensus
+// decision.
+type (
+	// LiveEngine is a long-lived shared-mesh execution: one physical mesh,
+	// one failure detector per node, consensus instances opened on demand
+	// (Open/OpenValue) instead of the fixed batch RunLiveEngine executes.
+	LiveEngine = runtime.Engine
+	// LiveInstance is one open instance's handle: Done() closes when every
+	// node has halted, Outcome() carries the per-node decisions.
+	LiveInstance = runtime.Instance
+	// InstanceOutcome is a completed instance's per-node outcome; its
+	// Agreement() is the three-way verdict.
+	InstanceOutcome = runtime.InstanceOutcome
+	// LiveEngineStats is a point-in-time read of a running engine's
+	// counters (opened/completed/in-flight, agreement tallies, cost).
+	LiveEngineStats = runtime.EngineStats
+
+	// ServeConfig configures a serving daemon's cluster and HTTP surface.
+	ServeConfig = serve.Config
+	// ServeServer owns one live engine behind the HTTP/JSON API; mount
+	// Handler() on any listener and Shutdown(ctx) to drain gracefully.
+	ServeServer = serve.Server
+	// ServeClient is the typed client for the daemon's API.
+	ServeClient = serve.Client
+	// KVVersion is one committed version of a key: its value plus the
+	// consensus instance that decided it.
+	KVVersion = serve.KVVersion
+	// LoadConfig parameterizes RunServeLoad's closed-loop workload.
+	LoadConfig = serve.LoadConfig
+	// LoadReport aggregates a load run: throughput, latency percentiles
+	// and (with RecordOps) the per-operation records CheckLinearizable
+	// consumes.
+	LoadReport = serve.LoadReport
+	// OpRecord is one recorded client operation of a load run.
+	OpRecord = serve.OpRecord
+)
+
+// ErrKeyNotFound reports a read of a KV key with no committed version;
+// ErrServeDraining a proposal against a draining daemon.
+var (
+	ErrKeyNotFound   = serve.ErrKeyNotFound
+	ErrServeDraining = serve.ErrDraining
+)
+
+// StartLiveEngine boots the shared mesh and detectors of cfg and returns a
+// running engine with no instances; cfg.Instances and cfg.Initial are
+// ignored (instances are opened on demand). Drain() stops admission,
+// Close() drains and tears the mesh down.
+func StartLiveEngine(alg Algorithm, cfg EngineConfig) (*LiveEngine, error) {
+	return runtime.StartEngine(alg, cfg)
+}
+
+// NewServer builds a serving daemon: a live engine plus the HTTP/JSON API
+// (propose, instance, KV CAS/get, status, metrics, health).
+func NewServer(cfg ServeConfig) (*ServeServer, error) { return serve.New(cfg) }
+
+// RunServeLoad drives cfg.Clients concurrent closed-loop clients against a
+// serving daemon and reports throughput and latency percentiles.
+func RunServeLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	return serve.RunLoad(ctx, cfg)
+}
+
+// CheckLinearizable verifies that recorded load operations embed into the
+// per-key consensus chains as one linearizable history; nil means no
+// violation. The chains map is keyed by KV key, each entry the full
+// version history (ServeClient.History).
+func CheckLinearizable(chains map[string][]KVVersion, ops []OpRecord) error {
+	return serve.CheckLinearizable(chains, ops)
+}
