@@ -227,6 +227,59 @@ func TestServingAPI(t *testing.T) {
 	}
 }
 
+// TestRequestTracingAPI drives the root-package view of PR 10: the daemon
+// samples a request, the debug surface returns its record, and the
+// exported verifier confirms the exact-tiling invariants.
+func TestRequestTracingAPI(t *testing.T) {
+	srv, err := NewServer(ServeConfig{
+		N: 3, T: 1,
+		HeartbeatPeriod: 2 * time.Millisecond,
+		SuspectTimeout:  500 * time.Millisecond,
+		TraceSample:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	client := &ServeClient{BaseURL: ts.URL}
+	if _, err := client.CAS(ctx, "api", nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	var dt *ServeDebugTraces
+	if dt, err = client.DebugTraces(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var sampling ServeSamplingStats = dt.Sampling
+	if sampling.Rate != 1 || sampling.Sampled == 0 {
+		t.Fatalf("sampling = %+v, want rate 1 with sampled requests", sampling)
+	}
+	var id string
+	for _, r := range dt.Recent {
+		if r.Route == "kv-cas" {
+			id = r.ID
+		}
+	}
+	var rec *RequestTrace
+	if rec, err = client.DebugTrace(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	var phases RequestPhases = rec.Phases
+	if phases.Total() != rec.TotalNS {
+		t.Fatalf("phases %+v do not tile total %d", phases, rec.TotalNS)
+	}
+	if err := VerifyRequestTrace(rec); err != nil {
+		t.Fatalf("VerifyRequestTrace: %v", err)
+	}
+	var keys []ServeKeyStats
+	if keys, err = client.DebugKeys(ctx, 0); err != nil || len(keys) == 0 {
+		t.Fatalf("DebugKeys = %v rows, err %v", len(keys), err)
+	}
+}
+
 func TestAgreementStatusAPI(t *testing.T) {
 	for st, want := range map[AgreementStatus]string{
 		AgreementNone:     "none",

@@ -86,7 +86,7 @@ func readCompareReport(path string) (*compareReport, error) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(rep.Rows) == 0 {
+	if len(rep.Rows) == 0 && len(rep.CostRows) == 0 && len(rep.EngineRows) == 0 && len(rep.ServeRows) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark rows", path)
 	}
 	return &rep, nil

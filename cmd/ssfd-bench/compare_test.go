@@ -338,3 +338,43 @@ func TestCompareEngineControlNotEnforced(t *testing.T) {
 		t.Errorf("engine rows missing from output:\n%s", stdout.String())
 	}
 }
+
+// TestServeBenchArtifact: the -serve-bench mode runs a real in-process
+// load, writes a serve-rows-only artifact (which readCompareReport must
+// accept despite having no explorer rows), and two such artifacts compare
+// cleanly — the shape CI's tracing-overhead gate relies on.
+func TestServeBenchArtifact(t *testing.T) {
+	dir := t.TempDir()
+	offPath := filepath.Join(dir, "off.json")
+	onPath := filepath.Join(dir, "on.json")
+	if code := runServeBench(4, 5, 4, -1, offPath); code != 0 {
+		t.Fatalf("serve-bench (tracing off) exited %d", code)
+	}
+	if code := runServeBench(4, 5, 4, 1, onPath); code != 0 {
+		t.Fatalf("serve-bench (tracing on) exited %d", code)
+	}
+
+	rep, err := readCompareReport(offPath)
+	if err != nil {
+		t.Fatalf("serve-only artifact rejected: %v", err)
+	}
+	if rep.Sweep != "serve-obs" || len(rep.ServeRows) != 1 {
+		t.Fatalf("artifact = sweep %q, %d serve rows; want serve-obs with 1 row", rep.Sweep, len(rep.ServeRows))
+	}
+	row := rep.ServeRows[0]
+	if row.Clients != 4 || row.Ops != 20 || row.Errors != 0 || row.OpsPerSec <= 0 {
+		t.Fatalf("serve row = %+v, want 4 clients, 20 ops, no errors", row)
+	}
+
+	// The overhead gate: tiny runs are noisy, so this test only asserts
+	// the comparison machinery works at a generous tolerance; CI runs the
+	// real gate with more operations.
+	var stdout, stderr bytes.Buffer
+	code := runCompare(offPath, onPath, 0.9, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("overhead compare exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "serve clients=4 ops_per_sec:") {
+		t.Errorf("ops_per_sec row missing:\n%s", stdout.String())
+	}
+}

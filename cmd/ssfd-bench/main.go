@@ -75,6 +75,10 @@ func run() (code int) {
 	tolerance := flag.Float64("tolerance", 0.15, "relative tolerance for -compare (0.15 = 15%)")
 	engineInstances := flag.Int("engine", 0, "run the shared-mesh multi-instance engine with this many concurrent consensus instances instead of the suite (one detector and one transport per node)")
 	engineNodes := flag.Int("engine-nodes", 5, "cluster size for the -engine run")
+	serveBench := flag.Int("serve-bench", 0, "run a closed-loop KV load against an in-process serving daemon with this many clients and write a serve-row artifact to -json (the observability overhead gate)")
+	serveOps := flag.Int("serve-ops", 50, "operations per client for -serve-bench")
+	serveKeys := flag.Int("serve-keys", 8, "key-space size for -serve-bench")
+	serveSample := flag.Float64("serve-sample", 0.01, "request-trace sampling rate for -serve-bench (<=0 disables tracing)")
 	obsFlags := obscli.Register()
 	flag.Parse()
 
@@ -100,6 +104,9 @@ func run() (code int) {
 		}
 	}()
 
+	if *serveBench > 0 {
+		return runServeBench(*serveBench, *serveOps, *serveKeys, *serveSample, *jsonPath)
+	}
 	if *engineInstances > 0 {
 		return runEngineBench(*engineInstances, *engineNodes)
 	}

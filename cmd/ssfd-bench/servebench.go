@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// runServeBench measures the serving daemon's closed-loop KV throughput at
+// one client count and writes a compareReport artifact holding the single
+// serve row. It exists for the observability overhead gate: CI produces one
+// artifact with request tracing disabled (-serve-sample -1) and one with
+// every request traced (-serve-sample 1), then `ssfd-bench -compare` bounds
+// the ops/sec drop — the tracing fast path is held to a measured budget,
+// not a promise. The daemon runs in-process over loopback HTTP so the two
+// artifacts share every cost except the sampling rate.
+func runServeBench(clients, ops, keys int, sample float64, jsonPath string) int {
+	// CLI semantics: sample <= 0 disables tracing outright. The Config
+	// treats 0 as "default 1%", so translate explicitly.
+	cfgSample := sample
+	if cfgSample <= 0 {
+		cfgSample = -1
+	}
+	srv, err := serve.New(serve.Config{
+		N: 3, T: 1,
+		WaitBound:   500 * time.Millisecond,
+		TraceSample: cfgSample,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		_ = srv.Close()
+	}()
+
+	rep, err := serve.RunLoad(context.Background(), serve.LoadConfig{
+		BaseURL:      ts.URL,
+		Clients:      clients,
+		Keys:         keys,
+		OpsPerClient: ops,
+		Seed:         1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("serve bench (sample %g): %s\n", sample, rep.String())
+
+	art := compareReport{
+		Sweep:     "serve-obs",
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		ServeRows: []compareServeRow{{
+			Clients:      rep.Clients,
+			Keys:         rep.Keys,
+			Ops:          rep.Ops,
+			OpsPerSec:    rep.OpsPerSec,
+			CASOk:        rep.CASOk,
+			CASConflicts: rep.CASConflicts,
+			Errors:       rep.Errors,
+			P50US:        rep.LatencyUS.P50,
+			P99US:        rep.LatencyUS.P99,
+		}},
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "serve bench: %d client errors\n", rep.Errors)
+		return 1
+	}
+	return 0
+}

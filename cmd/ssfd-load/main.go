@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/obscli"
 	"repro/internal/serve"
@@ -41,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	seed := fs.Int64("seed", 1, "workload seed")
 	jsonPath := fs.String("json", "", "also write the report as JSON to this file")
 	check := fs.Bool("check", false, "record every op, verify linearizability against the per-key consensus chains, and require a clean server conformance report")
+	slowest := fs.Int("slowest", 0, "after the run, fetch the server's slowest-request exemplars and print the top N per route with phase attribution")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -91,6 +93,34 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if rep.Ops == 0 || rep.CASOk == 0 {
 		fmt.Fprintln(stderr, "ssfd-load: no operations decided — is the daemon up?")
 		return 1
+	}
+
+	if *slowest > 0 {
+		client := &serve.Client{BaseURL: *addr}
+		dt, err := client.DebugTraces(ctx)
+		if err != nil {
+			fmt.Fprintf(stderr, "ssfd-load: fetching exemplars: %v\n", err)
+			return 1
+		}
+		routes := make([]string, 0, len(dt.Slowest))
+		for r := range dt.Slowest {
+			routes = append(routes, r)
+		}
+		sort.Strings(routes)
+		for _, r := range routes {
+			rows := dt.Slowest[r]
+			if len(rows) > *slowest {
+				rows = rows[:*slowest]
+			}
+			fmt.Fprintf(stdout, "slowest %s:\n", r)
+			for _, rec := range rows {
+				p := rec.Phases
+				fmt.Fprintf(stdout, "  %-10s %3d %9.3fms  handler %.2f queue %.2f contention %.2f consensus %.2f commit %.2f (ms)\n",
+					rec.ID, rec.Status, float64(rec.TotalNS)/1e6,
+					float64(p.HandlerNS)/1e6, float64(p.QueueNS)/1e6, float64(p.ContentionNS)/1e6,
+					float64(p.ConsensusNS)/1e6, float64(p.CommitNS)/1e6)
+			}
+		}
 	}
 
 	if *check {

@@ -61,6 +61,25 @@ func TestLoadAgainstLiveServer(t *testing.T) {
 	}
 }
 
+func TestLoadSlowestExemplars(t *testing.T) {
+	url := startServer(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-addr", url, "-clients", "4", "-keys", "2", "-ops", "5",
+		"-seed", "7", "-slowest", "2",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	// The run issued CAS traffic, so the kv-cas exemplar row must exist
+	// with the per-phase attribution columns.
+	for _, want := range []string{"slowest kv-cas:", "consensus", "commit"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestLoadFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{},                               // no stop condition

@@ -67,6 +67,9 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) (code i
 	conformFlag := fs.Bool("conform", false, "attach the conformance monitor: check agreement and validity on every completed instance")
 	proposeTO := fs.Duration("propose-timeout", 0, "wait budget for synchronous requests (0: default 30s)")
 	drainTO := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before giving up on in-flight instances")
+	traceSample := fs.Float64("trace-sample", 0, "head-sampling rate for deep request traces in [0,1] (0: default 0.01; negative: disabled)")
+	traceRecent := fs.Int("trace-recent", 0, "recent sampled traces kept for /v1/debug/traces (0: default 256)")
+	traceSlowest := fs.Int("trace-slowest", 0, "slowest-request exemplars kept per route (0: default 8)")
 	obsFlags := obscli.RegisterOn(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,6 +123,9 @@ func run(args []string, stop <-chan os.Signal, stdout, stderr io.Writer) (code i
 		WaitBound:       *waitBound,
 		Conform:         *conformFlag,
 		ProposeTimeout:  *proposeTO,
+		TraceSample:     *traceSample,
+		TraceRecent:     *traceRecent,
+		TraceSlowest:    *traceSlowest,
 	}
 	if *faultsSpec != "" {
 		fc, err := faults.ParseSpec(*faultsSpec)

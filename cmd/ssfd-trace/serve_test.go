@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// startDaemon boots an in-process serving daemon with every request
+// sampled and commits one CAS so the debug endpoints have a deep trace.
+func startDaemon(t *testing.T) (url, traceID string) {
+	t.Helper()
+	srv, err := serve.New(serve.Config{
+		N: 3, T: 1,
+		HeartbeatPeriod: 2 * time.Millisecond,
+		SuspectTimeout:  500 * time.Millisecond,
+		TraceSample:     1,
+		Metrics:         obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ctx := context.Background()
+	cl := &serve.Client{BaseURL: ts.URL}
+	if _, err := cl.CAS(ctx, "k", nil, 9); err != nil {
+		t.Fatalf("CAS: %v", err)
+	}
+	dt, err := cl.DebugTraces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range dt.Recent {
+		if rec.Route == "kv-cas" {
+			return ts.URL, rec.ID
+		}
+	}
+	t.Fatal("no kv-cas trace recorded")
+	return "", ""
+}
+
+func TestServeSummary(t *testing.T) {
+	url, id := startDaemon(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-serve", url}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"sampling: rate 1", "recent sampled requests", id, "slowest kv-cas:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestServeFetchTrace(t *testing.T) {
+	url, id := startDaemon(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-serve", url, id}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"request " + id, "consensus", "commit",
+		"phases tile the total exactly",
+		"consensus instance attribution:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("trace output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestServeFetchTraceJSON(t *testing.T) {
+	url, id := startDaemon(t)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-serve", url, "-json", id}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var rec serve.RequestTrace
+	if err := json.Unmarshal(out.Bytes(), &rec); err != nil {
+		t.Fatalf("-json output is not a RequestTrace: %v\n%s", err, out.String())
+	}
+	if rec.ID != id || rec.Trace == nil {
+		t.Fatalf("record = id %s trace %v, want %s with a span tree", rec.ID, rec.Trace != nil, id)
+	}
+	if err := serve.VerifyRequestTrace(&rec); err != nil {
+		t.Errorf("fetched record fails verification: %v", err)
+	}
+}
+
+func TestServeUnknownID(t *testing.T) {
+	url, _ := startDaemon(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-serve", url, "r99999999"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown id: exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+}

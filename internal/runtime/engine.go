@@ -195,6 +195,11 @@ type EngineStats struct {
 	WaitTimeouts         int64
 	UnknownInstanceDrops int64
 
+	// Backlog is the number of events (round messages, registrations)
+	// queued in the shard workers' mailboxes at snapshot time — the
+	// at-a-glance congestion figure a drain decision reads.
+	Backlog int64
+
 	// Detector audit, summed over the n shared detectors. Under the engine
 	// no node ever crash-stops, so every suspicion ever raised counts
 	// against strong accuracy.
@@ -355,6 +360,7 @@ type instSlab struct {
 	inst      uint64
 	states    []instState // index id-1
 	remaining int         // automata not yet halted
+	probe     *InstanceProbe // nil for unobserved instances (the common case)
 }
 
 // engWorker owns the instances k with k mod Groups == idx and advances
@@ -637,6 +643,14 @@ func StartEngine(alg rounds.Algorithm, cfg EngineConfig) (*Engine, error) {
 // proposes 0 everywhere). The returned handle resolves when every automaton
 // has halted. Open fails with ErrEngineDraining after Drain or Close.
 func (e *Engine) Open(initial func(model.ProcessID) model.Value) (*Instance, error) {
+	return e.OpenObserved(initial, nil)
+}
+
+// OpenObserved is Open with a per-round wall-clock probe attached: the
+// owning worker stamps every send/close/transition/arrival/decision into it
+// (see InstanceProbe). probe nil is exactly Open — no stamps, no cost beyond
+// a nil check per hook.
+func (e *Engine) OpenObserved(initial func(model.ProcessID) model.Value, probe *InstanceProbe) (*Instance, error) {
 	er := e.er
 	n := er.n
 	// The drain lock orders Open against Close: once Close flips draining,
@@ -654,7 +668,10 @@ func (e *Engine) Open(initial func(model.ProcessID) model.Value) (*Instance, err
 	er.handles[id] = h
 	er.handleMu.Unlock()
 
-	sl := &instSlab{inst: id, states: make([]instState, n), remaining: n}
+	sl := &instSlab{inst: id, states: make([]instState, n), remaining: n, probe: probe}
+	if probe != nil {
+		probe.attach(n, er.maxRounds, time.Now())
+	}
 	for i := 1; i <= n; i++ {
 		var v model.Value
 		if initial != nil {
@@ -720,6 +737,11 @@ func (e *Engine) Stats() EngineStats {
 		Uptime:               time.Since(e.start),
 	}
 	s.InFlight = s.Opened - s.Completed
+	for _, w := range er.workers {
+		w.mb.mu.Lock()
+		s.Backlog += int64(len(w.mb.q))
+		w.mb.mu.Unlock()
+	}
 	for i := 1; i <= er.n; i++ {
 		fd := er.fds[i]
 		s.Detector = fd.Name()
@@ -1048,6 +1070,9 @@ func (w *engWorker) deliver(ev *engEvent) {
 	}
 	row.msgs[ev.env.From] = ev.env.Payload
 	row.got |= 1 << uint(ev.env.From)
+	if sl.probe != nil {
+		sl.probe.arrive(ev.node, int(ev.env.From), r, time.Now())
+	}
 	w.enqueue(st)
 }
 
@@ -1056,9 +1081,14 @@ func (w *engWorker) deliver(ev *engEvent) {
 // delivered or is suspected (or the WaitBound expired), transition, repeat.
 func (w *engWorker) advance(st *instState) {
 	n := w.run.n
+	pr := st.slab.probe
 	for st.round != 0 {
 		r := int(st.round)
 		if !st.sent {
+			var sendBegin time.Time
+			if pr != nil {
+				sendBegin = time.Now()
+			}
 			if err := w.sendRound(st, r); err != nil {
 				w.run.abort(err)
 				w.halt(st)
@@ -1066,6 +1096,9 @@ func (w *engWorker) advance(st *instState) {
 			}
 			st.sent = true
 			st.deadline = time.Now().Add(w.run.waitBound)
+			if pr != nil {
+				pr.roundSent(st.id, r, sendBegin, time.Now())
+			}
 		}
 		row := &st.rows[r]
 		suspects := w.suspects[st.id]
@@ -1092,6 +1125,9 @@ func (w *engWorker) advance(st *instState) {
 			w.run.waitTimeouts.Add(1)
 			w.run.metrics.waitTimeouts.Inc()
 		}
+		if pr != nil {
+			pr.roundClosed(st.id, r, row.got, !complete, time.Now())
+		}
 		in := w.scratch
 		for j := range in {
 			in[j] = nil
@@ -1103,12 +1139,20 @@ func (w *engWorker) advance(st *instState) {
 		st.proc.Trans(r, in)
 		row.msgs = nil // free the payload row; the round is closed
 		w.run.metrics.rounds.Inc()
+		var transAt time.Time
+		if pr != nil {
+			transAt = time.Now()
+			pr.roundDone(st.id, r, transAt)
+		}
 		if !st.decided {
 			if v, ok := st.proc.Decision(); ok {
 				st.decided = true
 				st.decision = v
 				w.run.decidedCtr.Inc()
 				w.run.decidedNodes.Add(1)
+				if pr != nil {
+					pr.noteDecide(st.id, r, v, transAt)
+				}
 			}
 		}
 		st.round++
@@ -1144,6 +1188,9 @@ func (w *engWorker) halt(st *instState) {
 		out.Decided[i] = s.decided
 		out.Decisions[i] = s.decision
 		out.WaitTimeouts += int(s.waitTimeouts)
+	}
+	if sl.probe != nil {
+		sl.probe.noteDone(time.Now())
 	}
 	w.slabs[int(sl.inst)/len(w.run.workers)] = nil
 	w.run.finish(sl.inst, out)

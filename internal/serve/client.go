@@ -133,17 +133,61 @@ func (c *Client) Get(ctx context.Context, key string) (*KVVersion, error) {
 }
 
 // History reads a key's full version chain (the ground truth the
-// linearizability checker compares client observations against).
+// linearizability checker compares client observations against), following
+// the server's pagination cursor until the chain is complete.
 func (c *Client) History(ctx context.Context, key string) ([]KVVersion, error) {
-	var resp KVGetResponse
-	code, err := c.do(ctx, http.MethodGet, "/v1/kv/"+url.PathEscape(key)+"?history=1", nil, &resp)
-	if code == http.StatusNotFound {
-		return nil, ErrKeyNotFound
+	var all []KVVersion
+	from := 1
+	for {
+		var resp KVGetResponse
+		path := fmt.Sprintf("/v1/kv/%s?history=1&from=%d", url.PathEscape(key), from)
+		code, err := c.do(ctx, http.MethodGet, path, nil, &resp)
+		if code == http.StatusNotFound {
+			return nil, ErrKeyNotFound
+		}
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, resp.History...)
+		if resp.NextFrom == 0 {
+			return all, nil
+		}
+		from = resp.NextFrom
 	}
-	if err != nil {
+}
+
+// DebugTraces reads GET /v1/debug/traces: sampling state, recent sampled
+// requests and slowest exemplars per route (summaries without span trees).
+func (c *Client) DebugTraces(ctx context.Context) (*DebugTraces, error) {
+	var resp DebugTraces
+	if _, err := c.do(ctx, http.MethodGet, "/v1/debug/traces", nil, &resp); err != nil {
 		return nil, err
 	}
-	return resp.History, nil
+	return &resp, nil
+}
+
+// DebugTrace reads one request's full record (phases plus, when sampled,
+// the embedded span tree) from GET /v1/debug/trace/{id}.
+func (c *Client) DebugTrace(ctx context.Context, id string) (*RequestTrace, error) {
+	var rec RequestTrace
+	if _, err := c.do(ctx, http.MethodGet, "/v1/debug/trace/"+url.PathEscape(id), nil, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// DebugKeys reads the hot-key table (top-n by CAS attempts; n<=0 uses the
+// server default).
+func (c *Client) DebugKeys(ctx context.Context, n int) ([]KeyStats, error) {
+	path := "/v1/debug/keys"
+	if n > 0 {
+		path += fmt.Sprintf("?n=%d", n)
+	}
+	var resp DebugKeysResponse
+	if _, err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Keys, nil
 }
 
 // CAS executes one check-and-set. The returned response is meaningful on

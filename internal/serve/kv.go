@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/runtime"
+	"repro/internal/tracing"
 )
 
 // errCASConflict reports a check-and-set that lost: the key's head did not
@@ -41,12 +44,19 @@ type kvFlight struct {
 	// set before done closes
 	ver *KVVersion
 	err error
+	// committedAt is stamped at commit() entry, before done closes: the
+	// consensus/commit boundary for the waiter's phase attribution. The
+	// close(done) happens-before edge publishes it.
+	committedAt time.Time
 }
 
-// kvKey is one key's state: the committed chain plus the open flight.
+// kvKey is one key's state: the committed chain plus the open flight, and
+// the CAS traffic tallies behind GET /v1/debug/keys.
 type kvKey struct {
-	versions []KVVersion
-	inflight *kvFlight
+	versions  []KVVersion
+	inflight  *kvFlight
+	attempts  int64 // CAS requests that reached this key
+	conflicts int64 // CAS requests that lost (409)
 }
 
 // kvStore is the replicated KV: a map of per-key consensus chains over the
@@ -82,20 +92,77 @@ func (kv *kvStore) Stats() KVStats {
 }
 
 // Get returns the key's head version (nil if the key has no committed
-// versions) and, when withHistory is set, a copy of the full chain.
-func (kv *kvStore) Get(key string, withHistory bool) (*KVVersion, []KVVersion) {
+// versions).
+func (kv *kvStore) Get(key string) *KVVersion {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	k := kv.keys[key]
 	if k == nil || len(k.versions) == 0 {
-		return nil, nil
+		return nil
 	}
 	head := k.versions[len(k.versions)-1]
-	var hist []KVVersion
-	if withHistory {
-		hist = append(hist, k.versions...)
+	return &head
+}
+
+// History returns the key's head, a page of its chain starting at version
+// from (1-based; 0 means the start) capped at limit entries, and the total
+// chain length. Pagination exists because chains are unbounded: a hot key
+// under sustained load accretes one version per committed CAS.
+func (kv *kvStore) History(key string, from, limit int) (head *KVVersion, page []KVVersion, total int) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	k := kv.keys[key]
+	if k == nil || len(k.versions) == 0 {
+		return nil, nil, 0
 	}
-	return &head, hist
+	total = len(k.versions)
+	h := k.versions[total-1]
+	head = &h
+	if from < 1 {
+		from = 1
+	}
+	if from > total {
+		return head, nil, total
+	}
+	end := from - 1 + limit
+	if limit <= 0 || end > total {
+		end = total
+	}
+	page = append(page, k.versions[from-1:end]...)
+	return head, page, total
+}
+
+// KeyStats is one row of the hot-key table: CAS traffic and chain shape.
+type KeyStats struct {
+	Key       string `json:"key"`
+	Attempts  int64  `json:"attempts"`
+	Conflicts int64  `json:"conflicts"`
+	Versions  int    `json:"versions"`
+	InFlight  bool   `json:"in_flight"`
+}
+
+// HotKeys returns the top-n keys by CAS attempts (ties broken by key), the
+// GET /v1/debug/keys table.
+func (kv *kvStore) HotKeys(n int) []KeyStats {
+	kv.mu.Lock()
+	rows := make([]KeyStats, 0, len(kv.keys))
+	for key, k := range kv.keys {
+		rows = append(rows, KeyStats{
+			Key: key, Attempts: k.attempts, Conflicts: k.conflicts,
+			Versions: len(k.versions), InFlight: k.inflight != nil,
+		})
+	}
+	kv.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Attempts != rows[j].Attempts {
+			return rows[i].Attempts > rows[j].Attempts
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
 }
 
 // matches reports whether the asserted old value matches the head (old nil
@@ -114,54 +181,83 @@ func matches(old *int64, head *KVVersion) bool {
 // the instance decides, still lands, and the retrying client observes it
 // as a conflict.
 func (kv *kvStore) CAS(ctx context.Context, key string, old *int64, val model.Value) (*KVVersion, error) {
+	tk := trackerFrom(ctx)
+	first := true
 	for {
+		tk.mark(tracing.KindContention)
 		kv.mu.Lock()
 		k := kv.keys[key]
+		if k == nil {
+			k = &kvKey{}
+			kv.keys[key] = k
+		}
+		if first {
+			k.attempts++
+			first = false
+		}
 		var head *KVVersion
-		if k != nil && len(k.versions) > 0 {
+		if len(k.versions) > 0 {
 			h := k.versions[len(k.versions)-1]
 			head = &h
 		}
 		if !matches(old, head) {
+			k.conflicts++
 			kv.mu.Unlock()
+			tk.mark(tracing.KindHandler)
 			return head, errCASConflict
 		}
-		if k != nil && k.inflight != nil {
+		if k.inflight != nil {
 			fl := k.inflight
 			kv.mu.Unlock()
+			tk.mark(tracing.KindQueue)
 			select {
 			case <-fl.done:
 				continue // re-check the head this flight (maybe) committed
 			case <-ctx.Done():
+				tk.mark(tracing.KindHandler)
 				return nil, ctx.Err()
 			}
-		}
-		if k == nil {
-			k = &kvKey{}
-			kv.keys[key] = k
 		}
 		fl := &kvFlight{key: key, val: val, done: make(chan struct{})}
 		k.inflight = fl
 		kv.mu.Unlock()
 
 		// This request owns the slot: open the instance (all n nodes propose
-		// val — the state-machine-replication case) and ride it down.
+		// val — the state-machine-replication case) and ride it down. A
+		// sampled request attaches a probe so its consensus slice can be
+		// tiled at round resolution.
+		var probe *runtime.InstanceProbe
+		if tk != nil && tk.sampled {
+			probe = runtime.NewInstanceProbe()
+			tk.probe = probe
+		}
 		proposals := make([]model.Value, kv.srv.eng.N())
 		for i := range proposals {
 			proposals[i] = val
 		}
-		if _, err := kv.srv.open(proposals, fl); err != nil {
+		tk.mark(tracing.KindConsensus)
+		rec, err := kv.srv.open(proposals, fl, probe)
+		if err != nil {
 			kv.release(fl, err)
+			tk.mark(tracing.KindHandler)
 			return nil, err
+		}
+		if tk != nil {
+			tk.instance, tk.hasInst = rec.id, true
 		}
 		select {
 		case <-fl.done:
+			// Retro-split at the commit callback's entry stamp: consensus
+			// ends where commit() began, commit ends where this waiter woke.
+			tk.markAt(tracing.KindCommit, fl.committedAt)
+			tk.mark(tracing.KindHandler)
 			if fl.err != nil {
 				return nil, fl.err
 			}
 			return fl.ver, nil
 		case <-ctx.Done():
 			// The instance keeps running; commit() will land the version.
+			tk.mark(tracing.KindHandler)
 			return nil, ctx.Err()
 		}
 	}
@@ -171,6 +267,7 @@ func (kv *kvStore) CAS(ctx context.Context, key string, old *int64, val model.Va
 // key's next version and release the flight. Called from the engine's
 // completion callback.
 func (kv *kvStore) commit(fl *kvFlight, inst uint64, out runtime.InstanceOutcome) {
+	fl.committedAt = time.Now()
 	v, verdict := out.Agreement()
 	kv.mu.Lock()
 	k := kv.keys[fl.key]

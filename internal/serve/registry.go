@@ -31,11 +31,12 @@ func newInstanceRegistry() *instanceRegistry {
 	return &instanceRegistry{recs: make(map[uint64]*instRecord)}
 }
 
-// open admits an instance and registers its record atomically.
-func (ir *instanceRegistry) open(eng *runtime.Engine, proposals []model.Value, fl *kvFlight) (*instRecord, error) {
+// open admits an instance and registers its record atomically. probe, when
+// non-nil, attaches per-round observation (a sampled request's deep trace).
+func (ir *instanceRegistry) open(eng *runtime.Engine, proposals []model.Value, fl *kvFlight, probe *runtime.InstanceProbe) (*instRecord, error) {
 	ir.mu.Lock()
 	defer ir.mu.Unlock()
-	h, err := eng.Open(func(id model.ProcessID) model.Value { return proposals[id-1] })
+	h, err := eng.OpenObserved(func(id model.ProcessID) model.Value { return proposals[id-1] }, probe)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rounds"
 	"repro/internal/runtime"
+	"repro/internal/tracing"
 )
 
 // Serving metric names.
@@ -36,6 +38,13 @@ const (
 	MetricServeCASConflicts = "ssfd_serve_cas_conflict_total"
 	// MetricServeDrained counts proposals refused while draining.
 	MetricServeDrained = "ssfd_serve_drained_total"
+
+	// MetricHTTPRequests counts finished HTTP requests labeled by route and
+	// status code; MetricHTTPDuration buckets their wall-clock latency in
+	// nanoseconds per route; MetricHTTPSampled counts deep-traced requests.
+	MetricHTTPRequests = "ssfd_http_requests_total"
+	MetricHTTPDuration = "ssfd_http_request_duration_ns"
+	MetricHTTPSampled  = "ssfd_http_sampled_total"
 )
 
 // Config assembles the serving daemon.
@@ -81,6 +90,17 @@ type Config struct {
 	// Metrics receives the server's and engine's instruments; nil uses
 	// obs.Default.
 	Metrics *obs.Registry
+
+	// TraceSample is the head-sampling rate for deep request traces in
+	// [0,1]: 0 defaults to 0.01 (1%), negative disables sampling entirely,
+	// >= 1 traces every request. Sampling is deterministic (every
+	// round(1/rate)-th request); exemplars are retained regardless.
+	TraceSample float64
+	// TraceRecent caps the ring of recent sampled traces (default 256).
+	TraceRecent int
+	// TraceSlowest caps the slowest-request exemplars kept per route
+	// (default 8).
+	TraceSlowest int
 }
 
 // Server is the consensus-serving daemon: it owns the live engine, the
@@ -90,9 +110,10 @@ type Server struct {
 	eng *runtime.Engine
 	reg *obs.Registry
 
-	insts *instanceRegistry
-	kv    *kvStore
-	mon   *Monitor
+	insts  *instanceRegistry
+	kv     *kvStore
+	mon    *Monitor
+	traces *traceStore
 
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -119,6 +140,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WaitBound <= 0 {
 		cfg.WaitBound = 2 * time.Second
 	}
+	switch {
+	case cfg.TraceSample == 0:
+		cfg.TraceSample = 0.01
+	case cfg.TraceSample < 0:
+		cfg.TraceSample = 0
+	case cfg.TraceSample > 1:
+		cfg.TraceSample = 1
+	}
+	if cfg.TraceRecent <= 0 {
+		cfg.TraceRecent = 256
+	}
+	if cfg.TraceSlowest <= 0 {
+		cfg.TraceSlowest = 8
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.Default
@@ -132,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 		casConflicts: reg.Counter(MetricServeCASConflicts),
 		drained:      reg.Counter(MetricServeDrained),
 	}
+	s.traces = newTraceStore(cfg.TraceSample, cfg.TraceRecent, cfg.TraceSlowest)
 	s.kv = newKVStore(s)
 	if cfg.Conform {
 		s.mon = &Monitor{}
@@ -207,12 +243,12 @@ func (s *Server) Close() error {
 
 // open admits one instance through the engine with the given per-node
 // proposals, registering it before the completion callback can race past.
-func (s *Server) open(proposals []model.Value, fl *kvFlight) (*instRecord, error) {
+func (s *Server) open(proposals []model.Value, fl *kvFlight, probe *runtime.InstanceProbe) (*instRecord, error) {
 	if s.draining.Load() {
 		s.drained.Inc()
 		return nil, runtime.ErrEngineDraining
 	}
-	return s.insts.open(s.eng, proposals, fl)
+	return s.insts.open(s.eng, proposals, fl, probe)
 }
 
 // --- HTTP surface ---
@@ -224,6 +260,9 @@ func (s *Server) buildMux() {
 	mux.HandleFunc("POST /v1/kv/{key}/cas", s.handleCAS)
 	mux.HandleFunc("GET /v1/kv/{key}", s.handleGet)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /v1/debug/trace/{id}", s.handleDebugTrace)
+	mux.HandleFunc("GET /v1/debug/keys", s.handleDebugKeys)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -235,16 +274,83 @@ func (s *Server) buildMux() {
 	s.mux = mux
 }
 
+// routeOf classifies a request into its endpoint label — the cardinality
+// axis for per-endpoint metrics and exemplar rings. Classification is by
+// path shape, not mux pattern, so it needs no net/http support.
+func routeOf(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/v1/propose":
+		return "propose"
+	case strings.HasPrefix(p, "/v1/instance/"):
+		return "instance"
+	case strings.HasPrefix(p, "/v1/kv/") && strings.HasSuffix(p, "/cas"):
+		return "kv-cas"
+	case strings.HasPrefix(p, "/v1/kv/"):
+		return "kv-get"
+	case p == "/v1/status":
+		return "status"
+	case strings.HasPrefix(p, "/v1/debug/"):
+		return "debug"
+	case p == "/healthz":
+		return "healthz"
+	case p == "/metrics":
+		return "metrics"
+	default:
+		return "other"
+	}
+}
+
+// kvKeyOf extracts the key from a /v1/kv/ path for trace labeling.
+func kvKeyOf(p string) string {
+	return strings.TrimSuffix(strings.TrimPrefix(p, "/v1/kv/"), "/cas")
+}
+
+// statusWriter captures the response status for metrics and traces.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
 // Handler returns the server's HTTP handler. Every /v1/ response is JSON —
 // including the mux's own 404/405 verdicts, which jsonErrWriter rewrites so
-// clients never parse a plain-text error page.
+// clients never parse a plain-text error page. The wrapper is also the
+// observability middleware: it assigns the request id (echoed in the
+// X-SSFD-Request header), runs the sampling verdict, carries the phase
+// tracker through the context, and files the finished record into the
+// trace store and the per-route metrics.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		route := routeOf(r)
+		id, sampled := s.traces.begin()
+		tk := &reqTracker{id: id, route: route, method: r.Method, start: start, sampled: sampled}
+		tk.markAt(tracing.KindHandler, start)
+		if route == "kv-cas" || route == "kv-get" {
+			tk.key = kvKeyOf(r.URL.Path)
+		}
+		w.Header().Set("X-SSFD-Request", id)
 		s.reg.Counter(obs.Label(MetricServeRequests, "method", r.Method)).Inc()
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 		}
-		s.mux.ServeHTTP(&jsonErrWriter{ResponseWriter: w}, r)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.mux.ServeHTTP(&jsonErrWriter{ResponseWriter: sw},
+			r.WithContext(withTracker(r.Context(), tk)))
+		rec := tk.finish(s, time.Now(), sw.code)
+		s.traces.add(rec)
+		s.reg.Counter(obs.Label(obs.Label(MetricHTTPRequests, "route", route),
+			"code", strconv.Itoa(sw.code))).Inc()
+		s.reg.Histogram(obs.Label(MetricHTTPDuration, "route", route),
+			obs.DefaultDurationBuckets).Observe(rec.TotalNS)
+		if sampled {
+			s.reg.Counter(MetricHTTPSampled).Inc()
+		}
 	})
 }
 
@@ -356,7 +462,7 @@ func (s *Server) handlePropose(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `need "value" or "values"`)
 		return
 	}
-	rec, err := s.open(proposals, nil)
+	rec, err := s.open(proposals, nil, nil)
 	if err != nil {
 		if errors.Is(err, runtime.ErrEngineDraining) {
 			writeError(w, http.StatusServiceUnavailable, "draining: not admitting proposals")
@@ -417,9 +523,13 @@ func (s *Server) handleInstance(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") != "" {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ProposeTimeout)
 		defer cancel()
+		tk := trackerFrom(r.Context())
+		tk.mark(tracing.KindConsensus)
 		select {
 		case <-rec.handle.Done():
+			tk.mark(tracing.KindHandler)
 		case <-ctx.Done():
+			tk.mark(tracing.KindHandler)
 			writeError(w, http.StatusGatewayTimeout, "instance still running")
 			return
 		}
@@ -482,32 +592,121 @@ func (s *Server) handleCAS(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// KVGetResponse answers GET /v1/kv/{key}: the head version, plus the full
-// chain with ?history=1.
+// DefaultHistoryLimit caps a ?history=1 page when no limit is given —
+// chains are unbounded, so the full-chain response must be opt-in via
+// pagination, never the default.
+const DefaultHistoryLimit = 256
+
+// KVGetResponse answers GET /v1/kv/{key}: the head version, plus — with
+// ?history=1 — one page of the chain. HistoryTotal is the full chain
+// length; NextFrom, when set, is the ?from= cursor for the next page.
 type KVGetResponse struct {
-	Key     string      `json:"key"`
-	Version int         `json:"version"`
-	Value   int64       `json:"value"`
-	History []KVVersion `json:"history,omitempty"`
+	Key          string      `json:"key"`
+	Version      int         `json:"version"`
+	Value        int64       `json:"value"`
+	History      []KVVersion `json:"history,omitempty"`
+	HistoryTotal int         `json:"history_total,omitempty"`
+	NextFrom     int         `json:"next_from,omitempty"`
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	head, history := s.kv.Get(key, r.URL.Query().Get("history") != "")
+	q := r.URL.Query()
+	if q.Get("history") == "" {
+		head := s.kv.Get(key)
+		if head == nil {
+			writeError(w, http.StatusNotFound, "no such key")
+			return
+		}
+		writeJSON(w, http.StatusOK, KVGetResponse{
+			Key: key, Version: head.Version, Value: int64(head.Value),
+		})
+		return
+	}
+	limit := DefaultHistoryLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad limit: want a positive integer")
+			return
+		}
+		limit = n
+	}
+	from := 1
+	if v := q.Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad from: want a positive version number")
+			return
+		}
+		from = n
+	}
+	head, page, total := s.kv.History(key, from, limit)
 	if head == nil {
 		writeError(w, http.StatusNotFound, "no such key")
 		return
 	}
-	writeJSON(w, http.StatusOK, KVGetResponse{
-		Key: key, Version: head.Version, Value: int64(head.Value), History: history,
-	})
+	resp := KVGetResponse{
+		Key: key, Version: head.Version, Value: int64(head.Value),
+		History: page, HistoryTotal: total,
+	}
+	if next := from + len(page); len(page) > 0 && next <= total {
+		resp.NextFrom = next
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// StatusReport answers GET /v1/status.
+// DebugKeysResponse answers GET /v1/debug/keys: the hot-key table, top-n
+// by CAS attempts.
+type DebugKeysResponse struct {
+	Keys []KeyStats `json:"keys"`
+}
+
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.traces.debug())
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.traces.get(r.PathValue("id"))
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no such trace (evicted or never sampled)")
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		if rec.Trace == nil {
+			writeError(w, http.StatusNotFound, "trace has no span tree (unsampled exemplar)")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = rec.Trace.WriteChrome(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleDebugKeys(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, "bad n: want a positive integer")
+			return
+		}
+		n = parsed
+	}
+	writeJSON(w, http.StatusOK, DebugKeysResponse{Keys: s.kv.HotKeys(n)})
+}
+
+// StatusReport answers GET /v1/status: the operator's drain/backlog
+// at-a-glance view — server uptime, live engine stats (in-flight,
+// mailbox backlog, cost counters), KV shape, sampling configuration and
+// tallies, plus the conformance summary when the monitor is attached.
 type StatusReport struct {
 	Draining bool                `json:"draining"`
+	UptimeNS int64               `json:"uptime_ns"`
 	Engine   runtime.EngineStats `json:"engine"`
 	KV       KVStats             `json:"kv"`
+	Sampling SamplingStats       `json:"sampling"`
 	Conform  *ConformSummary     `json:"conform,omitempty"`
 }
 
@@ -519,8 +718,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Status() StatusReport {
 	rep := StatusReport{
 		Draining: s.draining.Load(),
+		UptimeNS: time.Since(s.start).Nanoseconds(),
 		Engine:   s.eng.Stats(),
 		KV:       s.kv.Stats(),
+		Sampling: s.traces.stats(),
 	}
 	if s.mon != nil {
 		sum := s.mon.Summary()

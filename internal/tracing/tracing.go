@@ -57,6 +57,20 @@ const (
 	KindSchedule  = "schedule"  // synthetic: the whole engine run
 )
 
+// Request-scoped span kinds: the serving daemon's per-request causal tree
+// (http request → kv flight → consensus instance). They ride the same
+// Span/Trace machinery — WriteChrome and ReadChrome round-trip them like
+// any other kind — and tile the request's wall-clock total the same way
+// send/wait/compute tile a round.
+const (
+	KindRequest    = "request"    // one HTTP request, end to end
+	KindHandler    = "handler"    // parse, dispatch, response encoding
+	KindQueue      = "queue"      // blocked behind another client's KV flight
+	KindContention = "contention" // CAS head checks, slot acquisition, retries
+	KindConsensus  = "consensus"  // own instance open → engine completion
+	KindCommit     = "commit"     // commit callback → waiter wakeup
+)
+
 // Point kinds: instantaneous trace events.
 const (
 	PointArrive  = "arrive"  // a data message landed (From → Proc, Round)
@@ -72,6 +86,7 @@ const (
 	CatFD      = "fd"
 	CatFaults  = "faults"
 	CatRounds  = "rounds" // synthetic engine spans
+	CatServe   = "serve"  // request-scoped serving spans
 )
 
 // Span is one interval of a trace. Times are nanoseconds from the trace

@@ -541,6 +541,20 @@ type (
 	LoadReport = serve.LoadReport
 	// OpRecord is one recorded client operation of a load run.
 	OpRecord = serve.OpRecord
+	// RequestTrace is one finished HTTP request's observability record:
+	// exact phase attribution plus, when sampled, the embedded consensus
+	// instance's span tree (GET /v1/debug/trace/{id}).
+	RequestTrace = serve.RequestTrace
+	// RequestPhases tiles a request's measured latency into handler /
+	// queue / contention / consensus / commit slices that sum exactly.
+	RequestPhases = serve.RequestPhases
+	// ServeSamplingStats reports a daemon's head-sampling config and tallies.
+	ServeSamplingStats = serve.SamplingStats
+	// ServeDebugTraces is the GET /v1/debug/traces body: recent sampled
+	// requests plus slowest exemplars per route.
+	ServeDebugTraces = serve.DebugTraces
+	// ServeKeyStats is one row of the hot-key table (GET /v1/debug/keys).
+	ServeKeyStats = serve.KeyStats
 )
 
 // ErrKeyNotFound reports a read of a KV key with no committed version;
@@ -574,4 +588,12 @@ func RunServeLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 // version history (ServeClient.History).
 func CheckLinearizable(chains map[string][]KVVersion, ops []OpRecord) error {
 	return serve.CheckLinearizable(chains, ops)
+}
+
+// VerifyRequestTrace checks a request record's exact-tiling invariants:
+// the phase attribution sums to the measured total, and any embedded
+// instance trace passes the CheckSums latency-attribution discipline inside
+// the request's consensus window.
+func VerifyRequestTrace(rec *RequestTrace) error {
+	return serve.VerifyRequestTrace(rec)
 }
